@@ -1,0 +1,98 @@
+// Command boostcheck runs the full impossibility analysis on a candidate
+// boosting system: the Lemma 4 initialization classification, the Fig. 3
+// hook search, and the failure-scenario refutation of Theorems 2, 9 and 10.
+//
+// Usage:
+//
+//	boostcheck -candidate forward -n 2 -f 0 -claim 1
+//	boostcheck -candidate tob -n 2 -f 0 -claim 1
+//	boostcheck -candidate floodset-p -n 3 -f 0 -claim 1
+//	boostcheck -candidate fdboost -n 3 -claim 2
+//
+// Candidates:
+//
+//	forward     n processes forwarding to one f-resilient consensus object
+//	            (Theorem 2 family)
+//	tob         n processes deciding via an f-resilient totally ordered
+//	            broadcast service (Theorem 9 family)
+//	floodset-p  FloodSet over registers with one f-resilient all-connected
+//	            perfect failure detector (Theorem 10 family)
+//	fdboost     FloodSet with pairwise 1-resilient 2-process perfect
+//	            failure detectors (the Section 6.3 boost — not refutable)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/ioa-lab/boosting/internal/explore"
+	"github.com/ioa-lab/boosting/internal/protocols"
+	"github.com/ioa-lab/boosting/internal/service"
+	"github.com/ioa-lab/boosting/internal/system"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "boostcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("boostcheck", flag.ContinueOnError)
+	var (
+		candidate = fs.String("candidate", "forward", "candidate family: forward | tob | floodset-p | fdboost")
+		n         = fs.Int("n", 2, "number of processes")
+		f         = fs.Int("f", 0, "service resilience")
+		claim     = fs.Int("claim", 1, "claimed tolerated failures")
+		benign    = fs.Bool("benign", false, "benign silence policy (services never exercise their right to fall silent)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	policy := service.Adversarial
+	if *benign {
+		policy = service.Benign
+	}
+
+	var (
+		sys       *system.System
+		err       error
+		skipGraph bool
+	)
+	switch *candidate {
+	case "forward":
+		sys, err = protocols.BuildForward(*n, *f, policy)
+	case "tob":
+		sys, err = protocols.BuildTOBConsensus(*n, *f, policy)
+	case "floodset-p":
+		sys, err = protocols.BuildFloodSetWithP(*n, *f, *claim+1, policy)
+		skipGraph = true
+	case "fdboost":
+		sys, err = protocols.BuildFDBoost(*n, *n)
+		skipGraph = true
+	default:
+		return fmt.Errorf("unknown candidate %q", *candidate)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("candidate: %s (n=%d, f=%d, policy=%s), claiming %d-failure tolerance\n\n",
+		*candidate, *n, *f, policy, *claim)
+	report, err := explore.Refute(sys, *claim, explore.RefuteOptions{
+		SkipGraphAnalysis: skipGraph,
+		MaxRounds:         2000,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.String())
+	if report.Violated() {
+		fmt.Println("\nverdict: boosting REFUTED — the claimed resilience is not achieved")
+	} else {
+		fmt.Println("\nverdict: no violation found — the claim survives (boosting not attempted or not needed)")
+	}
+	return nil
+}

@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+func TestRunAllCandidates(t *testing.T) {
+	cases := [][]string{
+		{"-candidate", "forward", "-n", "2", "-f", "0", "-claim", "1"},
+		{"-candidate", "forward", "-n", "2", "-f", "1", "-claim", "1"},
+		{"-candidate", "forward", "-n", "2", "-f", "0", "-claim", "1", "-benign"},
+		{"-candidate", "tob", "-n", "2", "-f", "0", "-claim", "1"},
+		{"-candidate", "floodset-p", "-n", "3", "-f", "0", "-claim", "1"},
+		{"-candidate", "fdboost", "-n", "3", "-claim", "2"},
+	}
+	for _, args := range cases {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestRunRejectsUnknownCandidate(t *testing.T) {
+	if err := run([]string{"-candidate", "nonsense"}); err == nil {
+		t.Error("want error for unknown candidate")
+	}
+}

@@ -1,0 +1,78 @@
+// Command fdboost runs the Section 6.3 positive construction: consensus for
+// any number of failures from 1-resilient 2-process perfect failure
+// detectors and reliable registers (FloodSet over registers, guarded by the
+// pairwise detectors).
+//
+// Usage:
+//
+//	fdboost -n 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/ioa-lab/boosting/internal/check"
+	"github.com/ioa-lab/boosting/internal/explore"
+	"github.com/ioa-lab/boosting/internal/protocols"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "fdboost:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("fdboost", flag.ContinueOnError)
+	n := fs.Int("n", 3, "number of processes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sys, err := protocols.BuildFDBoost(*n, *n)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Section 6.3 construction: %d processes, %d pairwise 1-resilient perfect FDs,\n", *n, (*n)*(*n-1)/2)
+	fmt.Printf("%d flooding registers. Claim: consensus tolerating any %d failures.\n\n", (*n)*(*n), *n-1)
+
+	inputs := map[int]string{}
+	for i := 0; i < *n; i++ {
+		if i%2 == 0 {
+			inputs[i] = "1"
+		} else {
+			inputs[i] = "0"
+		}
+	}
+	patterns := 0
+	for bits := 0; bits < 1<<(*n); bits++ {
+		var J []int
+		for idx := 0; idx < *n; idx++ {
+			if bits&(1<<idx) != 0 {
+				J = append(J, idx)
+			}
+		}
+		if len(J) == *n {
+			continue
+		}
+		failures := make([]explore.FailureEvent, len(J))
+		for i, p := range J {
+			failures[i] = explore.FailureEvent{Round: 0, Proc: p}
+		}
+		res, err := explore.RoundRobin(sys, explore.RunConfig{Inputs: inputs, Failures: failures})
+		if err != nil {
+			return err
+		}
+		run := check.ConsensusRun{Inputs: inputs, Failed: J, Decisions: res.Decisions, Done: res.Done}
+		if err := check.Consensus(run); err != nil {
+			return fmt.Errorf("failure set %v: %w", J, err)
+		}
+		fmt.Printf("  failed %-10v → decisions %v\n", J, res.Decisions)
+		patterns++
+	}
+	fmt.Printf("\nverified agreement, validity and termination under %d failure patterns\n", patterns)
+	fmt.Println("verdict: resilience BOOSTED — arbitrary connection patterns escape Theorem 10")
+	return nil
+}

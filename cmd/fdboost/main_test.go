@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestRunVerifiesFDBoost(t *testing.T) {
+	if err := run([]string{"-n", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadN(t *testing.T) {
+	if err := run([]string{"-n", "1"}); err == nil {
+		t.Error("want error for n = 1")
+	}
+}

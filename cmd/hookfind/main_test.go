@@ -1,0 +1,17 @@
+package main
+
+import "testing"
+
+func TestRunFindsHook(t *testing.T) {
+	if err := run([]string{"-n", "2", "-f", "0"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunOnWaitFreeObject(t *testing.T) {
+	// Wait-free object: still a bivalent init and a hook (the candidate is
+	// correct at its true resilience, but the hook structure exists).
+	if err := run([]string{"-n", "2", "-f", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}

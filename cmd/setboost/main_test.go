@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestRunVerifiesBoost(t *testing.T) {
+	if err := run([]string{"-group", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadGroup(t *testing.T) {
+	if err := run([]string{"-group", "0"}); err == nil {
+		t.Error("want error for group size 0")
+	}
+}

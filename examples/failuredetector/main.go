@@ -1,0 +1,70 @@
+// Failure-detector boosting (paper Section 6.3): consensus for any number
+// of failures from 1-resilient 2-process perfect failure detectors and
+// reliable registers.
+//
+// Theorem 10 forbids boosting when every failure-aware service is connected
+// to all processes; with pairwise detectors the connection pattern is
+// sparse, and boosting works. This example runs the FloodSet construction
+// for n = 3 under every failure pattern and also audits detector accuracy
+// on the generated executions.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/ioa-lab/boosting/internal/check"
+	"github.com/ioa-lab/boosting/internal/explore"
+	"github.com/ioa-lab/boosting/internal/protocols"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "failuredetector:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const n = 3
+	sys, err := protocols.BuildFDBoost(n, n)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("FloodSet consensus for %d processes over %d pairwise 1-resilient perfect FDs\n\n",
+		n, n*(n-1)/2)
+
+	inputs := map[int]string{0: "1", 1: "0", 2: "1"}
+	for bits := 0; bits < 1<<n; bits++ {
+		var J []int
+		for idx := 0; idx < n; idx++ {
+			if bits&(1<<idx) != 0 {
+				J = append(J, idx)
+			}
+		}
+		if len(J) == n {
+			continue // everyone failed: nothing to decide
+		}
+		failures := make([]explore.FailureEvent, len(J))
+		for i, p := range J {
+			failures[i] = explore.FailureEvent{Round: 0, Proc: p}
+		}
+		res, err := explore.RoundRobin(sys, explore.RunConfig{Inputs: inputs, Failures: failures})
+		if err != nil {
+			return err
+		}
+		run := check.ConsensusRun{Inputs: inputs, Failed: J, Decisions: res.Decisions, Done: res.Done}
+		if err := check.Consensus(run); err != nil {
+			return fmt.Errorf("failure set %v: %w", J, err)
+		}
+		// The perfect detectors never suspected a live process anywhere in
+		// the execution.
+		if err := check.FDAccuracy(res.Exec); err != nil {
+			return fmt.Errorf("failure set %v: %w", J, err)
+		}
+		fmt.Printf("failed %-7v → decisions %v (accuracy ✓)\n", J, res.Decisions)
+	}
+	fmt.Println("\nconsensus tolerates any number of failures: 1-resilient detectors, ")
+	fmt.Println("(n−1)-resilient consensus — boosting via sparse connection patterns.")
+	return nil
+}

@@ -1,0 +1,62 @@
+// Set-consensus boosting (paper Section 4): wait-free 2n-process
+// 2-set-consensus from two wait-free n-process consensus services.
+//
+// Consensus resilience cannot be boosted (Theorem 2), but 2-set consensus
+// escapes: this example runs the construction for n = 2 (4 processes) under
+// a selection of failure patterns, including patterns that silence one
+// whole group, and checks k-agreement, validity and termination.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/ioa-lab/boosting/internal/check"
+	"github.com/ioa-lab/boosting/internal/explore"
+	"github.com/ioa-lab/boosting/internal/protocols"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "setconsensus:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const groupSize = 2
+	sys, err := protocols.BuildSetBoost(groupSize)
+	if err != nil {
+		return err
+	}
+	total := 2 * groupSize
+	fmt.Printf("2-set consensus for %d processes from two wait-free %d-process consensus services\n\n",
+		total, groupSize)
+
+	inputs := map[int]string{0: "0", 1: "1", 2: "1", 3: "0"}
+	scenarios := [][]int{
+		nil,    // failure-free
+		{3},    // one failure
+		{0, 1}, // group 0 wiped out — its service may fall silent, but
+		// those processes are dead anyway
+		{1, 2, 3}, // 2n−1 failures: wait-freedom
+	}
+	for _, J := range scenarios {
+		failures := make([]explore.FailureEvent, len(J))
+		for i, p := range J {
+			failures[i] = explore.FailureEvent{Round: 0, Proc: p}
+		}
+		res, err := explore.RoundRobin(sys, explore.RunConfig{Inputs: inputs, Failures: failures})
+		if err != nil {
+			return err
+		}
+		run := check.ConsensusRun{Inputs: inputs, Failed: J, Decisions: res.Decisions, Done: res.Done}
+		if err := check.KSetConsensus(run, 2); err != nil {
+			return fmt.Errorf("failure set %v: %w", J, err)
+		}
+		fmt.Printf("failed %-9v → decisions %v (≤ 2 distinct ✓)\n", J, res.Decisions)
+	}
+	fmt.Println("\nboosting succeeded: n−1-resilient parts, 2n−1-resilient whole —")
+	fmt.Println("exactly the escape hatch Theorem 2 leaves open for k-set consensus.")
+	return nil
+}

@@ -1,0 +1,210 @@
+// Package check provides property checkers for the correctness conditions
+// the paper states for consensus and its relatives (Section 2.2.4 and
+// Appendix B), plus trace-level checkers for totally ordered broadcast and
+// failure detectors.
+//
+// Checkers work on the outputs of explore runs (decision maps, execution
+// traces) and return typed errors, so tests, benchmarks and CLIs can assert
+// or report uniformly.
+package check
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/ioa-lab/boosting/internal/codec"
+	"github.com/ioa-lab/boosting/internal/ioa"
+	"github.com/ioa-lab/boosting/internal/servicetype"
+)
+
+// Property violation errors.
+var (
+	ErrAgreement   = errors.New("check: agreement violated")
+	ErrValidity    = errors.New("check: validity violated")
+	ErrTermination = errors.New("check: termination violated")
+	ErrKAgreement  = errors.New("check: k-agreement violated")
+	ErrTotalOrder  = errors.New("check: total order violated")
+	ErrAccuracy    = errors.New("check: failure-detector accuracy violated")
+	ErrDoubleDecir = errors.New("check: process decided more than once")
+)
+
+// ConsensusRun bundles what the consensus conditions quantify over: the
+// inputs received, the failure pattern, and the decisions made.
+type ConsensusRun struct {
+	Inputs    map[int]string
+	Failed    []int
+	Decisions map[int]string
+	// Done reports that the run reached a fair verdict (every live inited
+	// process decided, or a provable divergence).
+	Done bool
+}
+
+// Agreement checks that no two processes decided differently.
+func Agreement(decisions map[int]string) error {
+	var first string
+	have := false
+	for _, p := range sortedKeys(decisions) {
+		v := decisions[p]
+		if have && v != first {
+			return fmt.Errorf("%w: %v", ErrAgreement, decisions)
+		}
+		first, have = v, true
+	}
+	return nil
+}
+
+// Validity checks that every decision is some process's input.
+func Validity(inputs, decisions map[int]string) error {
+	valid := make(map[string]bool, len(inputs))
+	for _, v := range inputs {
+		valid[v] = true
+	}
+	for _, p := range sortedKeys(decisions) {
+		if !valid[decisions[p]] {
+			return fmt.Errorf("%w: P%d decided %q, inputs %v", ErrValidity, p, decisions[p], inputs)
+		}
+	}
+	return nil
+}
+
+// ModifiedTermination checks the paper's modified termination condition: in
+// a fair run with the given failure pattern, every live process that
+// received an input decided (Section 2.2.4).
+func ModifiedTermination(run ConsensusRun) error {
+	failed := make(map[int]bool, len(run.Failed))
+	for _, p := range run.Failed {
+		failed[p] = true
+	}
+	for _, p := range sortedKeys(run.Inputs) {
+		if failed[p] {
+			continue
+		}
+		if _, ok := run.Decisions[p]; !ok {
+			return fmt.Errorf("%w: live inited P%d undecided (decisions %v)", ErrTermination, p, run.Decisions)
+		}
+	}
+	return nil
+}
+
+// Consensus checks agreement, validity and modified termination together.
+func Consensus(run ConsensusRun) error {
+	if err := Agreement(run.Decisions); err != nil {
+		return err
+	}
+	if err := Validity(run.Inputs, run.Decisions); err != nil {
+		return err
+	}
+	return ModifiedTermination(run)
+}
+
+// KSetConsensus checks the k-set-consensus conditions: validity, modified
+// termination, and at most k distinct decisions.
+func KSetConsensus(run ConsensusRun, k int) error {
+	if err := Validity(run.Inputs, run.Decisions); err != nil {
+		return err
+	}
+	if err := ModifiedTermination(run); err != nil {
+		return err
+	}
+	distinct := map[string]bool{}
+	for _, v := range run.Decisions {
+		distinct[v] = true
+	}
+	if len(distinct) > k {
+		return fmt.Errorf("%w: %d distinct decisions > k = %d (%v)", ErrKAgreement, len(distinct), k, run.Decisions)
+	}
+	return nil
+}
+
+// DecideOnce checks that no process emitted more than one decide action in
+// the execution.
+func DecideOnce(exec ioa.Execution) error {
+	seen := map[int]bool{}
+	for _, act := range exec.Decisions() {
+		if seen[act.Proc] {
+			return fmt.Errorf("%w: P%d", ErrDoubleDecir, act.Proc)
+		}
+		seen[act.Proc] = true
+	}
+	return nil
+}
+
+// TOBDeliveries projects the per-process delivery sequences of a totally
+// ordered broadcast service out of an execution: for each process, the
+// sequence of (message, sender) receipts delivered to it.
+func TOBDeliveries(exec ioa.Execution, svc string) map[int][]string {
+	out := map[int][]string{}
+	for _, step := range exec.Steps {
+		a := step.Action
+		if a.Type != ioa.ActRespond || a.Service != svc {
+			continue
+		}
+		if m, sender, ok := servicetype.RcvParts(a.Payload); ok {
+			out[a.Proc] = append(out[a.Proc], codec.Pair(m, fmt.Sprint(sender)))
+		}
+	}
+	return out
+}
+
+// TotalOrder checks that the per-process delivery sequences are prefixes of
+// one common total order (gap-free, same order everywhere) — the defining
+// property of totally ordered broadcast.
+func TotalOrder(deliveries map[int][]string) error {
+	// The longest sequence is the candidate common order.
+	var longest []string
+	for _, seq := range deliveries {
+		if len(seq) > len(longest) {
+			longest = seq
+		}
+	}
+	for _, p := range sortedKeys(deliveries) {
+		seq := deliveries[p]
+		for i, d := range seq {
+			if i >= len(longest) || longest[i] != d {
+				return fmt.Errorf("%w: P%d delivery %d is %q, common order has %q",
+					ErrTotalOrder, p, i, d, at(longest, i))
+			}
+		}
+	}
+	return nil
+}
+
+// FDAccuracy checks perfect-failure-detector accuracy on an execution: no
+// suspect report delivered at any point names a process that had not failed
+// by that point.
+func FDAccuracy(exec ioa.Execution) error {
+	failed := codec.NewIntSet()
+	for _, step := range exec.Steps {
+		a := step.Action
+		if a.Type == ioa.ActFail {
+			failed = failed.With(a.Proc)
+			continue
+		}
+		if a.Type != ioa.ActRespond {
+			continue
+		}
+		if s, ok := servicetype.SuspectSet(a.Payload); ok {
+			if !s.SubsetOf(failed) {
+				return fmt.Errorf("%w: suspected %v, failed %v", ErrAccuracy, s, failed)
+			}
+		}
+	}
+	return nil
+}
+
+func sortedKeys[V any](m map[int]V) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func at(items []string, i int) string {
+	if i < len(items) {
+		return items[i]
+	}
+	return "<nothing>"
+}

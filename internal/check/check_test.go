@@ -1,0 +1,221 @@
+package check
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"github.com/ioa-lab/boosting/internal/codec"
+	"github.com/ioa-lab/boosting/internal/ioa"
+	"github.com/ioa-lab/boosting/internal/servicetype"
+)
+
+func TestAgreement(t *testing.T) {
+	if err := Agreement(map[int]string{0: "1", 1: "1"}); err != nil {
+		t.Errorf("agreeing decisions rejected: %v", err)
+	}
+	if err := Agreement(map[int]string{0: "1", 1: "0"}); !errors.Is(err, ErrAgreement) {
+		t.Errorf("disagreement accepted: %v", err)
+	}
+	if err := Agreement(nil); err != nil {
+		t.Errorf("empty decisions rejected: %v", err)
+	}
+}
+
+func TestValidity(t *testing.T) {
+	inputs := map[int]string{0: "0", 1: "1"}
+	if err := Validity(inputs, map[int]string{0: "1"}); err != nil {
+		t.Errorf("valid decision rejected: %v", err)
+	}
+	if err := Validity(inputs, map[int]string{0: "7"}); !errors.Is(err, ErrValidity) {
+		t.Errorf("invalid decision accepted: %v", err)
+	}
+}
+
+func TestModifiedTermination(t *testing.T) {
+	run := ConsensusRun{
+		Inputs:    map[int]string{0: "0", 1: "1", 2: "0"},
+		Failed:    []int{1},
+		Decisions: map[int]string{0: "0", 2: "0"},
+	}
+	if err := ModifiedTermination(run); err != nil {
+		t.Errorf("failed process excused, but: %v", err)
+	}
+	run.Decisions = map[int]string{0: "0"}
+	if err := ModifiedTermination(run); !errors.Is(err, ErrTermination) {
+		t.Errorf("undecided live process accepted: %v", err)
+	}
+}
+
+func TestConsensusComposite(t *testing.T) {
+	run := ConsensusRun{
+		Inputs:    map[int]string{0: "0", 1: "1"},
+		Decisions: map[int]string{0: "1", 1: "1"},
+	}
+	if err := Consensus(run); err != nil {
+		t.Errorf("correct run rejected: %v", err)
+	}
+}
+
+func TestKSetConsensus(t *testing.T) {
+	run := ConsensusRun{
+		Inputs:    map[int]string{0: "0", 1: "1", 2: "1", 3: "0"},
+		Decisions: map[int]string{0: "0", 1: "0", 2: "1", 3: "1"},
+	}
+	if err := KSetConsensus(run, 2); err != nil {
+		t.Errorf("2 distinct decisions rejected for k=2: %v", err)
+	}
+	if err := KSetConsensus(run, 1); !errors.Is(err, ErrKAgreement) {
+		t.Errorf("2 distinct decisions accepted for k=1: %v", err)
+	}
+}
+
+func TestDecideOnce(t *testing.T) {
+	exec := ioa.Execution{Steps: []ioa.Step{
+		{Action: ioa.Action{Type: ioa.ActDecide, Proc: 0, Payload: "1"}},
+		{Action: ioa.Action{Type: ioa.ActDecide, Proc: 1, Payload: "1"}},
+	}}
+	if err := DecideOnce(exec); err != nil {
+		t.Errorf("single decides rejected: %v", err)
+	}
+	exec.Steps = append(exec.Steps, ioa.Step{Action: ioa.Action{Type: ioa.ActDecide, Proc: 0, Payload: "1"}})
+	if err := DecideOnce(exec); !errors.Is(err, ErrDoubleDecir) {
+		t.Errorf("double decide accepted: %v", err)
+	}
+}
+
+func TestTotalOrder(t *testing.T) {
+	good := map[int][]string{
+		0: {"a", "b", "c"},
+		1: {"a", "b"},
+		2: {},
+	}
+	if err := TotalOrder(good); err != nil {
+		t.Errorf("prefix-consistent deliveries rejected: %v", err)
+	}
+	bad := map[int][]string{
+		0: {"a", "b"},
+		1: {"b", "a"},
+	}
+	if err := TotalOrder(bad); !errors.Is(err, ErrTotalOrder) {
+		t.Errorf("reordered deliveries accepted: %v", err)
+	}
+}
+
+func TestTOBDeliveriesProjection(t *testing.T) {
+	exec := ioa.Execution{Steps: []ioa.Step{
+		{Action: ioa.Action{Type: ioa.ActRespond, Proc: 0, Service: "b0", Payload: servicetype.Rcv("m1", 1)}},
+		{Action: ioa.Action{Type: ioa.ActRespond, Proc: 1, Service: "b0", Payload: servicetype.Rcv("m1", 1)}},
+		{Action: ioa.Action{Type: ioa.ActRespond, Proc: 0, Service: "other", Payload: servicetype.Rcv("x", 0)}},
+		{Action: ioa.Action{Type: ioa.ActRespond, Proc: 0, Service: "b0", Payload: "not-a-rcv"}},
+	}}
+	del := TOBDeliveries(exec, "b0")
+	if len(del[0]) != 1 || len(del[1]) != 1 {
+		t.Errorf("projection: %v", del)
+	}
+	if err := TotalOrder(del); err != nil {
+		t.Errorf("projected deliveries: %v", err)
+	}
+}
+
+func TestFDAccuracy(t *testing.T) {
+	suspect1 := servicetype.Suspect(intSet(1))
+	okExec := ioa.Execution{Steps: []ioa.Step{
+		{Action: ioa.Action{Type: ioa.ActFail, Proc: 1}},
+		{Action: ioa.Action{Type: ioa.ActRespond, Proc: 0, Service: "fd", Payload: suspect1}},
+	}}
+	if err := FDAccuracy(okExec); err != nil {
+		t.Errorf("accurate report rejected: %v", err)
+	}
+	badExec := ioa.Execution{Steps: []ioa.Step{
+		{Action: ioa.Action{Type: ioa.ActRespond, Proc: 0, Service: "fd", Payload: suspect1}},
+		{Action: ioa.Action{Type: ioa.ActFail, Proc: 1}},
+	}}
+	if err := FDAccuracy(badExec); !errors.Is(err, ErrAccuracy) {
+		t.Errorf("premature suspicion accepted: %v", err)
+	}
+}
+
+func intSet(members ...int) codec.IntSet {
+	return codec.NewIntSet(members...)
+}
+
+func TestAgreementProperty(t *testing.T) {
+	// Property: Agreement accepts iff all values in the map are equal.
+	f := func(vals []bool) bool {
+		decisions := map[int]string{}
+		allSame := true
+		for i, v := range vals {
+			s := "0"
+			if v {
+				s = "1"
+			}
+			decisions[i] = s
+			if s != decisions[0] {
+				allSame = false
+			}
+		}
+		err := Agreement(decisions)
+		return (err == nil) == allSame
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidityProperty(t *testing.T) {
+	// Property: Validity accepts iff every decision appears among inputs.
+	f := func(inputBits, decisionBits []bool) bool {
+		inputs := map[int]string{}
+		for i, b := range inputBits {
+			if b {
+				inputs[i] = "1"
+			} else {
+				inputs[i] = "0"
+			}
+		}
+		decisions := map[int]string{}
+		valid := map[string]bool{}
+		for _, v := range inputs {
+			valid[v] = true
+		}
+		allValid := true
+		for i, b := range decisionBits {
+			v := "0"
+			if b {
+				v = "1"
+			}
+			decisions[i] = v
+			if !valid[v] {
+				allValid = false
+			}
+		}
+		err := Validity(inputs, decisions)
+		return (err == nil) == allValid
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTotalOrderPrefixProperty(t *testing.T) {
+	// Property: any family of prefixes of one sequence passes TotalOrder.
+	f := func(seq []byte, cuts []uint8) bool {
+		base := make([]string, len(seq))
+		for i, b := range seq {
+			base[i] = string(rune('a' + b%26))
+		}
+		deliveries := map[int][]string{}
+		for i, c := range cuts {
+			n := int(c)
+			if n > len(base) {
+				n = len(base)
+			}
+			deliveries[i] = base[:n]
+		}
+		return TotalOrder(deliveries) == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

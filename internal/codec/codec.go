@@ -1,0 +1,261 @@
+// Package codec provides canonical, order-stable string encodings for the
+// values that flow through the framework: integers, integer sets, string
+// sequences, and string-keyed maps.
+//
+// Every automaton state in this repository must have a canonical fingerprint
+// so that the execution graph G(C) of the paper (Section 3.3) can be memoized
+// and searched. The encodings here are the shared substrate for those
+// fingerprints: they are injective (distinct values encode distinctly) and
+// canonical (equal values encode identically, regardless of construction
+// order).
+//
+// The grammar is deliberately tiny:
+//
+//	atom   := length ":" bytes        (length-prefixed, so atoms never collide)
+//	list   := "[" atom* "]"
+//	set    := "{" sorted atoms "}"
+//	pair   := "(" atom atom ")"
+//
+// Length prefixes make the encoding unambiguous without escaping.
+package codec
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ErrMalformed is returned by decoders when the input is not a canonical
+// encoding produced by this package.
+var ErrMalformed = errors.New("codec: malformed encoding")
+
+// Atom encodes a single string as a length-prefixed atom.
+func Atom(s string) string {
+	return strconv.Itoa(len(s)) + ":" + s
+}
+
+// ParseAtom decodes one atom from the front of s, returning the value and the
+// remainder of s.
+func ParseAtom(s string) (val, rest string, err error) {
+	i := strings.IndexByte(s, ':')
+	if i < 0 {
+		return "", "", fmt.Errorf("%w: missing length separator in %q", ErrMalformed, truncate(s))
+	}
+	n, err := strconv.Atoi(s[:i])
+	if err != nil || n < 0 {
+		return "", "", fmt.Errorf("%w: bad length prefix in %q", ErrMalformed, truncate(s))
+	}
+	body := s[i+1:]
+	if len(body) < n {
+		return "", "", fmt.Errorf("%w: truncated atom in %q", ErrMalformed, truncate(s))
+	}
+	return body[:n], body[n:], nil
+}
+
+// Int encodes an integer as an atom.
+func Int(v int) string { return Atom(strconv.Itoa(v)) }
+
+// ParseInt decodes an integer atom from the front of s.
+func ParseInt(s string) (v int, rest string, err error) {
+	a, rest, err := ParseAtom(s)
+	if err != nil {
+		return 0, "", err
+	}
+	v, err = strconv.Atoi(a)
+	if err != nil {
+		return 0, "", fmt.Errorf("%w: non-integer atom %q", ErrMalformed, a)
+	}
+	return v, rest, nil
+}
+
+// List encodes a sequence of strings, preserving order.
+func List(items []string) string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for _, it := range items {
+		b.WriteString(Atom(it))
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// ParseList decodes a list encoding in full; it errors on trailing input.
+func ParseList(s string) ([]string, error) {
+	items, rest, err := parseListPrefix(s)
+	if err != nil {
+		return nil, err
+	}
+	if rest != "" {
+		return nil, fmt.Errorf("%w: trailing input %q after list", ErrMalformed, truncate(rest))
+	}
+	return items, nil
+}
+
+func parseListPrefix(s string) (items []string, rest string, err error) {
+	if len(s) == 0 || s[0] != '[' {
+		return nil, "", fmt.Errorf("%w: list must start with '[' in %q", ErrMalformed, truncate(s))
+	}
+	s = s[1:]
+	items = []string{}
+	for {
+		if len(s) == 0 {
+			return nil, "", fmt.Errorf("%w: unterminated list", ErrMalformed)
+		}
+		if s[0] == ']' {
+			return items, s[1:], nil
+		}
+		var it string
+		it, s, err = ParseAtom(s)
+		if err != nil {
+			return nil, "", err
+		}
+		items = append(items, it)
+	}
+}
+
+// Set encodes a set of strings canonically (sorted, deduplicated).
+func Set(items []string) string {
+	sorted := make([]string, len(items))
+	copy(sorted, items)
+	sort.Strings(sorted)
+	var b strings.Builder
+	b.WriteByte('{')
+	var prev string
+	first := true
+	for _, it := range sorted {
+		if !first && it == prev {
+			continue
+		}
+		b.WriteString(Atom(it))
+		prev, first = it, false
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// ParseSet decodes a set encoding in full.
+func ParseSet(s string) ([]string, error) {
+	if len(s) == 0 || s[0] != '{' {
+		return nil, fmt.Errorf("%w: set must start with '{' in %q", ErrMalformed, truncate(s))
+	}
+	s = s[1:]
+	items := []string{}
+	for {
+		if len(s) == 0 {
+			return nil, fmt.Errorf("%w: unterminated set", ErrMalformed)
+		}
+		if s[0] == '}' {
+			if s[1:] != "" {
+				return nil, fmt.Errorf("%w: trailing input after set", ErrMalformed)
+			}
+			return items, nil
+		}
+		var it string
+		var err error
+		it, s, err = ParseAtom(s)
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, it)
+	}
+}
+
+// Pair encodes an ordered pair of strings.
+func Pair(a, b string) string {
+	return "(" + Atom(a) + Atom(b) + ")"
+}
+
+// ParsePair decodes a pair encoding in full.
+func ParsePair(s string) (a, b string, err error) {
+	if len(s) == 0 || s[0] != '(' {
+		return "", "", fmt.Errorf("%w: pair must start with '(' in %q", ErrMalformed, truncate(s))
+	}
+	a, rest, err := ParseAtom(s[1:])
+	if err != nil {
+		return "", "", err
+	}
+	b, rest, err = ParseAtom(rest)
+	if err != nil {
+		return "", "", err
+	}
+	if rest != ")" {
+		return "", "", fmt.Errorf("%w: pair must end with ')'", ErrMalformed)
+	}
+	return a, b, nil
+}
+
+// Map encodes a string-keyed map canonically (entries sorted by key).
+func Map(m map[string]string) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('<')
+	for _, k := range keys {
+		b.WriteString(Pair(k, m[k]))
+	}
+	b.WriteByte('>')
+	return b.String()
+}
+
+// ParseMap decodes a map encoding in full.
+func ParseMap(s string) (map[string]string, error) {
+	if len(s) == 0 || s[0] != '<' {
+		return nil, fmt.Errorf("%w: map must start with '<' in %q", ErrMalformed, truncate(s))
+	}
+	s = s[1:]
+	m := map[string]string{}
+	for {
+		if len(s) == 0 {
+			return nil, fmt.Errorf("%w: unterminated map", ErrMalformed)
+		}
+		if s[0] == '>' {
+			if s[1:] != "" {
+				return nil, fmt.Errorf("%w: trailing input after map", ErrMalformed)
+			}
+			return m, nil
+		}
+		end := matchPair(s)
+		if end < 0 {
+			return nil, fmt.Errorf("%w: bad map entry", ErrMalformed)
+		}
+		k, v, err := ParsePair(s[:end])
+		if err != nil {
+			return nil, err
+		}
+		m[k] = v
+		s = s[end:]
+	}
+}
+
+// matchPair returns the index just past the pair encoding at the front of s,
+// or -1 if s does not start with a well-formed pair.
+func matchPair(s string) int {
+	if len(s) == 0 || s[0] != '(' {
+		return -1
+	}
+	rest := s[1:]
+	for range [2]int{} {
+		_, r, err := ParseAtom(rest)
+		if err != nil {
+			return -1
+		}
+		rest = r
+	}
+	if len(rest) == 0 || rest[0] != ')' {
+		return -1
+	}
+	return len(s) - len(rest) + 1
+}
+
+func truncate(s string) string {
+	const max = 32
+	if len(s) > max {
+		return s[:max] + "..."
+	}
+	return s
+}

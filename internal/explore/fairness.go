@@ -1,0 +1,82 @@
+package explore
+
+import (
+	"fmt"
+
+	"github.com/ioa-lab/boosting/internal/ioa"
+	"github.com/ioa-lab/boosting/internal/system"
+)
+
+// FairnessViolation describes a task that stayed applicable for longer than
+// the audit window without being scheduled.
+type FairnessViolation struct {
+	Task ioa.Task
+	// From is the step index at which the starvation window began.
+	From int
+}
+
+// Error renders the violation.
+func (v FairnessViolation) Error() string {
+	return fmt.Sprintf("explore: task %v applicable from step %d, starved past the window", v.Task, v.From)
+}
+
+// AuditFairness replays an execution from the initial state of sys and
+// checks a finite-window strengthening of the I/O-automata fairness
+// condition (Section 2.1.1): every task that is continuously applicable for
+// `window` consecutive locally-controlled steps must be scheduled within the
+// window. The round-robin scheduler satisfies window = number of tasks; any
+// recorded execution can be audited post hoc.
+//
+// The execution must start at sys.InitialState() and contain the inputs it
+// was produced with (as recorded by RoundRobin/Random).
+func AuditFairness(sys *system.System, exec ioa.Execution, window int) error {
+	if window <= 0 {
+		window = len(sys.Tasks())
+	}
+	st := sys.InitialState()
+	// applicableSince[task] = step index since which the task has been
+	// continuously applicable and unscheduled; -1 = not applicable.
+	applicableSince := map[ioa.Task]int{}
+	for _, task := range sys.Tasks() {
+		applicableSince[task] = -1
+	}
+	steps := 0
+	for _, step := range exec.Steps {
+		// Replay the step.
+		var next system.State
+		var err error
+		switch {
+		case step.HasTask:
+			next, _, err = sys.Apply(st, step.Task)
+		case step.Action.Type == ioa.ActInit:
+			next, _, err = sys.Init(st, step.Action.Proc, step.Action.Payload)
+		case step.Action.Type == ioa.ActFail:
+			next, _, err = sys.Fail(st, step.Action.Proc)
+		default:
+			return fmt.Errorf("explore: cannot replay step %v", step.Action)
+		}
+		if err != nil {
+			return fmt.Errorf("explore: replay: %w", err)
+		}
+		if step.HasTask {
+			steps++
+			applicableSince[step.Task] = -1 // scheduled: reset
+		}
+		st = next
+		// Update applicability windows against the new state.
+		for _, task := range sys.Tasks() {
+			if !sys.Applicable(st, task) {
+				applicableSince[task] = -1
+				continue
+			}
+			if applicableSince[task] < 0 {
+				applicableSince[task] = steps
+				continue
+			}
+			if steps-applicableSince[task] >= window {
+				return FairnessViolation{Task: task, From: applicableSince[task]}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,270 @@
+package explore
+
+import (
+	"fmt"
+
+	"github.com/ioa-lab/boosting/internal/ioa"
+	"github.com/ioa-lab/boosting/internal/system"
+)
+
+// Valence classifies a finite failure-free input-first execution by the
+// decisions reachable in its failure-free extensions (Section 3.2). The
+// paper's Lemma 3 says every such execution of a correct system is bivalent
+// or univalent; Unvalent (no decision reachable) certifies a broken
+// candidate.
+type Valence int
+
+// Valence values.
+const (
+	Unvalent Valence = iota
+	ZeroValent
+	OneValent
+	Bivalent
+)
+
+// String renders the valence.
+func (v Valence) String() string {
+	switch v {
+	case Unvalent:
+		return "unvalent"
+	case ZeroValent:
+		return "0-valent"
+	case OneValent:
+		return "1-valent"
+	case Bivalent:
+		return "bivalent"
+	default:
+		return fmt.Sprintf("valence(%d)", int(v))
+	}
+}
+
+// decision mask bits.
+const (
+	maskZero uint8 = 1 << iota
+	maskOne
+)
+
+func valenceOfMask(m uint8) Valence {
+	switch m {
+	case maskZero:
+		return ZeroValent
+	case maskOne:
+		return OneValent
+	case maskZero | maskOne:
+		return Bivalent
+	default:
+		return Unvalent
+	}
+}
+
+// Edge is one labelled transition of G(C): scheduling Task from the source
+// vertex leads to the vertex with fingerprint To, performing Action.
+type Edge struct {
+	Task   ioa.Task
+	Action ioa.Action
+	To     string
+}
+
+// pred records how a vertex was first reached (BFS tree), for witness
+// reconstruction.
+type pred struct {
+	from string
+	task ioa.Task
+	act  ioa.Action
+}
+
+// Graph is (a finite fragment of) the graph G(C) of Section 3.3: vertices
+// are fingerprints of failure-free reachable states, edges are applicable
+// tasks. Because processes and services are deterministic, each vertex has
+// at most one outgoing edge per task.
+type Graph struct {
+	sys    *system.System
+	states map[string]system.State
+	succs  map[string][]Edge
+	preds  map[string]pred
+	roots  []string
+	masks  map[string]uint8
+}
+
+// BuildOptions bounds graph construction.
+type BuildOptions struct {
+	// MaxStates caps the number of distinct vertices (0 = default 200000).
+	MaxStates int
+}
+
+const defaultMaxStates = 200_000
+
+// BuildGraph explores the failure-free closure of the given root states
+// under all applicable tasks and computes the valence of every vertex by
+// backward fixpoint over reachable decisions.
+func BuildGraph(sys *system.System, roots []system.State, opt BuildOptions) (*Graph, error) {
+	maxStates := opt.MaxStates
+	if maxStates <= 0 {
+		maxStates = defaultMaxStates
+	}
+	g := &Graph{
+		sys:    sys,
+		states: map[string]system.State{},
+		succs:  map[string][]Edge{},
+		preds:  map[string]pred{},
+		masks:  map[string]uint8{},
+	}
+	queue := make([]string, 0, len(roots))
+	for _, r := range roots {
+		fp := sys.Fingerprint(r)
+		g.roots = append(g.roots, fp)
+		if _, ok := g.states[fp]; !ok {
+			g.states[fp] = r
+			queue = append(queue, fp)
+		}
+	}
+	for len(queue) > 0 {
+		fp := queue[0]
+		queue = queue[1:]
+		st := g.states[fp]
+		var edges []Edge
+		for _, task := range sys.Tasks() {
+			if !sys.Applicable(st, task) {
+				continue
+			}
+			next, act, err := sys.Apply(st, task)
+			if err != nil {
+				return nil, fmt.Errorf("explore: apply %v: %w", task, err)
+			}
+			nfp := sys.Fingerprint(next)
+			edges = append(edges, Edge{Task: task, Action: act, To: nfp})
+			if _, ok := g.states[nfp]; !ok {
+				if len(g.states) >= maxStates {
+					return nil, fmt.Errorf("%w: > %d states", ErrStateExplosion, maxStates)
+				}
+				g.states[nfp] = next
+				g.preds[nfp] = pred{from: fp, task: task, act: act}
+				queue = append(queue, nfp)
+			}
+		}
+		g.succs[fp] = edges
+	}
+	g.computeMasks()
+	return g, nil
+}
+
+// computeMasks propagates decision bits backwards to a fixpoint:
+// mask(s) = decided(s) ∪ ⋃_{s→t} mask(t).
+func (g *Graph) computeMasks() {
+	// Seed with each state's own recorded decisions.
+	for fp, st := range g.states {
+		g.masks[fp] = ownMask(g.sys, st)
+	}
+	// Chaotic iteration to fixpoint. The mask lattice has height 2, so this
+	// terminates quickly even without a topological order.
+	changed := true
+	for changed {
+		changed = false
+		for fp, edges := range g.succs {
+			m := g.masks[fp]
+			for _, e := range edges {
+				m |= g.masks[e.To]
+			}
+			if m != g.masks[fp] {
+				g.masks[fp] = m
+				changed = true
+			}
+		}
+	}
+}
+
+func ownMask(sys *system.System, st system.State) uint8 {
+	var m uint8
+	for _, v := range sys.Decisions(st) {
+		switch v {
+		case "0":
+			m |= maskZero
+		case "1":
+			m |= maskOne
+		}
+	}
+	return m
+}
+
+// Size returns the number of vertices.
+func (g *Graph) Size() int { return len(g.states) }
+
+// Roots returns the root fingerprints in insertion order.
+func (g *Graph) Roots() []string { return g.roots }
+
+// State returns the representative state of a vertex.
+func (g *Graph) State(fp string) (system.State, bool) {
+	st, ok := g.states[fp]
+	return st, ok
+}
+
+// Succs returns the outgoing edges of a vertex.
+func (g *Graph) Succs(fp string) []Edge { return g.succs[fp] }
+
+// Succ returns the e-successor of a vertex, if task e is applicable there.
+func (g *Graph) Succ(fp string, task ioa.Task) (Edge, bool) {
+	for _, e := range g.succs[fp] {
+		if e.Task == task {
+			return e, true
+		}
+	}
+	return Edge{}, false
+}
+
+// Valence returns the valence of a vertex.
+func (g *Graph) Valence(fp string) Valence {
+	return valenceOfMask(g.masks[fp])
+}
+
+// WitnessPath reconstructs the BFS-tree path of edges from a root to the
+// given vertex.
+func (g *Graph) WitnessPath(fp string) []Edge {
+	var rev []Edge
+	cur := fp
+	for {
+		p, ok := g.preds[cur]
+		if !ok {
+			break
+		}
+		rev = append(rev, Edge{Task: p.task, Action: p.act, To: cur})
+		cur = p.from
+	}
+	// Reverse.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// FindState returns the first vertex (in BFS order from the given start)
+// satisfying the predicate, searching only edges allowed by the filter
+// (nil filter = all edges). The returned path is the sequence of edges from
+// start to the found vertex.
+func (g *Graph) FindState(start string, allow func(Edge) bool, want func(system.State) bool) (string, []Edge, bool) {
+	type qitem struct {
+		fp   string
+		path []Edge
+	}
+	visited := map[string]bool{start: true}
+	queue := []qitem{{fp: start}}
+	for len(queue) > 0 {
+		item := queue[0]
+		queue = queue[1:]
+		if st, ok := g.states[item.fp]; ok && want(st) {
+			return item.fp, item.path, true
+		}
+		for _, e := range g.succs[item.fp] {
+			if allow != nil && !allow(e) {
+				continue
+			}
+			if visited[e.To] {
+				continue
+			}
+			visited[e.To] = true
+			path := make([]Edge, len(item.path), len(item.path)+1)
+			copy(path, item.path)
+			queue = append(queue, qitem{fp: e.To, path: append(path, e)})
+		}
+	}
+	return "", nil, false
+}

@@ -1,0 +1,118 @@
+package explore
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/ioa-lab/boosting/internal/system"
+)
+
+// InitClassification reports the Lemma 4 analysis: the n+1 monotone
+// initializations α_0 … α_n (in α_i, processes P_1 … P_i receive 1 and the
+// rest receive 0), their valences, and the index of a bivalent one if any.
+type InitClassification struct {
+	// Assignments[i] is the input map of α_i.
+	Assignments []map[int]string
+	// Roots[i] is the fingerprint of the state after α_i.
+	Roots []string
+	// Valences[i] is the valence of α_i.
+	Valences []Valence
+	// BivalentIndex is the first i with bivalent α_i, or -1.
+	BivalentIndex int
+	// Graph is the shared failure-free graph from all roots.
+	Graph *Graph
+}
+
+// MonotoneAssignment returns the input assignment of α_i: the first i
+// processes (in id order) receive "1", the rest "0".
+func MonotoneAssignment(sys *system.System, i int) map[int]string {
+	out := map[int]string{}
+	for idx, id := range sys.ProcessIDs() {
+		if idx < i {
+			out[id] = "1"
+		} else {
+			out[id] = "0"
+		}
+	}
+	return out
+}
+
+// applyInputs delivers an input assignment to a fresh initial state
+// (an initialization in the paper's sense: exactly one init per process,
+// no other actions).
+func applyInputs(sys *system.System, inputs map[int]string) (system.State, error) {
+	st := sys.InitialState()
+	for _, i := range sortedInputKeys(inputs) {
+		next, _, err := sys.Init(st, i, inputs[i])
+		if err != nil {
+			return system.State{}, err
+		}
+		st = next
+	}
+	return st, nil
+}
+
+// ClassifyInits performs the Lemma 4 sweep over the monotone
+// initializations and classifies each by valence.
+func ClassifyInits(sys *system.System, opt BuildOptions) (*InitClassification, error) {
+	n := len(sys.ProcessIDs())
+	out := &InitClassification{BivalentIndex: -1}
+	var roots []system.State
+	for i := 0; i <= n; i++ {
+		inputs := MonotoneAssignment(sys, i)
+		st, err := applyInputs(sys, inputs)
+		if err != nil {
+			return nil, err
+		}
+		out.Assignments = append(out.Assignments, inputs)
+		out.Roots = append(out.Roots, sys.Fingerprint(st))
+		roots = append(roots, st)
+	}
+	g, err := BuildGraph(sys, roots, opt)
+	if err != nil {
+		return nil, err
+	}
+	out.Graph = g
+	for i, fp := range out.Roots {
+		v := g.Valence(fp)
+		out.Valences = append(out.Valences, v)
+		if v == Bivalent && out.BivalentIndex < 0 {
+			out.BivalentIndex = i
+		}
+	}
+	return out, nil
+}
+
+// String renders the classification as a small table.
+func (c *InitClassification) String() string {
+	var b strings.Builder
+	for i, v := range c.Valences {
+		fmt.Fprintf(&b, "α_%d (%s): %s\n", i, fmtAssignment(c.Assignments[i]), v)
+	}
+	if c.BivalentIndex >= 0 {
+		fmt.Fprintf(&b, "bivalent initialization: α_%d\n", c.BivalentIndex)
+	} else {
+		b.WriteString("no bivalent initialization\n")
+	}
+	return b.String()
+}
+
+// AllAssignments enumerates every input assignment in {0,1}^n (used by the
+// exhaustive safety sweep; n is small in exploration systems).
+func AllAssignments(sys *system.System) []map[int]string {
+	ids := sys.ProcessIDs()
+	n := len(ids)
+	out := make([]map[int]string, 0, 1<<n)
+	for bits := 0; bits < 1<<n; bits++ {
+		m := make(map[int]string, n)
+		for idx, id := range ids {
+			if bits&(1<<idx) != 0 {
+				m[id] = "1"
+			} else {
+				m[id] = "0"
+			}
+		}
+		out = append(out, m)
+	}
+	return out
+}

@@ -1,0 +1,541 @@
+package explore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/ioa-lab/boosting/internal/ioa"
+	"github.com/ioa-lab/boosting/internal/system"
+)
+
+// ViolationKind classifies a refutation certificate by which consensus
+// property the witness execution violates (Section 2.2.4).
+type ViolationKind int
+
+// Violation kinds.
+const (
+	KindNone ViolationKind = iota
+	KindAgreement
+	KindValidity
+	KindTermination
+)
+
+// String renders the kind.
+func (k ViolationKind) String() string {
+	switch k {
+	case KindNone:
+		return "none"
+	case KindAgreement:
+		return "agreement"
+	case KindValidity:
+		return "validity"
+	case KindTermination:
+		return "termination"
+	default:
+		return fmt.Sprintf("violation(%d)", int(k))
+	}
+}
+
+// Certificate is a concrete counterexample: an input assignment, a failure
+// pattern of at most the claimed tolerance, and a fair execution violating
+// one of the consensus conditions.
+type Certificate struct {
+	Kind        ViolationKind
+	Description string
+	Inputs      map[int]string
+	Failed      []int
+	Decisions   map[int]string
+	// Diverged marks termination certificates obtained from a provably
+	// cycling fair schedule (not a mere step bound).
+	Diverged bool
+}
+
+// String renders the certificate.
+func (c Certificate) String() string {
+	return fmt.Sprintf("%s violation [inputs: %s; failed: %v]: %s",
+		c.Kind, fmtAssignment(c.Inputs), c.Failed, c.Description)
+}
+
+// Report is the outcome of Refute: the Lemma 4 initialization analysis, the
+// Fig. 3 hook-search outcome, and every certificate found.
+type Report struct {
+	// Claimed is the number of failures the candidate claims to tolerate
+	// (the paper's f+1 when boosting f-resilient services).
+	Claimed int
+	// Inits is the Lemma 4 classification (nil if the safety sweep already
+	// refuted the candidate).
+	Inits *InitClassification
+	// HookSearch is the Fig. 3 outcome from the bivalent initialization
+	// (nil if there was none).
+	HookSearch *HookSearchResult
+	// Certificates lists every violation found; empty means the candidate
+	// survived refutation at the claimed resilience.
+	Certificates []Certificate
+}
+
+// Violated reports whether any certificate was found.
+func (r *Report) Violated() bool { return len(r.Certificates) > 0 }
+
+// Primary returns the first (most informative) certificate.
+func (r *Report) Primary() *Certificate {
+	if len(r.Certificates) == 0 {
+		return nil
+	}
+	return &r.Certificates[0]
+}
+
+// String renders the report.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "refutation report (claimed tolerance: %d failures)\n", r.Claimed)
+	if r.Inits != nil {
+		b.WriteString(r.Inits.String())
+	}
+	if r.HookSearch != nil {
+		switch {
+		case r.HookSearch.Hook != nil:
+			fmt.Fprintf(&b, "%s\n", r.HookSearch.Hook)
+		case r.HookSearch.Divergence != nil:
+			fmt.Fprintf(&b, "divergence: fair bivalent cycle after %d steps\n", r.HookSearch.Divergence.Steps)
+		}
+	}
+	if !r.Violated() {
+		b.WriteString("no violation found at claimed resilience\n")
+		return b.String()
+	}
+	for _, c := range r.Certificates {
+		fmt.Fprintf(&b, "%s\n", c)
+	}
+	return b.String()
+}
+
+// RefuteOptions configures the refuter.
+type RefuteOptions struct {
+	Build BuildOptions
+	// MaxRounds bounds fair runs in failure scenarios.
+	MaxRounds int
+	// SkipExhaustiveSafety skips the 2^n safety sweep (for larger n).
+	SkipExhaustiveSafety bool
+	// SkipGraphAnalysis skips the failure-free graph phases (safety sweep,
+	// Lemma 4, hook search) and goes straight to the failure scenarios.
+	// Required for systems with failure detectors: detector compute steps
+	// push suspicion responses unconditionally, so their failure-free
+	// reachable graph is infinite.
+	SkipGraphAnalysis bool
+}
+
+// Refute analyses a candidate system claiming to solve consensus while
+// tolerating `claimed` process failures. It is the executable counterpart of
+// the impossibility theorems: for a candidate built from f-resilient
+// services with claimed = f+1 (and f < n−1), the theorems guarantee some
+// certificate exists; Refute finds one.
+//
+// The analysis follows the proofs' structure:
+//
+//  1. exhaustive safety sweep over all {0,1}^n input assignments in the
+//     failure-free graph (agreement, validity);
+//  2. the Lemma 4 initialization classification, then the Fig. 3 hook
+//     construction from a bivalent initialization — divergence yields a
+//     failure-free termination certificate;
+//  3. failure scenarios: every failure set of size ≤ claimed, injected both
+//     at the start and at the hook vertices, run under the adversarially
+//     silencing fair schedule with cycle detection.
+func Refute(sys *system.System, claimed int, opt RefuteOptions) (*Report, error) {
+	report := &Report{Claimed: claimed}
+
+	// Phase 1: exhaustive failure-free safety sweep.
+	if !opt.SkipExhaustiveSafety && !opt.SkipGraphAnalysis {
+		for _, inputs := range AllAssignments(sys) {
+			cert, err := safetySweep(sys, inputs, opt.Build)
+			if err != nil {
+				return nil, err
+			}
+			if cert != nil {
+				report.Certificates = append(report.Certificates, *cert)
+			}
+		}
+		if report.Violated() {
+			return report, nil
+		}
+	}
+
+	// Phase 2: Lemma 4 + Fig. 3.
+	var hookStates []system.State
+	var hookInputs map[int]string
+	if opt.SkipGraphAnalysis {
+		hookInputs = MonotoneAssignment(sys, len(sys.ProcessIDs())/2)
+		return refuteScenarios(sys, report, hookInputs, hookStates, opt)
+	}
+	inits, err := ClassifyInits(sys, opt.Build)
+	if err != nil {
+		return nil, err
+	}
+	report.Inits = inits
+	if inits.BivalentIndex >= 0 {
+		hookInputs = inits.Assignments[inits.BivalentIndex]
+		hs, err := FindHook(inits.Graph, inits.Roots[inits.BivalentIndex])
+		if err != nil {
+			return nil, err
+		}
+		report.HookSearch = &hs
+		if hs.Divergence != nil {
+			report.Certificates = append(report.Certificates, Certificate{
+				Kind: KindTermination,
+				Description: fmt.Sprintf(
+					"fair failure-free execution cycles through bivalent states (cycle after %d steps); no process ever decides",
+					hs.Divergence.Steps),
+				Inputs:   hookInputs,
+				Diverged: true,
+			})
+			return report, nil
+		}
+		if hs.Hook != nil {
+			for _, fp := range []string{hs.Hook.Alpha0, hs.Hook.Alpha1} {
+				if st, ok := inits.Graph.State(fp); ok {
+					hookStates = append(hookStates, st)
+				}
+			}
+		}
+	} else {
+		// The termination requirement for univalent-only candidates is
+		// checked by the failure scenarios below; a missing bivalent
+		// initialization with intact safety usually signals a trivial or
+		// schedule-insensitive candidate.
+		hookInputs = MonotoneAssignment(sys, len(sys.ProcessIDs())/2)
+	}
+	return refuteScenarios(sys, report, hookInputs, hookStates, opt)
+}
+
+// refuteScenarios is phase 3: failure scenarios at the start and at the
+// hook vertices, for every failure set of the claimed size.
+func refuteScenarios(sys *system.System, report *Report, hookInputs map[int]string, hookStates []system.State, opt RefuteOptions) (*Report, error) {
+	assignments := []map[int]string{
+		hookInputs,
+		MonotoneAssignment(sys, 0),
+		MonotoneAssignment(sys, len(sys.ProcessIDs())),
+	}
+	for _, J := range failureSets(sys.ProcessIDs(), report.Claimed) {
+		for _, inputs := range assignments {
+			cert, err := failureScenario(sys, inputs, J, opt)
+			if err != nil {
+				return nil, err
+			}
+			if cert != nil {
+				report.Certificates = append(report.Certificates, *cert)
+			}
+		}
+		// Hook-anchored: fail J at the univalent ends of the hook.
+		for _, st := range hookStates {
+			cert, err := failureScenarioFrom(sys, st, hookInputs, J, opt)
+			if err != nil {
+				return nil, err
+			}
+			if cert != nil {
+				report.Certificates = append(report.Certificates, *cert)
+			}
+		}
+		if report.Violated() {
+			// One certificate per failure set is plenty; stop early.
+			break
+		}
+	}
+	return report, nil
+}
+
+// safetySweep explores the failure-free graph from one input assignment and
+// checks agreement and validity in every reachable state.
+func safetySweep(sys *system.System, inputs map[int]string, opt BuildOptions) (*Certificate, error) {
+	root, err := applyInputs(sys, inputs)
+	if err != nil {
+		return nil, err
+	}
+	g, err := BuildGraph(sys, []system.State{root}, opt)
+	if err != nil {
+		return nil, err
+	}
+	validValues := map[string]bool{}
+	for _, v := range inputs {
+		validValues[v] = true
+	}
+	// Deterministic iteration order for reproducible witnesses.
+	fps := make([]string, 0, g.Size())
+	for fp := range g.states {
+		fps = append(fps, fp)
+	}
+	sort.Strings(fps)
+	for _, fp := range fps {
+		st := g.states[fp]
+		dec := sys.Decisions(st)
+		var values []string
+		for _, v := range dec {
+			values = append(values, v)
+		}
+		sort.Strings(values)
+		for _, v := range values {
+			if !validValues[v] {
+				return &Certificate{
+					Kind:        KindValidity,
+					Description: fmt.Sprintf("decision %q is not any process's input (reachable in %d steps)", v, len(g.WitnessPath(fp))),
+					Inputs:      inputs,
+					Decisions:   dec,
+				}, nil
+			}
+		}
+		if len(values) > 1 && values[0] != values[len(values)-1] {
+			return &Certificate{
+				Kind:        KindAgreement,
+				Description: fmt.Sprintf("processes decided %v in one failure-free execution (reachable in %d steps)", dec, len(g.WitnessPath(fp))),
+				Inputs:      inputs,
+				Decisions:   dec,
+			}, nil
+		}
+	}
+	return nil, nil
+}
+
+// failureScenario fails J and runs the fair schedule. Failures are tried at
+// several injection rounds (all at the start, and staggered a few rounds
+// in), since some candidates survive early crashes but not late ones.
+func failureScenario(sys *system.System, inputs map[int]string, J []int, opt RefuteOptions) (*Certificate, error) {
+	for _, baseRound := range []int{0, 1, 2} {
+		failures := make([]FailureEvent, len(J))
+		for i, p := range J {
+			failures[i] = FailureEvent{Round: baseRound + i, Proc: p}
+		}
+		res, err := RoundRobin(sys, RunConfig{Inputs: inputs, Failures: failures, MaxRounds: opt.MaxRounds})
+		if err != nil {
+			return nil, err
+		}
+		if cert := classifyRun(sys, inputs, J, res); cert != nil {
+			return cert, nil
+		}
+	}
+	return nil, nil
+}
+
+// failureScenarioFrom fails J in the given (already initialized) state and
+// runs the fair schedule from there.
+func failureScenarioFrom(sys *system.System, st system.State, inputs map[int]string, J []int, opt RefuteOptions) (*Certificate, error) {
+	cur := st
+	for _, p := range J {
+		next, _, err := sys.Fail(cur, p)
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+	}
+	res, err := RoundRobinFrom(sys, cur, inputs, opt.MaxRounds)
+	if err != nil {
+		return nil, err
+	}
+	return classifyRun(sys, inputs, J, res), nil
+}
+
+// classifyRun turns a finished run into a certificate if it violates a
+// consensus condition at the given failure pattern.
+func classifyRun(sys *system.System, inputs map[int]string, J []int, res RunResult) *Certificate {
+	dec := res.Decisions
+	validValues := map[string]bool{}
+	for _, v := range inputs {
+		validValues[v] = true
+	}
+	var values []string
+	for _, v := range dec {
+		values = append(values, v)
+	}
+	sort.Strings(values)
+	for _, v := range values {
+		if !validValues[v] {
+			return &Certificate{
+				Kind:        KindValidity,
+				Description: fmt.Sprintf("decision %q is not any process's input", v),
+				Inputs:      inputs, Failed: J, Decisions: dec,
+			}
+		}
+	}
+	if len(values) > 1 && values[0] != values[len(values)-1] {
+		return &Certificate{
+			Kind:        KindAgreement,
+			Description: fmt.Sprintf("processes decided %v under failure pattern %v", dec, J),
+			Inputs:      inputs, Failed: J, Decisions: dec,
+		}
+	}
+	if res.Diverged && !res.Done {
+		var undecided []int
+		failed := map[int]bool{}
+		for _, p := range J {
+			failed[p] = true
+		}
+		for i := range inputs {
+			if _, ok := dec[i]; !ok && !failed[i] {
+				undecided = append(undecided, i)
+			}
+		}
+		sort.Ints(undecided)
+		return &Certificate{
+			Kind: KindTermination,
+			Description: fmt.Sprintf(
+				"fair execution with %d ≤ claimed failures cycles forever; live inited processes %v never decide",
+				len(J), undecided),
+			Inputs: inputs, Failed: J, Decisions: dec, Diverged: true,
+		}
+	}
+	return nil
+}
+
+// RoundRobinFrom runs the fair round-robin schedule from an arbitrary state
+// (inputs and failures already delivered). The inputs map is used only for
+// the modified-termination stop condition.
+func RoundRobinFrom(sys *system.System, st system.State, inputs map[int]string, maxRounds int) (RunResult, error) {
+	if maxRounds <= 0 {
+		maxRounds = defaultMaxRounds
+	}
+	var exec ioa.Execution
+	res := RunResult{}
+	seen := map[string]bool{}
+	for round := 0; round < maxRounds; round++ {
+		if terminated(sys, st, inputs) {
+			res.Done = true
+			break
+		}
+		fp := sys.Fingerprint(st)
+		if seen[fp] {
+			res.Diverged = true
+			break
+		}
+		seen[fp] = true
+		for _, task := range sys.Tasks() {
+			if !sys.Applicable(st, task) {
+				continue
+			}
+			next, act, err := sys.Apply(st, task)
+			if err != nil {
+				return RunResult{}, err
+			}
+			st = next
+			exec = exec.Append(ioa.Step{HasTask: true, Task: task, Action: act, After: sys.Fingerprint(st)})
+		}
+		res.Rounds = round + 1
+		if terminated(sys, st, inputs) {
+			res.Done = true
+			break
+		}
+	}
+	res.Exec = exec
+	res.Final = st
+	res.Decisions = sys.Decisions(st)
+	return res, nil
+}
+
+// failureSets enumerates the subsets of ids of exactly the given size
+// (and, when size exceeds len(ids), the full set).
+func failureSets(ids []int, size int) [][]int {
+	if size <= 0 {
+		return [][]int{{}}
+	}
+	if size > len(ids) {
+		size = len(ids)
+	}
+	var out [][]int
+	var rec func(start int, cur []int)
+	rec = func(start int, cur []int) {
+		if len(cur) == size {
+			out = append(out, append([]int{}, cur...))
+			return
+		}
+		for i := start; i < len(ids); i++ {
+			rec(i+1, append(cur, ids[i]))
+		}
+	}
+	rec(0, nil)
+	return out
+}
+
+// RefuteKSet is the k-set-consensus variant of Refute: it checks validity,
+// modified termination and k-agreement (at most k distinct decisions)
+// instead of full agreement. Section 4 shows the boosting boundary runs
+// between k = 1 (impossible) and k = 2 (possible); this refuter measures it:
+// the Section 4 construction survives RefuteKSet with k = 2 at full claimed
+// resilience and is refuted with k = 1.
+func RefuteKSet(sys *system.System, k, claimed int, opt RefuteOptions) (*Report, error) {
+	report := &Report{Claimed: claimed}
+	assignments := []map[int]string{
+		MonotoneAssignment(sys, len(sys.ProcessIDs())/2),
+		MonotoneAssignment(sys, 0),
+		MonotoneAssignment(sys, len(sys.ProcessIDs())),
+		alternatingAssignment(sys),
+	}
+	for _, J := range failureSets(sys.ProcessIDs(), claimed) {
+		for _, inputs := range assignments {
+			cert, err := kSetScenario(sys, inputs, J, k, opt)
+			if err != nil {
+				return nil, err
+			}
+			if cert != nil {
+				report.Certificates = append(report.Certificates, *cert)
+			}
+		}
+		if report.Violated() {
+			break
+		}
+	}
+	return report, nil
+}
+
+// alternatingAssignment gives processes alternating 0/1 inputs — the
+// assignment that maximizes distinct decisions in grouped constructions.
+func alternatingAssignment(sys *system.System) map[int]string {
+	out := map[int]string{}
+	for idx, id := range sys.ProcessIDs() {
+		if idx%2 == 0 {
+			out[id] = "0"
+		} else {
+			out[id] = "1"
+		}
+	}
+	return out
+}
+
+// kSetScenario runs one failure scenario and classifies it against the
+// k-set-consensus conditions.
+func kSetScenario(sys *system.System, inputs map[int]string, J []int, k int, opt RefuteOptions) (*Certificate, error) {
+	failures := make([]FailureEvent, len(J))
+	for i, p := range J {
+		failures[i] = FailureEvent{Round: 0, Proc: p}
+	}
+	res, err := RoundRobin(sys, RunConfig{Inputs: inputs, Failures: failures, MaxRounds: opt.MaxRounds})
+	if err != nil {
+		return nil, err
+	}
+	validValues := map[string]bool{}
+	for _, v := range inputs {
+		validValues[v] = true
+	}
+	distinct := map[string]bool{}
+	for _, v := range res.Decisions {
+		if !validValues[v] {
+			return &Certificate{
+				Kind:        KindValidity,
+				Description: fmt.Sprintf("decision %q is not any process's input", v),
+				Inputs:      inputs, Failed: J, Decisions: res.Decisions,
+			}, nil
+		}
+		distinct[v] = true
+	}
+	if len(distinct) > k {
+		return &Certificate{
+			Kind:        KindAgreement,
+			Description: fmt.Sprintf("%d distinct decisions exceed k = %d", len(distinct), k),
+			Inputs:      inputs, Failed: J, Decisions: res.Decisions,
+		}, nil
+	}
+	if res.Diverged && !res.Done {
+		return &Certificate{
+			Kind:        KindTermination,
+			Description: fmt.Sprintf("fair execution with %d ≤ claimed failures cycles; live inited processes never decide", len(J)),
+			Inputs:      inputs, Failed: J, Decisions: res.Decisions, Diverged: true,
+		}, nil
+	}
+	return nil, nil
+}

@@ -1,0 +1,262 @@
+// Package explore mechanizes the proof machinery of the paper on concrete
+// finite systems: fair schedulers, the execution graph G(C) of Section 3.3,
+// valence classification and bivalent initializations (Section 3.2, Lemma 4),
+// the hook construction of Fig. 3 (Lemma 5), state similarity (Section 3.5),
+// and a refuter that extracts concrete counterexample executions from
+// candidate boosting protocols (the executable content of Theorems 2, 9
+// and 10).
+package explore
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/ioa-lab/boosting/internal/ioa"
+	"github.com/ioa-lab/boosting/internal/system"
+)
+
+// Errors returned by exploration.
+var (
+	ErrStateExplosion = errors.New("explore: state limit exceeded")
+	ErrNotBivalent    = errors.New("explore: root execution is not bivalent")
+	ErrNoDecision     = errors.New("explore: no decision reachable")
+)
+
+// FailureEvent schedules the fail_i input before the given round-robin
+// round of a run (round 0 = immediately after the initializations).
+type FailureEvent struct {
+	Round int
+	Proc  int
+}
+
+// RunConfig configures a scheduled run of the system.
+type RunConfig struct {
+	// Inputs assigns init values per process; processes absent from the map
+	// receive no input (the paper's modified termination condition only
+	// covers processes that received inputs).
+	Inputs map[int]string
+	// Failures injects fail inputs before given rounds.
+	Failures []FailureEvent
+	// MaxRounds caps the number of fair round-robin rounds (a round gives
+	// every task one turn). Zero means a generous default.
+	MaxRounds int
+}
+
+// RunResult reports a scheduled run.
+type RunResult struct {
+	Exec      ioa.Execution
+	Final     system.State
+	Decisions map[int]string
+	// Done reports that every live process that received an input decided —
+	// the modified termination condition of Section 2.2.4.
+	Done bool
+	// Diverged reports that the run revisited a state at a round boundary
+	// without reaching Done: the deterministic fair schedule cycles forever
+	// and no further decision will ever happen.
+	Diverged bool
+	Rounds   int
+}
+
+const defaultMaxRounds = 10_000
+
+// RoundRobin runs the system under the canonical fair schedule: inputs
+// first (input-first executions, Section 3.2), then rounds in which every
+// task of C gets one turn, skipping inapplicable tasks. The I/O-automata
+// fairness condition is satisfied in the limit: every task gets infinitely
+// many turns.
+//
+// The run stops when modified termination is met, when the state repeats at
+// a round boundary (divergence: the schedule is deterministic, so the run
+// cycles), or at MaxRounds.
+func RoundRobin(sys *system.System, cfg RunConfig) (RunResult, error) {
+	maxRounds := cfg.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = defaultMaxRounds
+	}
+	st := sys.InitialState()
+	var exec ioa.Execution
+
+	// Input-first: deliver all init actions.
+	for _, i := range sortedInputKeys(cfg.Inputs) {
+		next, act, err := sys.Init(st, i, cfg.Inputs[i])
+		if err != nil {
+			return RunResult{}, err
+		}
+		st = next
+		exec = exec.Append(ioa.Step{Action: act, After: sys.Fingerprint(st)})
+	}
+
+	failuresByRound := map[int][]int{}
+	for _, f := range cfg.Failures {
+		failuresByRound[f.Round] = append(failuresByRound[f.Round], f.Proc)
+	}
+	for _, procs := range failuresByRound {
+		sort.Ints(procs)
+	}
+
+	seen := map[string]bool{}
+	res := RunResult{}
+	for round := 0; round < maxRounds; round++ {
+		for _, p := range failuresByRound[round] {
+			next, act, err := sys.Fail(st, p)
+			if err != nil {
+				return RunResult{}, err
+			}
+			st = next
+			exec = exec.Append(ioa.Step{Action: act, After: sys.Fingerprint(st)})
+		}
+		if terminated(sys, st, cfg.Inputs) {
+			res.Done = true
+			break
+		}
+		// Divergence detection is only sound once all failures are injected
+		// (the schedule is deterministic from here on).
+		if round >= maxFailureRound(failuresByRound) {
+			fp := sys.Fingerprint(st)
+			if seen[fp] {
+				res.Diverged = true
+				break
+			}
+			seen[fp] = true
+		}
+		for _, task := range sys.Tasks() {
+			if !sys.Applicable(st, task) {
+				continue
+			}
+			next, act, err := sys.Apply(st, task)
+			if err != nil {
+				return RunResult{}, err
+			}
+			st = next
+			exec = exec.Append(ioa.Step{HasTask: true, Task: task, Action: act, After: sys.Fingerprint(st)})
+		}
+		res.Rounds = round + 1
+		if terminated(sys, st, cfg.Inputs) {
+			res.Done = true
+			break
+		}
+	}
+	res.Exec = exec
+	res.Final = st
+	res.Decisions = sys.Decisions(st)
+	return res, nil
+}
+
+func maxFailureRound(byRound map[int][]int) int {
+	max := 0
+	for r := range byRound {
+		if r+1 > max {
+			max = r + 1
+		}
+	}
+	return max
+}
+
+// terminated reports the modified termination condition: every live process
+// that received an input has decided.
+func terminated(sys *system.System, st system.State, inputs map[int]string) bool {
+	dec := sys.Decisions(st)
+	for _, i := range sys.LiveProcesses(st) {
+		if _, gotInput := inputs[i]; !gotInput {
+			continue
+		}
+		if _, decided := dec[i]; !decided {
+			return false
+		}
+	}
+	return true
+}
+
+// Random runs the system under a seeded random schedule for the given
+// number of steps (or until modified termination). Random schedules are not
+// fair in any finite prefix; they are used for property bashing, not for
+// liveness verdicts.
+func Random(sys *system.System, cfg RunConfig, seed int64, steps int) (RunResult, error) {
+	rng := rand.New(rand.NewSource(seed))
+	st := sys.InitialState()
+	var exec ioa.Execution
+	for _, i := range sortedInputKeys(cfg.Inputs) {
+		next, act, err := sys.Init(st, i, cfg.Inputs[i])
+		if err != nil {
+			return RunResult{}, err
+		}
+		st = next
+		exec = exec.Append(ioa.Step{Action: act, After: sys.Fingerprint(st)})
+	}
+	// Random runs inject the configured failures at random points; the
+	// FailureEvent round is ignored.
+	failed := map[int]bool{}
+	pendingFailures := make([]int, 0, len(cfg.Failures))
+	for _, f := range cfg.Failures {
+		pendingFailures = append(pendingFailures, f.Proc)
+	}
+	res := RunResult{}
+	for step := 0; step < steps; step++ {
+		if terminated(sys, st, cfg.Inputs) {
+			res.Done = true
+			break
+		}
+		// With small probability, deliver a pending failure.
+		if len(pendingFailures) > 0 && rng.Intn(10) == 0 {
+			p := pendingFailures[0]
+			pendingFailures = pendingFailures[1:]
+			if !failed[p] {
+				next, act, err := sys.Fail(st, p)
+				if err != nil {
+					return RunResult{}, err
+				}
+				failed[p] = true
+				st = next
+				exec = exec.Append(ioa.Step{Action: act, After: sys.Fingerprint(st)})
+			}
+			continue
+		}
+		var applicable []ioa.Task
+		for _, task := range sys.Tasks() {
+			if sys.Applicable(st, task) {
+				applicable = append(applicable, task)
+			}
+		}
+		if len(applicable) == 0 {
+			break
+		}
+		task := applicable[rng.Intn(len(applicable))]
+		next, act, err := sys.Apply(st, task)
+		if err != nil {
+			return RunResult{}, err
+		}
+		st = next
+		exec = exec.Append(ioa.Step{HasTask: true, Task: task, Action: act, After: sys.Fingerprint(st)})
+	}
+	res.Exec = exec
+	res.Final = st
+	res.Decisions = sys.Decisions(st)
+	if !res.Done {
+		res.Done = terminated(sys, st, cfg.Inputs)
+	}
+	return res, nil
+}
+
+func sortedInputKeys(inputs map[int]string) []int {
+	keys := make([]int, 0, len(inputs))
+	for k := range inputs {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// fmtAssignment renders an input assignment for reports.
+func fmtAssignment(inputs map[int]string) string {
+	keys := sortedInputKeys(inputs)
+	s := ""
+	for _, k := range keys {
+		if s != "" {
+			s += " "
+		}
+		s += fmt.Sprintf("P%d←%s", k, inputs[k])
+	}
+	return s
+}

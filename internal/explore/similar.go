@@ -1,0 +1,152 @@
+package explore
+
+import (
+	"github.com/ioa-lab/boosting/internal/ioa"
+	"github.com/ioa-lab/boosting/internal/servicetype"
+	"github.com/ioa-lab/boosting/internal/system"
+)
+
+// SimilarityOptions configures the similarity notions. The Theorem 10
+// variant ignores general (failure-aware) services entirely: their states
+// may differ arbitrarily between similar states (Section 6.3).
+type SimilarityOptions struct {
+	IgnoreGeneralServices bool
+}
+
+// JSimilar reports whether two system states are j-similar (Section 3.5):
+// every process other than P_j has the same state, and every service has the
+// same value and, for endpoints other than j, the same buffers. Under the
+// Theorem 10 variant, general services are unconstrained.
+func JSimilar(sys *system.System, s0, s1 system.State, j int, opt SimilarityOptions) bool {
+	for _, i := range sys.ProcessIDs() {
+		if i == j {
+			continue
+		}
+		if s0.Procs[i].Fingerprint() != s1.Procs[i].Fingerprint() {
+			return false
+		}
+	}
+	for _, c := range sys.ServiceIDs() {
+		sv := sys.Service(c)
+		if opt.IgnoreGeneralServices && sv.Type().Class == servicetype.General {
+			continue
+		}
+		st0, st1 := s0.Svcs[c], s1.Svcs[c]
+		if st0.Val != st1.Val {
+			return false
+		}
+		for _, i := range sv.Endpoints() {
+			if i == j {
+				continue
+			}
+			if !stringSlicesEqual(st0.Inv[i], st1.Inv[i]) || !stringSlicesEqual(st0.Resp[i], st1.Resp[i]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// KSimilar reports whether two system states are k-similar (Section 3.5):
+// every process has the same state, and every service other than S_k has the
+// same state. Under the Theorem 10 variant, general services are
+// unconstrained.
+func KSimilar(sys *system.System, s0, s1 system.State, k string, opt SimilarityOptions) bool {
+	for _, i := range sys.ProcessIDs() {
+		if s0.Procs[i].Fingerprint() != s1.Procs[i].Fingerprint() {
+			return false
+		}
+	}
+	for _, c := range sys.ServiceIDs() {
+		if c == k {
+			continue
+		}
+		sv := sys.Service(c)
+		if opt.IgnoreGeneralServices && sv.Type().Class == servicetype.General {
+			continue
+		}
+		if s0.Svcs[c].Fingerprint() != s1.Svcs[c].Fingerprint() {
+			return false
+		}
+	}
+	return true
+}
+
+// SomeSimilarity searches for any j ∈ I or k ∈ K making the two states
+// similar, returning a description of the first found ("P<j>" or the
+// service index) and whether one exists. Lemma 8's argument starts from the
+// observation that the two univalent ends of a hook can be similar in *no*
+// way.
+func SomeSimilarity(sys *system.System, s0, s1 system.State, opt SimilarityOptions) (string, bool) {
+	for _, j := range sys.ProcessIDs() {
+		if JSimilar(sys, s0, s1, j, opt) {
+			return procLabel(j), true
+		}
+	}
+	for _, k := range sys.ServiceIDs() {
+		if KSimilar(sys, s0, s1, k, opt) {
+			return k, true
+		}
+	}
+	return "", false
+}
+
+func procLabel(j int) string {
+	return ioa.ProcessTask(j).String()
+}
+
+// TasksCommute checks whether applying e then e′ from st reaches the same
+// state as e′ then e (the commutativity used throughout Lemma 8's claims).
+// It returns false if either order is not applicable.
+func TasksCommute(sys *system.System, st system.State, e, ePrime ioa.Task) bool {
+	a1, _, err1 := sys.Apply(st, e)
+	if err1 != nil {
+		return false
+	}
+	a2, _, err2 := sys.Apply(a1, ePrime)
+	if err2 != nil {
+		return false
+	}
+	b1, _, err3 := sys.Apply(st, ePrime)
+	if err3 != nil {
+		return false
+	}
+	b2, _, err4 := sys.Apply(b1, e)
+	if err4 != nil {
+		return false
+	}
+	return sys.Fingerprint(a2) == sys.Fingerprint(b2)
+}
+
+// ParticipantsDisjoint reports whether the participant sets of the actions
+// that e and e′ would take from st are disjoint (Claim 2 of Lemma 8: tasks
+// with disjoint participants commute).
+func ParticipantsDisjoint(sys *system.System, st system.State, e, ePrime ioa.Task) bool {
+	pa := sys.Participants(st, e)
+	pb := sys.Participants(st, ePrime)
+	if pa == nil || pb == nil {
+		return false
+	}
+	in := make(map[string]bool, len(pa))
+	for _, p := range pa {
+		in[p] = true
+	}
+	for _, p := range pb {
+		if in[p] {
+			return false
+		}
+	}
+	return true
+}
+
+func stringSlicesEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,173 @@
+// Package ioa defines the vocabulary of the I/O automaton model of Lynch and
+// Tuttle as used by the paper (Section 2.1.1): actions and their kinds,
+// tasks, execution steps, and traces.
+//
+// The composed system of the paper (Section 2.2.3) has a fixed architecture
+// — processes interacting with services and registers — so rather than a
+// fully generic composition operator, this package provides the structured
+// action and task types for that architecture. The composition itself lives
+// in internal/system.
+package ioa
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Kind classifies an action relative to an automaton's signature.
+type Kind int
+
+// Action kinds. Input actions are controlled by the environment; output and
+// internal actions are locally controlled. In the composed system, after
+// hiding the process/service communication, the only external actions are
+// init (input), decide (output), and fail (input).
+const (
+	KindInput Kind = iota + 1
+	KindOutput
+	KindInternal
+)
+
+// String renders a Kind for diagnostics.
+func (k Kind) String() string {
+	switch k {
+	case KindInput:
+		return "input"
+	case KindOutput:
+		return "output"
+	case KindInternal:
+		return "internal"
+	default:
+		return "kind(" + strconv.Itoa(int(k)) + ")"
+	}
+}
+
+// ActionType identifies the structural role of an action in the composed
+// system of Section 2.2.
+type ActionType int
+
+// Action types of the composed system. The correspondence to the paper:
+//
+//   - ActInit / ActDecide: the external consensus interface init(v)_i,
+//     decide(v)_i of Section 2.2.4 (or, for other implemented types, the
+//     generic external invocation/response at a process).
+//   - ActInvoke / ActRespond: a_{i,c} invocations and b_{i,c} responses
+//     between process P_i and service S_c.
+//   - ActPerform / ActCompute: the internal perform_{i,k} and compute_{g,k}
+//     actions of canonical services (Figs. 1, 4, 8).
+//   - ActDummyPerform / ActDummyOutput / ActDummyCompute: the dummy actions
+//     that let a service fall silent once its resilience is exhausted.
+//   - ActProcStep / ActProcDummy: a process's locally controlled step (the
+//     single process task), or its dummy step when it has nothing to do.
+//   - ActFail: the fail_i input, delivered to P_i and to every service with
+//     i among its endpoints.
+const (
+	ActInit ActionType = iota + 1
+	ActDecide
+	ActInvoke
+	ActRespond
+	ActPerform
+	ActCompute
+	ActDummyPerform
+	ActDummyOutput
+	ActDummyCompute
+	ActProcStep
+	ActProcDummy
+	ActFail
+)
+
+// String renders an ActionType for diagnostics.
+func (t ActionType) String() string {
+	switch t {
+	case ActInit:
+		return "init"
+	case ActDecide:
+		return "decide"
+	case ActInvoke:
+		return "invoke"
+	case ActRespond:
+		return "respond"
+	case ActPerform:
+		return "perform"
+	case ActCompute:
+		return "compute"
+	case ActDummyPerform:
+		return "dummy_perform"
+	case ActDummyOutput:
+		return "dummy_output"
+	case ActDummyCompute:
+		return "dummy_compute"
+	case ActProcStep:
+		return "proc_step"
+	case ActProcDummy:
+		return "proc_dummy"
+	case ActFail:
+		return "fail"
+	default:
+		return "action(" + strconv.Itoa(int(t)) + ")"
+	}
+}
+
+// Action is one labelled transition of the composed system. Fields that do
+// not apply are zero: Proc is -1 when no process participates, Service is ""
+// when no service participates.
+type Action struct {
+	Type    ActionType
+	Proc    int    // endpoint/process index, or -1
+	Service string // service or register index, or ""
+	Payload string // invocation/response payload, or global task name for compute
+}
+
+// NoProc is the Proc value of actions with no process participant.
+const NoProc = -1
+
+// Kind returns the action's kind relative to the composed (hidden) system:
+// init and fail are inputs, decide is an output, everything else is internal.
+func (a Action) Kind() Kind {
+	switch a.Type {
+	case ActInit, ActFail:
+		return KindInput
+	case ActDecide:
+		return KindOutput
+	default:
+		return KindInternal
+	}
+}
+
+// External reports whether the action is visible in traces of the composed
+// system (Section 2.2.3 hides all process/service communication).
+func (a Action) External() bool {
+	return a.Kind() != KindInternal
+}
+
+// String renders the action in the paper's notation, e.g. "init(1)_2",
+// "a(read)_1,r0", "perform_2,k1", "fail_0".
+func (a Action) String() string {
+	switch a.Type {
+	case ActInit:
+		return fmt.Sprintf("init(%s)_%d", a.Payload, a.Proc)
+	case ActDecide:
+		return fmt.Sprintf("decide(%s)_%d", a.Payload, a.Proc)
+	case ActInvoke:
+		return fmt.Sprintf("a(%s)_%d,%s", a.Payload, a.Proc, a.Service)
+	case ActRespond:
+		return fmt.Sprintf("b(%s)_%d,%s", a.Payload, a.Proc, a.Service)
+	case ActPerform:
+		return fmt.Sprintf("perform_%d,%s", a.Proc, a.Service)
+	case ActCompute:
+		return fmt.Sprintf("compute_%s,%s", a.Payload, a.Service)
+	case ActDummyPerform:
+		return fmt.Sprintf("dummy_perform_%d,%s", a.Proc, a.Service)
+	case ActDummyOutput:
+		return fmt.Sprintf("dummy_output_%d,%s", a.Proc, a.Service)
+	case ActDummyCompute:
+		return fmt.Sprintf("dummy_compute_%s,%s", a.Payload, a.Service)
+	case ActProcStep:
+		return fmt.Sprintf("step_%d", a.Proc)
+	case ActProcDummy:
+		return fmt.Sprintf("dummy_step_%d", a.Proc)
+	case ActFail:
+		return fmt.Sprintf("fail_%d", a.Proc)
+	default:
+		return fmt.Sprintf("%v{proc=%d,svc=%s,payload=%s}", a.Type, a.Proc, a.Service, a.Payload)
+	}
+}

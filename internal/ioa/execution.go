@@ -1,0 +1,110 @@
+package ioa
+
+import "strings"
+
+// Step is one transition of an execution: either a locally controlled step
+// produced by scheduling a task (HasTask true) or an environment input
+// (init or fail, HasTask false).
+type Step struct {
+	HasTask bool
+	Task    Task
+	Action  Action
+	// After is the fingerprint of the state reached by this step; it lets
+	// analyses detect revisited states without re-running prefixes.
+	After string
+}
+
+// Execution is a finite execution fragment of the composed system, recorded
+// as the sequence of steps taken from some known initial state. Because all
+// components are deterministic (Section 3.1), an execution is fully
+// reproducible from its inputs and task sequence.
+type Execution struct {
+	Steps []Step
+}
+
+// Append returns a new execution extended by one step. The receiver is not
+// modified; prefixes may share underlying storage, so callers must treat
+// executions as immutable (which the exploration code does).
+func (e Execution) Append(s Step) Execution {
+	steps := make([]Step, len(e.Steps), len(e.Steps)+1)
+	copy(steps, e.Steps)
+	return Execution{Steps: append(steps, s)}
+}
+
+// Len returns the number of steps.
+func (e Execution) Len() int { return len(e.Steps) }
+
+// Trace returns the external actions of the execution, in order
+// (the trace of Section 2.1.1, after the hiding of Section 2.2.3).
+func (e Execution) Trace() []Action {
+	var out []Action
+	for _, s := range e.Steps {
+		if s.Action.External() {
+			out = append(out, s.Action)
+		}
+	}
+	return out
+}
+
+// Tasks returns the task sequence of the execution's locally controlled
+// steps. Together with the input steps this determines the execution.
+func (e Execution) Tasks() []Task {
+	var out []Task
+	for _, s := range e.Steps {
+		if s.HasTask {
+			out = append(out, s.Task)
+		}
+	}
+	return out
+}
+
+// FailureFree reports whether the execution contains no fail actions.
+func (e Execution) FailureFree() bool {
+	for _, s := range e.Steps {
+		if s.Action.Type == ActFail {
+			return false
+		}
+	}
+	return true
+}
+
+// Failed returns the set of processes failed along the execution, in order
+// of failure.
+func (e Execution) Failed() []int {
+	var out []int
+	for _, s := range e.Steps {
+		if s.Action.Type == ActFail {
+			out = append(out, s.Action.Proc)
+		}
+	}
+	return out
+}
+
+// Decisions returns the decide actions in the execution, in order.
+func (e Execution) Decisions() []Action {
+	var out []Action
+	for _, s := range e.Steps {
+		if s.Action.Type == ActDecide {
+			out = append(out, s.Action)
+		}
+	}
+	return out
+}
+
+// String renders the execution as a one-line action sequence.
+func (e Execution) String() string {
+	parts := make([]string, len(e.Steps))
+	for i, s := range e.Steps {
+		parts[i] = s.Action.String()
+	}
+	return strings.Join(parts, " · ")
+}
+
+// FormatTrace renders a slice of actions (e.g. a trace) on one line.
+func FormatTrace(actions []Action) string {
+	parts := make([]string, len(actions))
+	for i, a := range actions {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, " · ")
+}

@@ -1,0 +1,131 @@
+package ioa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestActionKinds(t *testing.T) {
+	cases := []struct {
+		a    Action
+		kind Kind
+		ext  bool
+	}{
+		{Action{Type: ActInit, Proc: 1, Payload: "0"}, KindInput, true},
+		{Action{Type: ActFail, Proc: 2}, KindInput, true},
+		{Action{Type: ActDecide, Proc: 0, Payload: "1"}, KindOutput, true},
+		{Action{Type: ActInvoke, Proc: 1, Service: "k0", Payload: "init(0)"}, KindInternal, false},
+		{Action{Type: ActRespond, Proc: 1, Service: "r0", Payload: "ack"}, KindInternal, false},
+		{Action{Type: ActPerform, Proc: 1, Service: "k0"}, KindInternal, false},
+		{Action{Type: ActCompute, Service: "k0", Payload: "g", Proc: NoProc}, KindInternal, false},
+		{Action{Type: ActDummyPerform, Proc: 1, Service: "k0"}, KindInternal, false},
+		{Action{Type: ActProcStep, Proc: 1}, KindInternal, false},
+	}
+	for _, c := range cases {
+		if got := c.a.Kind(); got != c.kind {
+			t.Errorf("%v: Kind = %v, want %v", c.a, got, c.kind)
+		}
+		if got := c.a.External(); got != c.ext {
+			t.Errorf("%v: External = %v, want %v", c.a, got, c.ext)
+		}
+	}
+}
+
+func TestActionString(t *testing.T) {
+	cases := []struct {
+		a    Action
+		want string
+	}{
+		{Action{Type: ActInit, Proc: 2, Payload: "1"}, "init(1)_2"},
+		{Action{Type: ActDecide, Proc: 0, Payload: "0"}, "decide(0)_0"},
+		{Action{Type: ActInvoke, Proc: 1, Service: "k0", Payload: "read"}, "a(read)_1,k0"},
+		{Action{Type: ActRespond, Proc: 1, Service: "k0", Payload: "v"}, "b(v)_1,k0"},
+		{Action{Type: ActPerform, Proc: 3, Service: "r1"}, "perform_3,r1"},
+		{Action{Type: ActCompute, Service: "k2", Payload: "g", Proc: NoProc}, "compute_g,k2"},
+		{Action{Type: ActFail, Proc: 4}, "fail_4"},
+	}
+	for _, c := range cases {
+		if got := c.a.String(); got != c.want {
+			t.Errorf("String: got %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestTaskConstructorsAndString(t *testing.T) {
+	cases := []struct {
+		task Task
+		want string
+	}{
+		{ProcessTask(3), "P3"},
+		{PerformTask("k1", 2), "perform_2@k1"},
+		{OutputTask("k1", 2), "output_2@k1"},
+		{ComputeTask("k1", "g"), "compute_g@k1"},
+	}
+	for _, c := range cases {
+		if got := c.task.String(); got != c.want {
+			t.Errorf("Task.String: got %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestTaskComparable(t *testing.T) {
+	m := map[Task]int{}
+	m[ProcessTask(1)] = 1
+	m[PerformTask("k0", 1)] = 2
+	m[PerformTask("k0", 1)] = 3
+	if len(m) != 2 {
+		t.Errorf("tasks should be usable as map keys with value equality; got %d entries", len(m))
+	}
+}
+
+func TestExecutionAppendImmutable(t *testing.T) {
+	var e Execution
+	e1 := e.Append(Step{HasTask: true, Task: ProcessTask(0), Action: Action{Type: ActProcStep, Proc: 0}})
+	e2 := e1.Append(Step{Action: Action{Type: ActFail, Proc: 1}})
+	if e.Len() != 0 || e1.Len() != 1 || e2.Len() != 2 {
+		t.Fatalf("lengths: %d %d %d", e.Len(), e1.Len(), e2.Len())
+	}
+	// Appending to e1 again must not corrupt e2.
+	e3 := e1.Append(Step{Action: Action{Type: ActFail, Proc: 2}})
+	if e2.Steps[1].Action.Proc != 1 || e3.Steps[1].Action.Proc != 2 {
+		t.Error("Append shared storage between divergent extensions")
+	}
+}
+
+func TestExecutionProjections(t *testing.T) {
+	e := Execution{Steps: []Step{
+		{Action: Action{Type: ActInit, Proc: 0, Payload: "0"}},
+		{Action: Action{Type: ActInit, Proc: 1, Payload: "1"}},
+		{HasTask: true, Task: ProcessTask(0), Action: Action{Type: ActInvoke, Proc: 0, Service: "k0", Payload: "init(0)"}},
+		{HasTask: true, Task: PerformTask("k0", 0), Action: Action{Type: ActPerform, Proc: 0, Service: "k0"}},
+		{Action: Action{Type: ActFail, Proc: 1}},
+		{HasTask: true, Task: ProcessTask(0), Action: Action{Type: ActDecide, Proc: 0, Payload: "0"}},
+	}}
+	trace := e.Trace()
+	if len(trace) != 4 {
+		t.Fatalf("Trace: got %d actions, want 4 (%s)", len(trace), FormatTrace(trace))
+	}
+	if e.FailureFree() {
+		t.Error("FailureFree: want false")
+	}
+	if got := e.Failed(); len(got) != 1 || got[0] != 1 {
+		t.Errorf("Failed: got %v", got)
+	}
+	if got := e.Decisions(); len(got) != 1 || got[0].Payload != "0" {
+		t.Errorf("Decisions: got %v", got)
+	}
+	if got := e.Tasks(); len(got) != 3 {
+		t.Errorf("Tasks: got %d, want 3", len(got))
+	}
+}
+
+func TestExecutionString(t *testing.T) {
+	e := Execution{Steps: []Step{
+		{Action: Action{Type: ActInit, Proc: 0, Payload: "1"}},
+		{HasTask: true, Task: ProcessTask(0), Action: Action{Type: ActDecide, Proc: 0, Payload: "1"}},
+	}}
+	s := e.String()
+	if !strings.Contains(s, "init(1)_0") || !strings.Contains(s, "decide(1)_0") {
+		t.Errorf("String: got %q", s)
+	}
+}

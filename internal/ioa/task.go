@@ -1,0 +1,82 @@
+package ioa
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// TaskKind classifies the tasks of the composed system (Section 2.2.3):
+// each process has a single task; each service has an i-perform and an
+// i-output task per endpoint i, and (for failure-oblivious and general
+// services) a g-compute task per global task name g.
+type TaskKind int
+
+// Task kinds.
+const (
+	TaskProcess TaskKind = iota + 1
+	TaskPerform
+	TaskOutput
+	TaskCompute
+)
+
+// String renders a TaskKind for diagnostics.
+func (k TaskKind) String() string {
+	switch k {
+	case TaskProcess:
+		return "process"
+	case TaskPerform:
+		return "perform"
+	case TaskOutput:
+		return "output"
+	case TaskCompute:
+		return "compute"
+	default:
+		return "task(" + strconv.Itoa(int(k)) + ")"
+	}
+}
+
+// Task identifies one task of the composed system. Tasks partition the
+// locally controlled actions; the I/O-automata fairness assumption gives
+// every task infinitely many turns (Section 2.2.3).
+type Task struct {
+	Kind    TaskKind
+	Proc    int    // process index for TaskProcess/TaskPerform/TaskOutput; -1 for TaskCompute
+	Service string // service index for service tasks; "" for TaskProcess
+	Global  string // global task name for TaskCompute; "" otherwise
+}
+
+// ProcessTask returns the single task of process P_i.
+func ProcessTask(i int) Task {
+	return Task{Kind: TaskProcess, Proc: i}
+}
+
+// PerformTask returns the i-perform task of service c.
+func PerformTask(service string, i int) Task {
+	return Task{Kind: TaskPerform, Proc: i, Service: service}
+}
+
+// OutputTask returns the i-output task of service c.
+func OutputTask(service string, i int) Task {
+	return Task{Kind: TaskOutput, Proc: i, Service: service}
+}
+
+// ComputeTask returns the g-compute task of service c.
+func ComputeTask(service, g string) Task {
+	return Task{Kind: TaskCompute, Proc: NoProc, Service: service, Global: g}
+}
+
+// String renders the task, e.g. "P2", "perform_1@k0", "compute_g@k0".
+func (t Task) String() string {
+	switch t.Kind {
+	case TaskProcess:
+		return fmt.Sprintf("P%d", t.Proc)
+	case TaskPerform:
+		return fmt.Sprintf("perform_%d@%s", t.Proc, t.Service)
+	case TaskOutput:
+		return fmt.Sprintf("output_%d@%s", t.Proc, t.Service)
+	case TaskCompute:
+		return fmt.Sprintf("compute_%s@%s", t.Global, t.Service)
+	default:
+		return fmt.Sprintf("task{%v,%d,%s,%s}", t.Kind, t.Proc, t.Service, t.Global)
+	}
+}

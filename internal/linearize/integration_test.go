@@ -1,0 +1,134 @@
+package linearize_test
+
+import (
+	"strconv"
+	"testing"
+
+	"github.com/ioa-lab/boosting/internal/explore"
+	"github.com/ioa-lab/boosting/internal/linearize"
+	"github.com/ioa-lab/boosting/internal/process"
+	"github.com/ioa-lab/boosting/internal/seqtype"
+	"github.com/ioa-lab/boosting/internal/service"
+	"github.com/ioa-lab/boosting/internal/servicetype"
+	"github.com/ioa-lab/boosting/internal/system"
+)
+
+// hammer is a workload program: on init, each process fires a pipeline of
+// operations at the shared counter and register, then decides when all
+// responses are in.
+type hammer struct{ ops int }
+
+func (h hammer) Start(int) map[string]string { return map[string]string{"got": "0"} }
+
+func (h hammer) HandleInit(ctx *process.Context, v string) {
+	for i := 0; i < h.ops; i++ {
+		ctx.Invoke("cnt", "inc")
+		ctx.Invoke("reg", seqtype.Write(strconv.Itoa(ctx.ID())))
+		ctx.Invoke("reg", seqtype.Read)
+	}
+}
+
+func (h hammer) HandleResponse(ctx *process.Context, svc, resp string) {
+	n := ctx.GetInt("got") + 1
+	ctx.SetInt("got", n)
+	if n >= 3*h.ops && !ctx.Decided() {
+		ctx.Decide("done")
+	}
+}
+
+func buildHammerSystem(t testing.TB, procs, opsPerProc int) *system.System {
+	t.Helper()
+	eps := make([]int, procs)
+	ps := make([]*process.Process, procs)
+	for i := 0; i < procs; i++ {
+		eps[i] = i
+		ps[i] = process.New(i, hammer{ops: opsPerProc})
+	}
+	cnt, err := service.NewWaitFree("cnt",
+		servicetype.FromSequential(seqtype.Counter()), eps, service.Adversarial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]string, 0, procs+1)
+	vals = append(vals, "")
+	for i := 0; i < procs; i++ {
+		vals = append(vals, strconv.Itoa(i))
+	}
+	reg, err := service.NewRegister("reg", vals, "", eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := system.New(ps, []*service.Service{cnt, reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestCanonicalObjectsLinearizableUnderRandomSchedules(t *testing.T) {
+	// Clause 2 of the implements relation (Section 2.1.4), checked
+	// empirically: every history the canonical objects produce under
+	// adversarial random scheduling is linearizable w.r.t. their sequential
+	// types.
+	sys := buildHammerSystem(t, 3, 2)
+	inputs := map[int]string{0: "x", 1: "x", 2: "x"}
+	types := map[string]*seqtype.Type{
+		"cnt": seqtype.Counter(),
+		"reg": seqtype.ReadWrite([]string{"", "0", "1", "2"}, ""),
+	}
+	for seed := int64(1); seed <= 25; seed++ {
+		res, err := explore.Random(sys, explore.RunConfig{Inputs: inputs}, seed, 5000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := linearize.CheckExecution(res.Exec, types); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestCanonicalObjectsLinearizableUnderFailures(t *testing.T) {
+	sys := buildHammerSystem(t, 3, 2)
+	inputs := map[int]string{0: "x", 1: "x", 2: "x"}
+	types := map[string]*seqtype.Type{
+		"cnt": seqtype.Counter(),
+		"reg": seqtype.ReadWrite([]string{"", "0", "1", "2"}, ""),
+	}
+	for seed := int64(1); seed <= 15; seed++ {
+		res, err := explore.Random(sys, explore.RunConfig{
+			Inputs:   inputs,
+			Failures: []explore.FailureEvent{{Proc: 1}},
+		}, seed, 5000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := linearize.CheckExecution(res.Exec, types); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestCounterIncrementsAreUnique(t *testing.T) {
+	// Each fetch-and-increment returns a distinct value — the canonical
+	// counter serializes concurrent increments.
+	sys := buildHammerSystem(t, 3, 2)
+	inputs := map[int]string{0: "x", 1: "x", 2: "x"}
+	res, err := explore.RoundRobin(sys, explore.RunConfig{Inputs: inputs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := linearize.Extract(res.Exec, "cnt")
+	seen := map[string]bool{}
+	for _, op := range h.Ops {
+		if op.Inv != "inc" || !op.HasResp {
+			continue
+		}
+		if seen[op.Resp] {
+			t.Fatalf("duplicate increment ticket %q", op.Resp)
+		}
+		seen[op.Resp] = true
+	}
+	if len(seen) != 6 {
+		t.Errorf("tickets issued: %d, want 6", len(seen))
+	}
+}

@@ -1,0 +1,216 @@
+// Package linearize checks histories of atomic objects for linearizability
+// (Herlihy–Wing), the safety half of the paper's "implements" relation for
+// atomic objects (Section 2.1.4, clause 2: every trace of the implementation
+// is a trace of the canonical object — i.e. responses are consistent with
+// some linearization of the operations by the sequential type).
+//
+// Histories are extracted from executions of the composed system: an
+// operation on service k by process i is an ActInvoke step matched with the
+// ActRespond step that answers it. Because canonical services serve each
+// endpoint's invocations in FIFO order, the j-th response to endpoint i
+// answers the j-th invocation by endpoint i.
+//
+// The checker implements the classic Wing–Gong search: repeatedly pick a
+// minimal operation — one whose invocation precedes every unlinearized
+// operation's response — apply the sequential type's δ, and backtrack on
+// mismatch. Memoization on (linearized set, value) keeps the search feasible
+// on the history sizes our explorations produce.
+package linearize
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/ioa-lab/boosting/internal/ioa"
+	"github.com/ioa-lab/boosting/internal/seqtype"
+)
+
+// ErrNotLinearizable is returned when no linearization explains a history.
+var ErrNotLinearizable = errors.New("linearize: history is not linearizable")
+
+// Op is one operation of a history: an invocation with its (possibly
+// pending) response, positioned by the step indices of the source execution.
+type Op struct {
+	Proc    int
+	Inv     string
+	Resp    string
+	HasResp bool
+	// InvAt and RespAt are step indices in the source execution; RespAt is
+	// meaningful only when HasResp.
+	InvAt  int
+	RespAt int
+}
+
+// String renders the operation.
+func (o Op) String() string {
+	resp := "?"
+	if o.HasResp {
+		resp = o.Resp
+	}
+	return fmt.Sprintf("P%d: %s → %s", o.Proc, o.Inv, resp)
+}
+
+// History is the per-service projection of an execution: a set of
+// operations with real-time order induced by step indices.
+type History struct {
+	Service string
+	Ops     []Op
+}
+
+// Extract projects the history of one service out of an execution.
+func Extract(exec ioa.Execution, service string) History {
+	h := History{Service: service}
+	// Pending invocation op-indices per endpoint, FIFO.
+	pending := map[int][]int{}
+	for idx, step := range exec.Steps {
+		a := step.Action
+		if a.Service != service {
+			continue
+		}
+		switch a.Type {
+		case ioa.ActInvoke:
+			h.Ops = append(h.Ops, Op{Proc: a.Proc, Inv: a.Payload, InvAt: idx})
+			pending[a.Proc] = append(pending[a.Proc], len(h.Ops)-1)
+		case ioa.ActRespond:
+			queue := pending[a.Proc]
+			if len(queue) == 0 {
+				continue // response with no matching invocation: ignore
+			}
+			opIdx := queue[0]
+			pending[a.Proc] = queue[1:]
+			h.Ops[opIdx].Resp = a.Payload
+			h.Ops[opIdx].HasResp = true
+			h.Ops[opIdx].RespAt = idx
+		}
+	}
+	return h
+}
+
+// precedes reports whether a returned strictly before b was invoked
+// (the Herlihy–Wing real-time order).
+func precedes(a, b Op) bool {
+	return a.HasResp && a.RespAt < b.InvAt
+}
+
+// Check searches for a linearization of the history against the sequential
+// type: a total order of the completed operations (pending operations may be
+// included or dropped) that respects real-time precedence and in which every
+// response matches δ applied in order from some initial value.
+//
+// It returns the linearization (as indices into h.Ops) on success.
+func Check(h History, typ *seqtype.Type) ([]int, error) {
+	// Pending operations without responses may have taken effect or not;
+	// the search may schedule them (with any δ-permitted response) or leave
+	// them out. To bound the search we only consider completed ops as
+	// mandatory.
+	n := len(h.Ops)
+	if n > 63 {
+		return nil, fmt.Errorf("linearize: history too large (%d ops)", n)
+	}
+	type key struct {
+		done uint64
+		val  string
+	}
+	visited := map[key]bool{}
+
+	var order []int
+	var search func(done uint64, val string) bool
+	search = func(done uint64, val string) bool {
+		k := key{done, val}
+		if visited[k] {
+			return false
+		}
+		visited[k] = true
+
+		allComplete := true
+		for i, op := range h.Ops {
+			if done&(1<<uint(i)) != 0 {
+				continue
+			}
+			if op.HasResp {
+				allComplete = false
+			}
+		}
+		if allComplete {
+			return true // every completed op linearized; pending ones dropped
+		}
+		for i, op := range h.Ops {
+			if done&(1<<uint(i)) != 0 {
+				continue
+			}
+			// op is minimal iff no other unlinearized operation precedes it.
+			minimal := true
+			for j, other := range h.Ops {
+				if i == j || done&(1<<uint(j)) != 0 {
+					continue
+				}
+				if precedes(other, op) {
+					minimal = false
+					break
+				}
+			}
+			if !minimal {
+				continue
+			}
+			for _, r := range typ.Apply(op.Inv, val) {
+				if op.HasResp && r.Resp != op.Resp {
+					continue
+				}
+				order = append(order, i)
+				if search(done|1<<uint(i), r.NewVal) {
+					return true
+				}
+				order = order[:len(order)-1]
+			}
+			if !op.HasResp {
+				// A pending operation may also not have taken effect yet;
+				// trying other minimal ops first covers that, so nothing
+				// extra here.
+				continue
+			}
+		}
+		return false
+	}
+
+	for _, initial := range typ.Initials {
+		visited = map[key]bool{}
+		order = order[:0]
+		if search(0, initial) {
+			out := make([]int, len(order))
+			copy(out, order)
+			return out, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %s over %s", ErrNotLinearizable, describe(h), typ.Name)
+}
+
+// CheckExecution extracts and checks the history of every listed service.
+func CheckExecution(exec ioa.Execution, services map[string]*seqtype.Type) error {
+	names := make([]string, 0, len(services))
+	for name := range services {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := Extract(exec, name)
+		if _, err := Check(h, services[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func describe(h History) string {
+	parts := make([]string, 0, len(h.Ops))
+	for _, op := range h.Ops {
+		parts = append(parts, op.String())
+	}
+	const max = 6
+	if len(parts) > max {
+		parts = append(parts[:max], "… +"+strconv.Itoa(len(h.Ops)-max))
+	}
+	return h.Service + " [" + strings.Join(parts, "; ") + "]"
+}

@@ -1,0 +1,168 @@
+package linearize
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/ioa-lab/boosting/internal/ioa"
+	"github.com/ioa-lab/boosting/internal/seqtype"
+)
+
+// mkOp builds a completed operation.
+func mkOp(proc int, inv, resp string, invAt, respAt int) Op {
+	return Op{Proc: proc, Inv: inv, Resp: resp, HasResp: true, InvAt: invAt, RespAt: respAt}
+}
+
+func TestCheckSequentialRegisterHistory(t *testing.T) {
+	ty := seqtype.ReadWrite([]string{"", "x", "y"}, "")
+	h := History{Service: "r", Ops: []Op{
+		mkOp(0, seqtype.Write("x"), seqtype.Ack, 0, 1),
+		mkOp(1, seqtype.Read, "x", 2, 3),
+		mkOp(0, seqtype.Write("y"), seqtype.Ack, 4, 5),
+		mkOp(1, seqtype.Read, "y", 6, 7),
+	}}
+	order, err := Check(h, ty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 4 {
+		t.Errorf("linearization: %v", order)
+	}
+}
+
+func TestCheckConcurrentOverlapAllowsReordering(t *testing.T) {
+	// write(x) overlaps a read that returns "" — legal: the read may
+	// linearize before the write.
+	ty := seqtype.ReadWrite([]string{"", "x"}, "")
+	h := History{Service: "r", Ops: []Op{
+		mkOp(0, seqtype.Write("x"), seqtype.Ack, 0, 5),
+		mkOp(1, seqtype.Read, "", 1, 2),
+	}}
+	if _, err := Check(h, ty); err != nil {
+		t.Fatalf("overlapping read-before-write rejected: %v", err)
+	}
+}
+
+func TestCheckRejectsStaleRead(t *testing.T) {
+	// A read strictly after write(x) completed must not return "".
+	ty := seqtype.ReadWrite([]string{"", "x"}, "")
+	h := History{Service: "r", Ops: []Op{
+		mkOp(0, seqtype.Write("x"), seqtype.Ack, 0, 1),
+		mkOp(1, seqtype.Read, "", 2, 3),
+	}}
+	if _, err := Check(h, ty); !errors.Is(err, ErrNotLinearizable) {
+		t.Fatalf("stale read accepted: %v", err)
+	}
+}
+
+func TestCheckRejectsConsensusDisagreement(t *testing.T) {
+	ty := seqtype.BinaryConsensus()
+	h := History{Service: "k", Ops: []Op{
+		mkOp(0, seqtype.Init("0"), seqtype.Decide("0"), 0, 1),
+		mkOp(1, seqtype.Init("1"), seqtype.Decide("1"), 2, 3),
+	}}
+	if _, err := Check(h, ty); !errors.Is(err, ErrNotLinearizable) {
+		t.Fatalf("disagreeing consensus history accepted: %v", err)
+	}
+}
+
+func TestCheckConsensusAgreementAccepted(t *testing.T) {
+	ty := seqtype.BinaryConsensus()
+	h := History{Service: "k", Ops: []Op{
+		mkOp(0, seqtype.Init("0"), seqtype.Decide("0"), 0, 1),
+		mkOp(1, seqtype.Init("1"), seqtype.Decide("0"), 2, 3),
+	}}
+	if _, err := Check(h, ty); err != nil {
+		t.Fatalf("agreeing consensus history rejected: %v", err)
+	}
+}
+
+func TestCheckPendingOperationMayTakeEffect(t *testing.T) {
+	// A pending write (no response) whose value a later read returns: the
+	// linearization must be allowed to include the pending op.
+	ty := seqtype.ReadWrite([]string{"", "x"}, "")
+	h := History{Service: "r", Ops: []Op{
+		{Proc: 0, Inv: seqtype.Write("x"), InvAt: 0}, // pending
+		mkOp(1, seqtype.Read, "x", 1, 2),
+	}}
+	if _, err := Check(h, ty); err != nil {
+		t.Fatalf("pending-write-then-read rejected: %v", err)
+	}
+}
+
+func TestCheckPendingOperationMayBeDropped(t *testing.T) {
+	ty := seqtype.ReadWrite([]string{"", "x"}, "")
+	h := History{Service: "r", Ops: []Op{
+		{Proc: 0, Inv: seqtype.Write("x"), InvAt: 0}, // pending, no effect
+		mkOp(1, seqtype.Read, "", 1, 2),
+	}}
+	if _, err := Check(h, ty); err != nil {
+		t.Fatalf("dropped pending write rejected: %v", err)
+	}
+}
+
+func TestCheckNondeterministicType(t *testing.T) {
+	// k-set-consensus: two ops deciding different values is fine for k = 2.
+	ty := seqtype.KSetConsensus(2, 3)
+	h := History{Service: "k", Ops: []Op{
+		mkOp(0, seqtype.Init("0"), seqtype.Decide("0"), 0, 1),
+		mkOp(1, seqtype.Init("1"), seqtype.Decide("1"), 2, 3),
+	}}
+	if _, err := Check(h, ty); err != nil {
+		t.Fatalf("2 distinct decisions rejected for 2-set type: %v", err)
+	}
+	// Three distinct decisions exceed k = 2.
+	h.Ops = append(h.Ops, mkOp(2, seqtype.Init("2"), seqtype.Decide("2"), 4, 5))
+	if _, err := Check(h, ty); !errors.Is(err, ErrNotLinearizable) {
+		t.Fatalf("3 distinct decisions accepted for 2-set type: %v", err)
+	}
+}
+
+func TestExtractMatchesFIFO(t *testing.T) {
+	exec := ioa.Execution{Steps: []ioa.Step{
+		{Action: ioa.Action{Type: ioa.ActInvoke, Proc: 0, Service: "r", Payload: seqtype.Write("x")}},
+		{Action: ioa.Action{Type: ioa.ActInvoke, Proc: 0, Service: "r", Payload: seqtype.Read}},
+		{Action: ioa.Action{Type: ioa.ActRespond, Proc: 0, Service: "r", Payload: seqtype.Ack}},
+		{Action: ioa.Action{Type: ioa.ActRespond, Proc: 0, Service: "r", Payload: "x"}},
+		{Action: ioa.Action{Type: ioa.ActInvoke, Proc: 1, Service: "other", Payload: seqtype.Read}},
+	}}
+	h := Extract(exec, "r")
+	if len(h.Ops) != 2 {
+		t.Fatalf("ops: %v", h.Ops)
+	}
+	if h.Ops[0].Resp != seqtype.Ack || h.Ops[1].Resp != "x" {
+		t.Errorf("FIFO matching broken: %v", h.Ops)
+	}
+	if !h.Ops[0].HasResp || !h.Ops[1].HasResp {
+		t.Error("responses not attached")
+	}
+}
+
+func TestRealTimeOrderRespected(t *testing.T) {
+	// Completed op A strictly before completed op B: B cannot linearize
+	// before A. test&set: first tas must return 0.
+	ty := seqtype.TestAndSet()
+	h := History{Service: "t", Ops: []Op{
+		mkOp(0, "tas", "1", 0, 1), // claims the bit was already set — but it is first!
+		mkOp(1, "tas", "0", 2, 3),
+	}}
+	if _, err := Check(h, ty); !errors.Is(err, ErrNotLinearizable) {
+		t.Fatalf("impossible tas order accepted: %v", err)
+	}
+}
+
+func TestCheckExecutionMultipleServices(t *testing.T) {
+	exec := ioa.Execution{Steps: []ioa.Step{
+		{Action: ioa.Action{Type: ioa.ActInvoke, Proc: 0, Service: "a", Payload: seqtype.Write("x")}},
+		{Action: ioa.Action{Type: ioa.ActRespond, Proc: 0, Service: "a", Payload: seqtype.Ack}},
+		{Action: ioa.Action{Type: ioa.ActInvoke, Proc: 0, Service: "b", Payload: "tas"}},
+		{Action: ioa.Action{Type: ioa.ActRespond, Proc: 0, Service: "b", Payload: "0"}},
+	}}
+	err := CheckExecution(exec, map[string]*seqtype.Type{
+		"a": seqtype.ReadWrite([]string{"", "x"}, ""),
+		"b": seqtype.TestAndSet(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,286 @@
+// Package process implements the process automata P_i of the paper
+// (Section 2.2.1) as deterministic, single-task I/O automata.
+//
+// A process receives inputs — init(v)_i from the external world, responses
+// b_{i,c} from services, and fail_i — and controls output actions: service
+// invocations a_{i,c} and external decide(v)_i actions. Per the paper:
+//
+//   - each process has exactly one task, comprising all its locally
+//     controlled actions, and in every state some action of that task is
+//     enabled (possibly a dummy action);
+//   - after fail_i, no output action of P_i is ever enabled again, but some
+//     locally controlled (dummy) action remains enabled;
+//   - when P_i performs decide(v)_i it records v in its state (the technical
+//     assumption used by the valence proofs).
+//
+// Protocol logic is supplied as a Program: pure, deterministic handlers that
+// react to inputs by updating named variables and queueing outgoing actions.
+// The process's single task drains the outgoing-action queue one action per
+// step (or takes a dummy step when idle), which makes the whole automaton
+// deterministic in the sense of Section 3.1: one transition per task per
+// state.
+package process
+
+import (
+	"sort"
+	"strconv"
+
+	"github.com/ioa-lab/boosting/internal/codec"
+	"github.com/ioa-lab/boosting/internal/ioa"
+)
+
+// OutKind classifies a queued outgoing action.
+type OutKind int
+
+// Outgoing action kinds.
+const (
+	OutInvoke OutKind = iota + 1
+	OutDecide
+)
+
+// Outgoing is a pending output action of a process: an invocation on a
+// service or an external decide.
+type Outgoing struct {
+	Kind    OutKind
+	Service string // service index for OutInvoke
+	Payload string // invocation string, or decide value
+}
+
+func (o Outgoing) fingerprint() string {
+	return codec.List([]string{strconv.Itoa(int(o.Kind)), o.Service, o.Payload})
+}
+
+// State is a process automaton state: the program's named variables, the
+// outgoing-action queue, the recorded decision, and status flags. States are
+// immutable; transitions return fresh states.
+type State struct {
+	Vars    map[string]string
+	Outbox  []Outgoing
+	Decided string // recorded decision value; "" if none
+	// HasDec is set when the decide(v) output action is performed — the
+	// paper's convention for recording decisions in process state.
+	HasDec bool
+	// DecideQueued is set as soon as a decide is queued, so handlers cannot
+	// queue a second one while the first awaits emission.
+	DecideQueued bool
+	Failed       bool
+}
+
+// Fingerprint returns the canonical encoding of the state.
+func (st State) Fingerprint() string {
+	outbox := make([]string, len(st.Outbox))
+	for i, o := range st.Outbox {
+		outbox[i] = o.fingerprint()
+	}
+	flags := ""
+	if st.HasDec {
+		flags += "d"
+	}
+	if st.DecideQueued {
+		flags += "q"
+	}
+	if st.Failed {
+		flags += "f"
+	}
+	return codec.List([]string{
+		codec.Map(st.Vars),
+		codec.List(outbox),
+		codec.Atom(st.Decided),
+		codec.Atom(flags),
+	})
+}
+
+// Get returns the value of a variable ("" if unset).
+func (st State) Get(name string) string { return st.Vars[name] }
+
+// Program is the protocol logic of a process: deterministic handlers over a
+// Context. Handlers must be pure functions of (context state, event): no
+// randomness, no shared mutable state, no I/O — this is the determinism
+// restriction of Section 3.1, which the paper adopts w.l.o.g.
+type Program interface {
+	// Start returns the initial variable bindings of process id.
+	Start(id int) map[string]string
+	// HandleInit reacts to the external init(v) input.
+	HandleInit(ctx *Context, v string)
+	// HandleResponse reacts to a response from service c.
+	HandleResponse(ctx *Context, service, resp string)
+}
+
+// Context is the mutable view handlers use to read/update variables and
+// queue actions. It accumulates effects; the process applies them
+// atomically as the effect of the input action.
+type Context struct {
+	id      int
+	vars    map[string]string
+	outbox  []Outgoing
+	decided string
+	hasDec  bool
+}
+
+// ID returns the process index i.
+func (c *Context) ID() int { return c.id }
+
+// Get returns the value of a variable ("" if unset).
+func (c *Context) Get(name string) string { return c.vars[name] }
+
+// GetInt returns a variable parsed as an int (0 if unset or malformed).
+func (c *Context) GetInt(name string) int {
+	v, err := strconv.Atoi(c.vars[name])
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// Set assigns a variable.
+func (c *Context) Set(name, value string) { c.vars[name] = value }
+
+// SetInt assigns an integer variable.
+func (c *Context) SetInt(name string, value int) { c.vars[name] = strconv.Itoa(value) }
+
+// Decided reports whether the process has already recorded a decision.
+func (c *Context) Decided() bool { return c.hasDec }
+
+// Invoke queues an invocation on service c. Queued actions are emitted by
+// the process task one per step, in FIFO order.
+func (c *Context) Invoke(service, inv string) {
+	c.outbox = append(c.outbox, Outgoing{Kind: OutInvoke, Service: service, Payload: inv})
+}
+
+// Decide queues the external decide(v) output. Only the first decide is
+// recorded; later ones are dropped (the consensus interface decides once).
+func (c *Context) Decide(v string) {
+	if c.hasDec {
+		return
+	}
+	c.outbox = append(c.outbox, Outgoing{Kind: OutDecide, Payload: v})
+	c.hasDec = true
+	c.decided = v
+}
+
+// Process is a deterministic process automaton wrapping a Program.
+type Process struct {
+	id   int
+	prog Program
+}
+
+// New builds process P_i running the given program.
+func New(id int, prog Program) *Process {
+	return &Process{id: id, prog: prog}
+}
+
+// ID returns the process index.
+func (p *Process) ID() int { return p.id }
+
+// Task returns the process's single task.
+func (p *Process) Task() ioa.Task { return ioa.ProcessTask(p.id) }
+
+// InitialState returns the start state with the program's initial variables.
+func (p *Process) InitialState() State {
+	vars := p.prog.Start(p.id)
+	if vars == nil {
+		vars = map[string]string{}
+	}
+	return State{Vars: vars}
+}
+
+// context builds a Context seeded from st.
+func (p *Process) context(st State) *Context {
+	vars := make(map[string]string, len(st.Vars))
+	for k, v := range st.Vars {
+		vars[k] = v
+	}
+	outbox := make([]Outgoing, len(st.Outbox))
+	copy(outbox, st.Outbox)
+	return &Context{id: p.id, vars: vars, outbox: outbox, decided: st.Decided, hasDec: st.DecideQueued || st.HasDec}
+}
+
+// commit folds a Context back into a State. Queuing a decide only sets
+// DecideQueued; the decision itself is recorded when the decide action is
+// performed (the paper's convention, which the valence analyses rely on).
+func (p *Process) commit(st State, ctx *Context) State {
+	return State{
+		Vars:         ctx.vars,
+		Outbox:       ctx.outbox,
+		Decided:      st.Decided,
+		HasDec:       st.HasDec,
+		DecideQueued: ctx.hasDec,
+		Failed:       st.Failed,
+	}
+}
+
+// OnInit applies the init(v)_i input action. Failed processes still accept
+// inputs (input-enabledness) but their handlers do not run: a stopped
+// process takes no protocol steps.
+func (p *Process) OnInit(st State, v string) State {
+	if st.Failed {
+		return st
+	}
+	ctx := p.context(st)
+	p.prog.HandleInit(ctx, v)
+	return p.commit(st, ctx)
+}
+
+// OnResponse applies the b_{i,c} input action carrying a response from
+// service c.
+func (p *Process) OnResponse(st State, service, resp string) State {
+	if st.Failed {
+		return st
+	}
+	ctx := p.context(st)
+	p.prog.HandleResponse(ctx, service, resp)
+	return p.commit(st, ctx)
+}
+
+// Fail applies the fail_i input action: from here on no output action of the
+// process is enabled.
+func (p *Process) Fail(st State) State {
+	return State{Vars: st.Vars, Outbox: st.Outbox, Decided: st.Decided, HasDec: st.HasDec, DecideQueued: st.DecideQueued, Failed: true}
+}
+
+// Enabled returns the action the process's single task would perform in st.
+// It is always applicable: a failed or idle process takes a dummy step
+// (the paper requires some locally controlled action to be enabled in every
+// state).
+func (p *Process) Enabled(st State) ioa.Action {
+	if st.Failed || len(st.Outbox) == 0 {
+		return ioa.Action{Type: ioa.ActProcDummy, Proc: p.id}
+	}
+	head := st.Outbox[0]
+	switch head.Kind {
+	case OutInvoke:
+		return ioa.Action{Type: ioa.ActInvoke, Proc: p.id, Service: head.Service, Payload: head.Payload}
+	case OutDecide:
+		return ioa.Action{Type: ioa.ActDecide, Proc: p.id, Payload: head.Payload}
+	default:
+		return ioa.Action{Type: ioa.ActProcDummy, Proc: p.id}
+	}
+}
+
+// Step runs the process task: emit the head of the outbox (recording the
+// decision when the emitted action is a decide), or take a dummy step.
+// The returned action matches Enabled(st).
+func (p *Process) Step(st State) (State, ioa.Action) {
+	act := p.Enabled(st)
+	if act.Type == ioa.ActProcDummy {
+		return st, act
+	}
+	rest := make([]Outgoing, len(st.Outbox)-1)
+	copy(rest, st.Outbox[1:])
+	next := State{Vars: st.Vars, Outbox: rest, Decided: st.Decided, HasDec: st.HasDec, DecideQueued: st.DecideQueued, Failed: st.Failed}
+	if act.Type == ioa.ActDecide && !next.HasDec {
+		next.Decided = act.Payload
+		next.HasDec = true
+	}
+	return next, act
+}
+
+// VarNames returns the sorted variable names of a state (test helper).
+func (st State) VarNames() []string {
+	names := make([]string, 0, len(st.Vars))
+	for k := range st.Vars {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,272 @@
+package process
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/ioa-lab/boosting/internal/ioa"
+)
+
+// echoProgram invokes service "k" with its input, then decides whatever the
+// service responds. It is the Section 4 forwarding pattern in miniature.
+type echoProgram struct{}
+
+func (echoProgram) Start(id int) map[string]string { return map[string]string{"phase": "idle"} }
+
+func (echoProgram) HandleInit(ctx *Context, v string) {
+	ctx.Set("phase", "invoked")
+	ctx.Invoke("k", "init("+v+")")
+}
+
+func (echoProgram) HandleResponse(ctx *Context, service, resp string) {
+	if service != "k" || ctx.Decided() {
+		return
+	}
+	ctx.Set("phase", "done")
+	// resp is decide(v); forward v.
+	ctx.Decide(resp[len("decide(") : len(resp)-1])
+}
+
+func TestInitQueuesInvocation(t *testing.T) {
+	p := New(2, echoProgram{})
+	st := p.InitialState()
+	st = p.OnInit(st, "1")
+	if st.Get("phase") != "invoked" {
+		t.Errorf("phase: %q", st.Get("phase"))
+	}
+	act := p.Enabled(st)
+	if act.Type != ioa.ActInvoke || act.Service != "k" || act.Payload != "init(1)" || act.Proc != 2 {
+		t.Fatalf("enabled: %v", act)
+	}
+	st2, act2 := p.Step(st)
+	if act2 != act {
+		t.Errorf("Step action %v != Enabled action %v", act2, act)
+	}
+	if len(st2.Outbox) != 0 {
+		t.Error("outbox not drained")
+	}
+}
+
+func TestResponseLeadsToDecide(t *testing.T) {
+	p := New(0, echoProgram{})
+	st := p.InitialState()
+	st = p.OnInit(st, "0")
+	st, _ = p.Step(st)
+	st = p.OnResponse(st, "k", "decide(0)")
+	if !st.DecideQueued || st.HasDec {
+		t.Fatalf("decide should be queued but not yet recorded: %+v", st)
+	}
+	st, act := p.Step(st)
+	if act.Type != ioa.ActDecide || act.Payload != "0" {
+		t.Fatalf("decide action: %v", act)
+	}
+	// The decision is recorded when the decide action is performed
+	// (the paper's convention).
+	if !st.HasDec || st.Decided != "0" {
+		t.Fatalf("decision not recorded at emission: %+v", st)
+	}
+}
+
+func TestDecideOnlyOnce(t *testing.T) {
+	p := New(0, echoProgram{})
+	st := p.InitialState()
+	st = p.OnInit(st, "0")
+	st, _ = p.Step(st)
+	st = p.OnResponse(st, "k", "decide(0)")
+	st = p.OnResponse(st, "k", "decide(1)")
+	decides := 0
+	for len(st.Outbox) > 0 {
+		var act ioa.Action
+		st, act = p.Step(st)
+		if act.Type == ioa.ActDecide {
+			decides++
+		}
+	}
+	if decides != 1 {
+		t.Errorf("decide emitted %d times", decides)
+	}
+	if st.Decided != "0" {
+		t.Errorf("recorded decision %q, want first", st.Decided)
+	}
+}
+
+func TestDummyWhenIdle(t *testing.T) {
+	p := New(1, echoProgram{})
+	st := p.InitialState()
+	act := p.Enabled(st)
+	if act.Type != ioa.ActProcDummy || act.Proc != 1 {
+		t.Fatalf("idle enabled: %v", act)
+	}
+	st2, act2 := p.Step(st)
+	if act2.Type != ioa.ActProcDummy {
+		t.Fatalf("idle step: %v", act2)
+	}
+	if st2.Fingerprint() != st.Fingerprint() {
+		t.Error("dummy step changed state")
+	}
+}
+
+func TestFailDisablesOutputs(t *testing.T) {
+	p := New(0, echoProgram{})
+	st := p.InitialState()
+	st = p.OnInit(st, "1")
+	st = p.Fail(st)
+	// Outbox non-empty, but failed: only the dummy action is enabled.
+	act := p.Enabled(st)
+	if act.Type != ioa.ActProcDummy {
+		t.Fatalf("failed process enabled: %v", act)
+	}
+	// Inputs are still accepted (input-enabledness) but handlers do not run.
+	before := st.Fingerprint()
+	st = p.OnResponse(st, "k", "decide(1)")
+	if st.Fingerprint() != before {
+		t.Error("failed process ran a handler")
+	}
+	st = p.OnInit(st, "0")
+	if st.Fingerprint() != before {
+		t.Error("failed process reacted to init")
+	}
+}
+
+func TestOutboxFIFO(t *testing.T) {
+	prog := &multiInvoker{}
+	p := New(0, prog)
+	st := p.InitialState()
+	st = p.OnInit(st, "x")
+	var order []string
+	for len(st.Outbox) > 0 {
+		var act ioa.Action
+		st, act = p.Step(st)
+		order = append(order, act.Service)
+	}
+	if len(order) != 3 || order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Errorf("emission order: %v", order)
+	}
+}
+
+type multiInvoker struct{}
+
+func (*multiInvoker) Start(int) map[string]string { return nil }
+func (*multiInvoker) HandleInit(ctx *Context, v string) {
+	ctx.Invoke("a", "init(0)")
+	ctx.Invoke("b", "init(0)")
+	ctx.Invoke("c", "init(0)")
+}
+func (*multiInvoker) HandleResponse(*Context, string, string) {}
+
+func TestStateImmutability(t *testing.T) {
+	p := New(0, echoProgram{})
+	st0 := p.InitialState()
+	fp0 := st0.Fingerprint()
+	st1 := p.OnInit(st0, "1")
+	if st0.Fingerprint() != fp0 {
+		t.Error("OnInit mutated source state")
+	}
+	st2, _ := p.Step(st1)
+	if st1.Fingerprint() == st2.Fingerprint() {
+		t.Error("Step produced identical state despite pending outbox")
+	}
+	// Divergent continuations do not interfere.
+	st3 := p.OnResponse(st1, "k", "decide(1)")
+	if len(st2.Outbox) != 0 {
+		t.Errorf("sibling corrupted: %v", st2.Outbox)
+	}
+	_ = st3
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	p := New(0, echoProgram{})
+	st := p.InitialState()
+	a := p.OnInit(st, "0")
+	b := p.OnInit(st, "1")
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("fingerprints collide for different inputs")
+	}
+	failed := p.Fail(st)
+	if failed.Fingerprint() == st.Fingerprint() {
+		t.Error("failure not reflected in fingerprint")
+	}
+}
+
+func TestContextHelpers(t *testing.T) {
+	ctx := &Context{id: 3, vars: map[string]string{}}
+	if ctx.ID() != 3 {
+		t.Error("ID")
+	}
+	ctx.SetInt("round", 7)
+	if ctx.GetInt("round") != 7 {
+		t.Error("SetInt/GetInt")
+	}
+	if ctx.GetInt("missing") != 0 {
+		t.Error("GetInt default")
+	}
+	ctx.Set("s", "v")
+	if ctx.Get("s") != "v" {
+		t.Error("Set/Get")
+	}
+}
+
+func TestVarNamesSorted(t *testing.T) {
+	st := State{Vars: map[string]string{"b": "1", "a": "2", "c": "3"}}
+	names := st.VarNames()
+	if len(names) != 3 || names[0] != "a" || names[2] != "c" {
+		t.Errorf("VarNames: %v", names)
+	}
+}
+
+func TestHandlerReplayDeterminismProperty(t *testing.T) {
+	// Property (Section 3.1 determinism): delivering the same event
+	// sequence twice yields identical state fingerprints at every step.
+	p := New(0, echoProgram{})
+	f := func(events []byte) bool {
+		if len(events) > 40 {
+			events = events[:40]
+		}
+		run := func() string {
+			st := p.InitialState()
+			for _, e := range events {
+				switch e % 4 {
+				case 0:
+					st = p.OnInit(st, "0")
+				case 1:
+					st = p.OnInit(st, "1")
+				case 2:
+					st = p.OnResponse(st, "k", "decide(1)")
+				case 3:
+					st, _ = p.Step(st)
+				}
+			}
+			return st.Fingerprint()
+		}
+		return run() == run()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOutboxDrainsToEmptyProperty(t *testing.T) {
+	// Property: stepping repeatedly always drains the outbox (no step can
+	// grow it), and dummy steps are fixpoints.
+	p := New(0, echoProgram{})
+	f := func(nInits uint8) bool {
+		st := p.InitialState()
+		st = p.OnInit(st, "1")
+		for i := 0; i < int(nInits)%5; i++ {
+			st = p.OnInit(st, "0") // echoProgram re-invokes per init
+		}
+		prev := len(st.Outbox)
+		for len(st.Outbox) > 0 {
+			st, _ = p.Step(st)
+			if len(st.Outbox) >= prev && prev != 0 && len(st.Outbox) != prev-1 {
+				return false
+			}
+			prev = len(st.Outbox)
+		}
+		next, act := p.Step(st)
+		return act.Type == ioa.ActProcDummy && next.Fingerprint() == st.Fingerprint()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,155 @@
+package protocols
+
+import (
+	"fmt"
+
+	"github.com/ioa-lab/boosting/internal/process"
+	"github.com/ioa-lab/boosting/internal/service"
+	"github.com/ioa-lab/boosting/internal/servicetype"
+	"github.com/ioa-lab/boosting/internal/system"
+)
+
+// BinaryProposals is the proposal domain of the binary consensus builders.
+var BinaryProposals = []string{"0", "1"}
+
+// floodRegisters builds the n × rounds flooding registers, each a reliable
+// (wait-free) register connected to all processes, with value domain
+// "" (unwritten) plus every subset of the proposal space.
+func floodRegisters(procs []int, rounds int, proposals []string) ([]*service.Service, error) {
+	values := append([]string{""}, subsetsOf(proposals)...)
+	var out []*service.Service
+	for _, i := range procs {
+		for t := 1; t <= rounds; t++ {
+			reg, err := service.NewRegister(RegisterName(i, t), values, "", procs)
+			if err != nil {
+				return nil, fmt.Errorf("register %s: %w", RegisterName(i, t), err)
+			}
+			out = append(out, reg)
+		}
+	}
+	return out, nil
+}
+
+// BuildFloodSetWithP assembles FloodSet over registers with a single
+// n-process perfect failure detector P of resilience fFD connected to all
+// processes. With fFD ≥ n−1 this solves wait-free consensus; with
+// fFD < rounds−1 it is exactly the Theorem 10 candidate: all general
+// services are connected to all processes, so fFD+1 failures can silence
+// them, and the claimed tolerance rounds−1 > fFD cannot be met.
+func BuildFloodSetWithP(n, fFD, rounds int, policy service.SilencePolicy) (*system.System, error) {
+	if n < 1 || rounds < 1 {
+		return nil, fmt.Errorf("protocols: bad FloodSet shape n=%d rounds=%d", n, rounds)
+	}
+	procIDs := make([]int, n)
+	for i := range procIDs {
+		procIDs[i] = i
+	}
+	prog := FloodSet{Procs: procIDs, Rounds: rounds}
+	procs := make([]*process.Process, n)
+	for i := 0; i < n; i++ {
+		procs[i] = process.New(i, prog)
+	}
+	svcs, err := floodRegisters(procIDs, rounds, BinaryProposals)
+	if err != nil {
+		return nil, err
+	}
+	fd, err := service.New(service.Config{
+		Index:      "P",
+		Type:       servicetype.PerfectFD(procIDs),
+		Endpoints:  procIDs,
+		Resilience: fFD,
+		Policy:     policy,
+	})
+	if err != nil {
+		return nil, err
+	}
+	svcs = append(svcs, fd)
+	return system.New(procs, svcs)
+}
+
+// BuildFDBoost assembles the Section 6.3 positive construction: FloodSet
+// over registers with a 1-resilient (hence wait-free) 2-process perfect
+// failure detector on every pair of processes. Because the detectors'
+// connection pattern is not "all processes", Theorem 10 does not apply —
+// and indeed the system solves consensus for any number of failures when
+// rounds = n.
+func BuildFDBoost(n, rounds int) (*system.System, error) {
+	if n < 2 || rounds < 1 {
+		return nil, fmt.Errorf("protocols: bad FD-boost shape n=%d rounds=%d (procs %s)", n, rounds, fmtProcs(nil))
+	}
+	procIDs := make([]int, n)
+	for i := range procIDs {
+		procIDs[i] = i
+	}
+	prog := FloodSet{Procs: procIDs, Rounds: rounds}
+	procs := make([]*process.Process, n)
+	for i := 0; i < n; i++ {
+		procs[i] = process.New(i, prog)
+	}
+	svcs, err := floodRegisters(procIDs, rounds, BinaryProposals)
+	if err != nil {
+		return nil, err
+	}
+	pairFDs, err := buildPairFDs(procIDs)
+	if err != nil {
+		return nil, err
+	}
+	svcs = append(svcs, pairFDs...)
+	return system.New(procs, svcs)
+}
+
+// buildPairFDs builds a 1-resilient 2-process perfect failure detector for
+// every pair of processes.
+func buildPairFDs(procIDs []int) ([]*service.Service, error) {
+	var out []*service.Service
+	for a := 0; a < len(procIDs); a++ {
+		for b := a + 1; b < len(procIDs); b++ {
+			i, j := procIDs[a], procIDs[b]
+			fd, err := service.New(service.Config{
+				Index:      PairFDName(i, j),
+				Type:       servicetype.PerfectFD([]int{i, j}),
+				Endpoints:  []int{i, j},
+				Resilience: 1, // wait-free for the pair
+				Policy:     service.Adversarial,
+			})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, fd)
+		}
+	}
+	return out, nil
+}
+
+// BuildSuspectCollector assembles the Section 6.3 union construction in
+// isolation: n collector processes, each listening to its n−1 pairwise
+// 1-resilient perfect failure detectors. Each live process's accumulated
+// suspect set converges to the true failed set — a wait-free n-process
+// perfect failure detector boosted from 1-resilient parts.
+func BuildSuspectCollector(n int) (*system.System, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("protocols: collector needs n ≥ 2, got %d", n)
+	}
+	procIDs := make([]int, n)
+	for i := range procIDs {
+		procIDs[i] = i
+	}
+	detectors := make(map[int][]string, n)
+	for _, i := range procIDs {
+		for _, j := range procIDs {
+			if i != j {
+				detectors[i] = append(detectors[i], PairFDName(i, j))
+			}
+		}
+	}
+	prog := SuspectCollector{Detectors: detectors}
+	procs := make([]*process.Process, n)
+	for i := 0; i < n; i++ {
+		procs[i] = process.New(i, prog)
+	}
+	svcs, err := buildPairFDs(procIDs)
+	if err != nil {
+		return nil, err
+	}
+	return system.New(procs, svcs)
+}

@@ -1,0 +1,295 @@
+package protocols
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/ioa-lab/boosting/internal/codec"
+	"github.com/ioa-lab/boosting/internal/process"
+	"github.com/ioa-lab/boosting/internal/seqtype"
+	"github.com/ioa-lab/boosting/internal/servicetype"
+)
+
+// RegisterName returns the index of the round-t flooding register of
+// process i ("R<i>_<t>").
+func RegisterName(i, t int) string {
+	return "R" + strconv.Itoa(i) + "_" + strconv.Itoa(t)
+}
+
+// ParseRegisterName inverts RegisterName.
+func ParseRegisterName(name string) (i, t int, ok bool) {
+	if !strings.HasPrefix(name, "R") {
+		return 0, 0, false
+	}
+	parts := strings.SplitN(name[1:], "_", 2)
+	if len(parts) != 2 {
+		return 0, 0, false
+	}
+	i, err1 := strconv.Atoi(parts[0])
+	t, err2 := strconv.Atoi(parts[1])
+	return i, t, err1 == nil && err2 == nil
+}
+
+// PairFDName returns the index of the 2-process perfect failure detector
+// shared by processes i and j ("fd<min>_<max>").
+func PairFDName(i, j int) string {
+	if j < i {
+		i, j = j, i
+	}
+	return "fd" + strconv.Itoa(i) + "_" + strconv.Itoa(j)
+}
+
+// FloodSet is the consensus protocol of the Section 6.3 discussion: a
+// FloodSet synchronous-round simulation over shared registers, with round
+// advancement guarded by perfect-failure-detector reports.
+//
+// In round t (1 ≤ t ≤ Rounds), process i writes its known value set W to
+// register R<i>_<t> and then, for every other process j, polls R<j>_<t>
+// until it is written (merge it) or j is suspected (skip it — accuracy of P
+// makes skipping safe: suspected means crashed). After round Rounds the
+// process decides min(W).
+//
+// With Rounds = f+1 the protocol tolerates f crashes: some round is free of
+// crashes, after which all survivors hold identical W (the classic FloodSet
+// argument; the perfect detector turns the asynchronous system into a
+// synchronous-round simulation with crash-round message loss). Suspicions
+// may arrive from one n-process detector or from the pairwise 2-process
+// detectors of the Section 6.3 boost — the program only parses suspect
+// responses, wherever they come from.
+type FloodSet struct {
+	// Procs is the full process id set I.
+	Procs []int
+	// Rounds is the number of flooding rounds (tolerated failures + 1).
+	Rounds int
+}
+
+var _ process.Program = FloodSet{}
+
+// Variable names of the FloodSet state machine.
+const (
+	varPhase    = "phase"
+	varRound    = "t"
+	varKnown    = "W"
+	varWaiting  = "waiting"
+	varSuspects = "suspects"
+
+	phaseRun  = "run"
+	phaseDone = "done"
+)
+
+// Start implements process.Program.
+func (FloodSet) Start(int) map[string]string {
+	return map[string]string{
+		varPhase:    "",
+		varKnown:    codec.Set(nil),
+		varWaiting:  codec.Set(nil),
+		varSuspects: codec.NewIntSet().Fingerprint(),
+	}
+}
+
+// HandleInit begins round 1 with W = {v}.
+func (p FloodSet) HandleInit(ctx *process.Context, v string) {
+	if ctx.Get(varPhase) != "" {
+		return
+	}
+	ctx.Set(varPhase, phaseRun)
+	ctx.SetInt(varRound, 1)
+	ctx.Set(varKnown, codec.Set([]string{v}))
+	p.startRound(ctx)
+}
+
+// startRound writes W to the process's round register and begins polling
+// everyone else's.
+func (p FloodSet) startRound(ctx *process.Context) {
+	t := ctx.GetInt(varRound)
+	ctx.Invoke(RegisterName(ctx.ID(), t), seqtype.Write(ctx.Get(varKnown)))
+	var waiting []string
+	for _, j := range p.Procs {
+		if j == ctx.ID() {
+			continue
+		}
+		waiting = append(waiting, strconv.Itoa(j))
+		ctx.Invoke(RegisterName(j, t), seqtype.Read)
+	}
+	ctx.Set(varWaiting, codec.Set(waiting))
+	if len(waiting) == 0 {
+		p.finishRound(ctx)
+	}
+}
+
+// finishRound advances to the next round or decides min(W).
+func (p FloodSet) finishRound(ctx *process.Context) {
+	t := ctx.GetInt(varRound)
+	if t >= p.Rounds {
+		ctx.Set(varPhase, phaseDone)
+		members, err := codec.ParseSet(ctx.Get(varKnown))
+		if err != nil || len(members) == 0 {
+			return
+		}
+		sort.Strings(members)
+		ctx.Decide(members[0])
+		return
+	}
+	ctx.SetInt(varRound, t+1)
+	p.startRound(ctx)
+}
+
+// HandleResponse drives the polling state machine.
+func (p FloodSet) HandleResponse(ctx *process.Context, svc, resp string) {
+	if ctx.Get(varPhase) != phaseRun {
+		return
+	}
+	// Failure-detector report (from any detector service).
+	if s, ok := servicetype.SuspectSet(resp); ok {
+		cur, err := codec.ParseIntSet(ctx.Get(varSuspects))
+		if err != nil {
+			cur = codec.NewIntSet()
+		}
+		ctx.Set(varSuspects, cur.Union(s).Fingerprint())
+		return
+	}
+	j, tr, ok := ParseRegisterName(svc)
+	if !ok || resp == seqtype.Ack {
+		return
+	}
+	if tr != ctx.GetInt(varRound) {
+		return // stale read from an earlier round
+	}
+	waiting, err := codec.ParseSet(ctx.Get(varWaiting))
+	if err != nil || !containsString(waiting, strconv.Itoa(j)) {
+		return
+	}
+	if resp == "" {
+		// Register unwritten: skip j if it crashed (accuracy makes this
+		// safe), otherwise keep polling.
+		suspects, serr := codec.ParseIntSet(ctx.Get(varSuspects))
+		if serr == nil && suspects.Has(j) {
+			p.resolve(ctx, waiting, j)
+			return
+		}
+		ctx.Invoke(svc, seqtype.Read)
+		return
+	}
+	// Written: merge j's value set.
+	theirs, perr := codec.ParseSet(resp)
+	if perr != nil {
+		return
+	}
+	mine, merr := codec.ParseSet(ctx.Get(varKnown))
+	if merr != nil {
+		return
+	}
+	ctx.Set(varKnown, codec.Set(append(mine, theirs...)))
+	p.resolve(ctx, waiting, j)
+}
+
+// resolve removes j from the waiting set and finishes the round when it
+// empties.
+func (p FloodSet) resolve(ctx *process.Context, waiting []string, j int) {
+	next := make([]string, 0, len(waiting))
+	id := strconv.Itoa(j)
+	for _, w := range waiting {
+		if w != id {
+			next = append(next, w)
+		}
+	}
+	ctx.Set(varWaiting, codec.Set(next))
+	if len(next) == 0 {
+		p.finishRound(ctx)
+	}
+}
+
+func containsString(items []string, want string) bool {
+	for _, it := range items {
+		if it == want {
+			return true
+		}
+	}
+	return false
+}
+
+// SuspectCollector is the Section 6.3 union construction in isolation: the
+// process accumulates the union of the suspect reports of every failure
+// detector it is connected to, and "decides" the accumulated fingerprint
+// once every detector has reported at least once. With 1-resilient
+// 2-process perfect detectors on every pair, the accumulated set converges
+// to the true failed set — a wait-free n-process perfect failure detector
+// built from 1-resilient parts.
+type SuspectCollector struct {
+	// Detectors maps each process to the detector services it listens to.
+	Detectors map[int][]string
+}
+
+var _ process.Program = SuspectCollector{}
+
+// Collector variable names.
+const (
+	VarSuspects = "suspects"
+	varHeard    = "heard"
+)
+
+// Start implements process.Program.
+func (SuspectCollector) Start(int) map[string]string {
+	return map[string]string{
+		VarSuspects: codec.NewIntSet().Fingerprint(),
+		varHeard:    codec.Set(nil),
+	}
+}
+
+// HandleInit is a no-op: collectors are driven purely by detector reports.
+func (SuspectCollector) HandleInit(*process.Context, string) {}
+
+// HandleResponse unions the report into the accumulated suspect set.
+func (c SuspectCollector) HandleResponse(ctx *process.Context, svc, resp string) {
+	s, ok := servicetype.SuspectSet(resp)
+	if !ok {
+		return
+	}
+	cur, err := codec.ParseIntSet(ctx.Get(VarSuspects))
+	if err != nil {
+		cur = codec.NewIntSet()
+	}
+	ctx.Set(VarSuspects, cur.Union(s).Fingerprint())
+	heard, err := codec.ParseSet(ctx.Get(varHeard))
+	if err != nil {
+		heard = nil
+	}
+	heard = append(heard, svc)
+	ctx.Set(varHeard, codec.Set(heard))
+	if ctx.Decided() {
+		return
+	}
+	mine := c.Detectors[ctx.ID()]
+	parsed, _ := codec.ParseSet(ctx.Get(varHeard))
+	if len(mine) > 0 && len(parsed) >= len(mine) {
+		ctx.Decide(ctx.Get(VarSuspects))
+	}
+}
+
+// subsetsOf enumerates the codec.Set encodings of all subsets of the given
+// proposals (register value domains for FloodSet).
+func subsetsOf(proposals []string) []string {
+	n := len(proposals)
+	out := make([]string, 0, 1<<n)
+	for bits := 0; bits < 1<<n; bits++ {
+		var members []string
+		for idx := 0; idx < n; idx++ {
+			if bits&(1<<idx) != 0 {
+				members = append(members, proposals[idx])
+			}
+		}
+		out = append(out, codec.Set(members))
+	}
+	return out
+}
+
+// fmtProcs renders a process list for error messages.
+func fmtProcs(procs []int) string {
+	parts := make([]string, len(procs))
+	for i, p := range procs {
+		parts[i] = strconv.Itoa(p)
+	}
+	return fmt.Sprintf("{%s}", strings.Join(parts, ","))
+}

@@ -1,0 +1,215 @@
+// Package protocols implements concrete process programs and system
+// builders for the paper's constructions and counter-candidates:
+//
+//   - Forward: solve consensus by forwarding to a consensus service — the
+//     candidate family refuted by Theorem 2 whenever the service's
+//     resilience is below the claimed tolerance;
+//   - GroupedForward: the Section 4 construction boosting resilience for
+//     k-set-consensus (wait-free 2n-process 2-set consensus from wait-free
+//     n-process consensus services);
+//   - TOBConsensus: decide the first totally-ordered-broadcast delivery —
+//     the failure-oblivious candidate family refuted by Theorem 9;
+//   - SuspectCollector: the Section 6.3 union construction accumulating
+//     pairwise perfect-failure-detector reports;
+//   - FloodSet: synchronous-round flooding over registers guided by perfect
+//     failure detectors — with 1-resilient 2-process detectors it realizes
+//     the Section 6.3 positive result (consensus for any number of
+//     failures); with a single f-resilient all-connected detector it is the
+//     candidate family refuted by Theorem 10.
+package protocols
+
+import (
+	"fmt"
+
+	"github.com/ioa-lab/boosting/internal/process"
+	"github.com/ioa-lab/boosting/internal/seqtype"
+	"github.com/ioa-lab/boosting/internal/service"
+	"github.com/ioa-lab/boosting/internal/servicetype"
+	"github.com/ioa-lab/boosting/internal/system"
+)
+
+// Forward forwards the process's input to one consensus service and decides
+// whatever the service responds.
+type Forward struct {
+	// Service is the index of the consensus service to use.
+	Service string
+}
+
+var _ process.Program = Forward{}
+
+// Start implements process.Program.
+func (Forward) Start(int) map[string]string { return nil }
+
+// HandleInit forwards the input.
+func (f Forward) HandleInit(ctx *process.Context, v string) {
+	ctx.Invoke(f.Service, seqtype.Init(v))
+}
+
+// HandleResponse decides the service's answer.
+func (f Forward) HandleResponse(ctx *process.Context, svc, resp string) {
+	if svc != f.Service {
+		return
+	}
+	if v, ok := seqtype.DecideValue(resp); ok {
+		ctx.Decide(v)
+	}
+}
+
+// GroupedForward is the Section 4 set-consensus construction: process i
+// forwards its input to the consensus service of its group and decides the
+// response. With g = k/k′ disjoint groups, at most k distinct values are
+// decided overall.
+type GroupedForward struct {
+	// Groups maps each process to its group's consensus service index.
+	Groups map[int]string
+}
+
+var _ process.Program = GroupedForward{}
+
+// Start implements process.Program.
+func (GroupedForward) Start(int) map[string]string { return nil }
+
+// HandleInit forwards the input to the group service.
+func (g GroupedForward) HandleInit(ctx *process.Context, v string) {
+	svc, ok := g.Groups[ctx.ID()]
+	if !ok {
+		return
+	}
+	ctx.Invoke(svc, seqtype.Init(v))
+}
+
+// HandleResponse decides the group service's answer.
+func (g GroupedForward) HandleResponse(ctx *process.Context, svc, resp string) {
+	if svc != g.Groups[ctx.ID()] {
+		return
+	}
+	if v, ok := seqtype.DecideValue(resp); ok {
+		ctx.Decide(v)
+	}
+}
+
+// BuildForward assembles the Theorem 2 candidate: n processes forwarding to
+// a single f-resilient binary consensus object (plus a reliable register,
+// which the protocol does not use but the theorem statement allows).
+func BuildForward(n, f int, policy service.SilencePolicy) (*system.System, error) {
+	procs := make([]*process.Process, n)
+	eps := make([]int, n)
+	for i := 0; i < n; i++ {
+		procs[i] = process.New(i, Forward{Service: "k0"})
+		eps[i] = i
+	}
+	obj, err := service.New(service.Config{
+		Index:      "k0",
+		Type:       servicetype.FromSequential(seqtype.BinaryConsensus()),
+		Endpoints:  eps,
+		Resilience: f,
+		Policy:     policy,
+	})
+	if err != nil {
+		return nil, err
+	}
+	reg, err := service.NewRegister("r0", []string{"", "0", "1"}, "", eps)
+	if err != nil {
+		return nil, err
+	}
+	return system.New(procs, []*service.Service{obj, reg})
+}
+
+// BuildSetBoost assembles the Section 4 construction for k = 2, k′ = 1:
+// 2n processes split into two groups of n, each group sharing one wait-free
+// n-process binary consensus service. The result solves wait-free
+// (i.e. (2n−1)-resilient) 2-set-consensus — resilience boosted from n−1 to
+// 2n−1, which Theorem 2 shows is impossible for consensus itself.
+func BuildSetBoost(n int) (*system.System, error) {
+	return BuildGroupedBoost(2, n)
+}
+
+// BuildGroupedBoost assembles the Section 4 construction in its general
+// k′ = 1 form: g·n processes in g disjoint groups of n, each group sharing
+// one wait-free n-process binary consensus service. Since the g services
+// return at most g distinct values overall, the composition solves
+// wait-free g-set-consensus for g·n processes: (n−1)-resilient parts,
+// (gn−1)-resilient whole.
+func BuildGroupedBoost(g, n int) (*system.System, error) {
+	if g < 1 || n < 1 {
+		return nil, fmt.Errorf("protocols: bad boost shape groups=%d size=%d", g, n)
+	}
+	total := g * n
+	groups := make(map[int]string, total)
+	groupEps := make([][]int, g)
+	for i := 0; i < total; i++ {
+		grp := i / n
+		groups[i] = fmt.Sprintf("k%d", grp)
+		groupEps[grp] = append(groupEps[grp], i)
+	}
+	procs := make([]*process.Process, total)
+	for i := 0; i < total; i++ {
+		procs[i] = process.New(i, GroupedForward{Groups: groups})
+	}
+	var svcs []*service.Service
+	for grp := 0; grp < g; grp++ {
+		obj, err := service.NewWaitFree(
+			fmt.Sprintf("k%d", grp),
+			servicetype.FromSequential(seqtype.BinaryConsensus()),
+			groupEps[grp],
+			service.Adversarial,
+		)
+		if err != nil {
+			return nil, err
+		}
+		svcs = append(svcs, obj)
+	}
+	return system.New(procs, svcs)
+}
+
+// TOBConsensus broadcasts the process's input on a totally-ordered-broadcast
+// service and decides the first delivered value: agreement follows from
+// total order, validity from the broadcast contents. It is a correct
+// consensus protocol exactly while the TOB service stays live — the
+// Theorem 9 candidate family.
+type TOBConsensus struct {
+	// Service is the TOB service index.
+	Service string
+}
+
+var _ process.Program = TOBConsensus{}
+
+// Start implements process.Program.
+func (TOBConsensus) Start(int) map[string]string { return nil }
+
+// HandleInit broadcasts the input.
+func (t TOBConsensus) HandleInit(ctx *process.Context, v string) {
+	ctx.Invoke(t.Service, servicetype.Bcast(v))
+}
+
+// HandleResponse decides the first delivery.
+func (t TOBConsensus) HandleResponse(ctx *process.Context, svc, resp string) {
+	if svc != t.Service || ctx.Decided() {
+		return
+	}
+	if m, _, ok := servicetype.RcvParts(resp); ok {
+		ctx.Decide(m)
+	}
+}
+
+// BuildTOBConsensus assembles the Theorem 9 candidate: n processes deciding
+// via an f-resilient totally ordered broadcast service.
+func BuildTOBConsensus(n, f int, policy service.SilencePolicy) (*system.System, error) {
+	procs := make([]*process.Process, n)
+	eps := make([]int, n)
+	for i := 0; i < n; i++ {
+		procs[i] = process.New(i, TOBConsensus{Service: "b0"})
+		eps[i] = i
+	}
+	tob, err := service.New(service.Config{
+		Index:      "b0",
+		Type:       servicetype.TotallyOrderedBroadcast(eps),
+		Endpoints:  eps,
+		Resilience: f,
+		Policy:     policy,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return system.New(procs, []*service.Service{tob})
+}

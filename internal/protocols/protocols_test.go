@@ -1,0 +1,334 @@
+package protocols_test
+
+import (
+	"testing"
+
+	"github.com/ioa-lab/boosting/internal/codec"
+	"github.com/ioa-lab/boosting/internal/explore"
+	"github.com/ioa-lab/boosting/internal/protocols"
+	"github.com/ioa-lab/boosting/internal/service"
+)
+
+func TestRegisterNameRoundTrip(t *testing.T) {
+	for _, c := range []struct{ i, t int }{{0, 1}, {3, 2}, {12, 10}} {
+		name := protocols.RegisterName(c.i, c.t)
+		i, tr, ok := protocols.ParseRegisterName(name)
+		if !ok || i != c.i || tr != c.t {
+			t.Errorf("round trip %q: %d %d %v", name, i, tr, ok)
+		}
+	}
+	for _, bad := range []string{"", "R", "R1", "X1_2", "Rx_y"} {
+		if _, _, ok := protocols.ParseRegisterName(bad); ok {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestPairFDNameSymmetric(t *testing.T) {
+	if protocols.PairFDName(2, 5) != protocols.PairFDName(5, 2) {
+		t.Error("pair FD name must not depend on argument order")
+	}
+}
+
+func TestSetBoostAllFailurePatterns(t *testing.T) {
+	// Section 4, concrete instance n = 2: 4 processes, wait-free 2-process
+	// consensus services k0 (procs 0,1) and k1 (procs 2,3). The composition
+	// solves wait-free 2-set consensus: under EVERY failure pattern of up to
+	// 3 processes, every live process decides, decisions are inputs, and at
+	// most 2 distinct values are decided.
+	sys, err := protocols.BuildSetBoost(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := map[int]string{0: "0", 1: "1", 2: "1", 3: "0"}
+	ids := sys.ProcessIDs()
+	for bits := 0; bits < 1<<len(ids); bits++ {
+		var J []int
+		for idx, id := range ids {
+			if bits&(1<<idx) != 0 {
+				J = append(J, id)
+			}
+		}
+		if len(J) == len(ids) {
+			continue // all failed: nothing to check
+		}
+		failures := make([]explore.FailureEvent, len(J))
+		for i, p := range J {
+			failures[i] = explore.FailureEvent{Round: 0, Proc: p}
+		}
+		res, err := explore.RoundRobin(sys, explore.RunConfig{Inputs: inputs, Failures: failures})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Done {
+			t.Fatalf("failure set %v: live processes did not all decide: %v", J, res.Decisions)
+		}
+		distinct := map[string]bool{}
+		for p, v := range res.Decisions {
+			if v != inputs[p] && v != "0" && v != "1" {
+				t.Fatalf("failure set %v: invalid decision %q", J, v)
+			}
+			distinct[v] = true
+		}
+		if len(distinct) > 2 {
+			t.Fatalf("failure set %v: %d distinct decisions (k = 2 exceeded): %v", J, len(distinct), res.Decisions)
+		}
+	}
+}
+
+func TestSetBoostGroupAgreement(t *testing.T) {
+	// Within each group, decisions must agree (each group shares one
+	// consensus service).
+	sys, err := protocols.BuildSetBoost(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := map[int]string{0: "0", 1: "1", 2: "1", 3: "0"}
+	res, err := explore.RoundRobin(sys, explore.RunConfig{Inputs: inputs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Done {
+		t.Fatal("did not terminate")
+	}
+	if res.Decisions[0] != res.Decisions[1] {
+		t.Errorf("group 0 disagrees: %v", res.Decisions)
+	}
+	if res.Decisions[2] != res.Decisions[3] {
+		t.Errorf("group 1 disagrees: %v", res.Decisions)
+	}
+}
+
+func TestFloodSetWithWaitFreePDecides(t *testing.T) {
+	// FloodSet with a wait-free perfect detector: consensus for any number
+	// of failures (rounds = n tolerates n−1).
+	const n = 3
+	sys, err := protocols.BuildFloodSetWithP(n, n-1, n, service.Adversarial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := map[int]string{0: "1", 1: "0", 2: "1"}
+	res, err := explore.RoundRobin(sys, explore.RunConfig{Inputs: inputs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Done {
+		t.Fatalf("failure-free run did not decide: rounds=%d decisions=%v diverged=%v",
+			res.Rounds, res.Decisions, res.Diverged)
+	}
+	assertConsensus(t, inputs, res.Decisions, nil)
+}
+
+func TestFDBoostConsensusForAnyF(t *testing.T) {
+	// Section 6.3's positive result: consensus for ANY number of failures
+	// from 1-resilient 2-process perfect FDs and reliable registers. For
+	// n = 3 and every failure set of size 0, 1 or 2, all live processes
+	// decide one common input value.
+	const n = 3
+	sys, err := protocols.BuildFDBoost(n, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := map[int]string{0: "1", 1: "0", 2: "1"}
+	for bits := 0; bits < 1<<n; bits++ {
+		var J []int
+		for idx := 0; idx < n; idx++ {
+			if bits&(1<<idx) != 0 {
+				J = append(J, idx)
+			}
+		}
+		if len(J) == n {
+			continue
+		}
+		failures := make([]explore.FailureEvent, len(J))
+		for i, p := range J {
+			failures[i] = explore.FailureEvent{Round: 0, Proc: p}
+		}
+		res, err := explore.RoundRobin(sys, explore.RunConfig{Inputs: inputs, Failures: failures})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Done {
+			t.Fatalf("J=%v: live processes did not decide (rounds=%d, diverged=%v, decisions=%v)",
+				J, res.Rounds, res.Diverged, res.Decisions)
+		}
+		assertConsensus(t, inputs, res.Decisions, J)
+	}
+}
+
+func TestFDBoostStaggeredFailures(t *testing.T) {
+	// Failures landing mid-protocol (different rounds) must not break
+	// agreement or termination.
+	const n = 3
+	sys, err := protocols.BuildFDBoost(n, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := map[int]string{0: "0", 1: "1", 2: "0"}
+	for r1 := 0; r1 <= 4; r1 += 2 {
+		for r2 := r1; r2 <= 6; r2 += 3 {
+			res, err := explore.RoundRobin(sys, explore.RunConfig{
+				Inputs: inputs,
+				Failures: []explore.FailureEvent{
+					{Round: r1, Proc: 1},
+					{Round: r2, Proc: 2},
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Done {
+				t.Fatalf("r1=%d r2=%d: no termination: %v", r1, r2, res.Decisions)
+			}
+			assertConsensus(t, inputs, res.Decisions, []int{1, 2})
+		}
+	}
+}
+
+func TestSuspectCollectorAccuracyAndCompleteness(t *testing.T) {
+	// Section 6.3's union construction: after failing J, every live
+	// collector's accumulated suspect set equals J exactly (accuracy:
+	// ⊆ failed; completeness: ⊇ failed once every pair detector reported).
+	const n = 3
+	sys, err := protocols.BuildSuspectCollector(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := map[int]string{0: "x", 1: "x", 2: "x"}
+	J := []int{1}
+	res, err := explore.RoundRobin(sys, explore.RunConfig{
+		Inputs:   inputs,
+		Failures: []explore.FailureEvent{{Round: 0, Proc: 1}},
+		// Collectors decide after hearing each detector once; give a few
+		// rounds so detectors push reports.
+		MaxRounds: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := codec.NewIntSet(J...)
+	for _, i := range []int{0, 2} {
+		got, perr := codec.ParseIntSet(res.Final.Procs[i].Get(protocols.VarSuspects))
+		if perr != nil {
+			t.Fatalf("P%d suspects: %v", i, perr)
+		}
+		if !got.SubsetOf(want) {
+			t.Errorf("P%d accuracy violated: suspects %v ⊄ failed %v", i, got, want)
+		}
+		if !want.SubsetOf(got) {
+			t.Errorf("P%d completeness violated: failed %v ⊄ suspects %v", i, want, got)
+		}
+	}
+}
+
+func TestFloodSetValidityUnanimous(t *testing.T) {
+	// Unanimous inputs decide that input, under failures too.
+	const n = 3
+	sys, err := protocols.BuildFDBoost(n, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []string{"0", "1"} {
+		inputs := map[int]string{0: v, 1: v, 2: v}
+		res, err := explore.RoundRobin(sys, explore.RunConfig{
+			Inputs:   inputs,
+			Failures: []explore.FailureEvent{{Round: 1, Proc: 0}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Done {
+			t.Fatalf("no termination for unanimous %q", v)
+		}
+		for p, d := range res.Decisions {
+			if d != v {
+				t.Errorf("P%d decided %q on unanimous %q", p, d, v)
+			}
+		}
+	}
+}
+
+func TestBuildersRejectBadShapes(t *testing.T) {
+	if _, err := protocols.BuildSetBoost(0); err == nil {
+		t.Error("BuildSetBoost(0) should fail")
+	}
+	if _, err := protocols.BuildFloodSetWithP(0, 0, 1, service.Adversarial); err == nil {
+		t.Error("BuildFloodSetWithP(0,...) should fail")
+	}
+	if _, err := protocols.BuildFDBoost(1, 1); err == nil {
+		t.Error("BuildFDBoost(1,...) should fail")
+	}
+	if _, err := protocols.BuildSuspectCollector(1); err == nil {
+		t.Error("BuildSuspectCollector(1) should fail")
+	}
+}
+
+// assertConsensus checks agreement + validity among live decisions, and that
+// every live inited process decided.
+func assertConsensus(t *testing.T, inputs map[int]string, decisions map[int]string, failed []int) {
+	t.Helper()
+	failedSet := map[int]bool{}
+	for _, p := range failed {
+		failedSet[p] = true
+	}
+	valid := map[string]bool{}
+	for _, v := range inputs {
+		valid[v] = true
+	}
+	var first string
+	haveFirst := false
+	for p := range inputs {
+		if failedSet[p] {
+			continue
+		}
+		v, ok := decisions[p]
+		if !ok {
+			t.Fatalf("live process %d undecided: %v", p, decisions)
+		}
+		if !valid[v] {
+			t.Fatalf("P%d decided non-input %q", p, v)
+		}
+		if haveFirst && v != first {
+			t.Fatalf("agreement violated: %v", decisions)
+		}
+		first, haveFirst = v, true
+	}
+}
+
+func TestGroupedBoostGeneralForm(t *testing.T) {
+	// The general Section 4 shape (k′ = 1): g groups of n give wait-free
+	// g-set consensus for g·n processes. Check g = 3, n = 2 under a sample
+	// of failure patterns including whole-group wipeouts.
+	sys, err := protocols.BuildGroupedBoost(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := map[int]string{0: "0", 1: "1", 2: "1", 3: "0", 4: "0", 5: "1"}
+	scenarios := [][]int{
+		nil,
+		{5},
+		{0, 1},          // group 0 gone
+		{1, 3, 5},       // one per group
+		{0, 1, 2, 3, 4}, // gn−1 failures: wait-freedom
+	}
+	for _, J := range scenarios {
+		failures := make([]explore.FailureEvent, len(J))
+		for i, p := range J {
+			failures[i] = explore.FailureEvent{Round: 0, Proc: p}
+		}
+		res, err := explore.RoundRobin(sys, explore.RunConfig{Inputs: inputs, Failures: failures})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Done {
+			t.Fatalf("J=%v: live processes undecided: %v", J, res.Decisions)
+		}
+		distinct := map[string]bool{}
+		for _, v := range res.Decisions {
+			distinct[v] = true
+		}
+		if len(distinct) > 3 {
+			t.Fatalf("J=%v: %d distinct decisions > g = 3", J, len(distinct))
+		}
+	}
+}

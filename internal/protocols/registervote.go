@@ -1,0 +1,105 @@
+package protocols
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"github.com/ioa-lab/boosting/internal/process"
+	"github.com/ioa-lab/boosting/internal/seqtype"
+	"github.com/ioa-lab/boosting/internal/service"
+	"github.com/ioa-lab/boosting/internal/system"
+)
+
+// RegisterVote is a naive register-only consensus attempt: each process
+// writes its input to its own register, reads everyone else's once, and
+// decides the minimum value it saw (treating unwritten registers as absent).
+//
+// It is the textbook broken candidate: with only registers (and no failure
+// information), a process that reads before a slow peer's write lands sees a
+// different vote set than one that reads after, and the two decide
+// differently. Theorem 2 (generalizing FLP) says no fix exists; this
+// protocol makes the *safety* failure reachable in the failure-free graph,
+// exercising the refuter's exhaustive sweep.
+type RegisterVote struct {
+	// Procs is the full process id set.
+	Procs []int
+}
+
+var _ process.Program = RegisterVote{}
+
+// voteRegister names process i's vote register.
+func voteRegister(i int) string { return "V" + strconv.Itoa(i) }
+
+// Start implements process.Program.
+func (RegisterVote) Start(int) map[string]string {
+	return map[string]string{"seen": "", "pending": "0"}
+}
+
+// HandleInit writes the vote and starts the single read sweep.
+func (rv RegisterVote) HandleInit(ctx *process.Context, v string) {
+	ctx.Set("own", v)
+	ctx.Invoke(voteRegister(ctx.ID()), seqtype.Write(v))
+	pending := 0
+	for _, j := range rv.Procs {
+		if j == ctx.ID() {
+			continue
+		}
+		ctx.Invoke(voteRegister(j), seqtype.Read)
+		pending++
+	}
+	ctx.SetInt("pending", pending)
+	if pending == 0 {
+		ctx.Decide(v)
+	}
+}
+
+// HandleResponse collects reads and decides the minimum seen.
+func (rv RegisterVote) HandleResponse(ctx *process.Context, svc, resp string) {
+	if resp == seqtype.Ack || ctx.Decided() {
+		return
+	}
+	if resp != "" {
+		ctx.Set("seen", ctx.Get("seen")+resp)
+	}
+	pending := ctx.GetInt("pending") - 1
+	ctx.SetInt("pending", pending)
+	if pending > 0 {
+		return
+	}
+	votes := []string{ctx.Get("own")}
+	for _, c := range ctx.Get("seen") {
+		votes = append(votes, string(c))
+	}
+	sort.Strings(votes)
+	ctx.Decide(votes[0])
+}
+
+// BuildRegisterVote assembles the register-only candidate: n processes and
+// n single-writer registers (readable by all). With no resilient services at
+// all, Theorem 2 degenerates to the FLP-style statement that registers alone
+// cannot give even 1-resilient consensus; this naive protocol additionally
+// loses safety, which the refuter's exhaustive sweep exposes.
+func BuildRegisterVote(n int) (*system.System, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("protocols: register vote needs n ≥ 2, got %d", n)
+	}
+	procIDs := make([]int, n)
+	for i := range procIDs {
+		procIDs[i] = i
+	}
+	prog := RegisterVote{Procs: procIDs}
+	procs := make([]*process.Process, n)
+	for i := 0; i < n; i++ {
+		procs[i] = process.New(i, prog)
+	}
+	var svcs []*service.Service
+	for _, i := range procIDs {
+		reg, err := service.NewRegister(voteRegister(i), []string{"", "0", "1"}, "", procIDs)
+		if err != nil {
+			return nil, err
+		}
+		svcs = append(svcs, reg)
+	}
+	return system.New(procs, svcs)
+}

@@ -1,0 +1,268 @@
+package seqtype
+
+import (
+	"strconv"
+	"testing"
+	"testing/quick"
+
+	"github.com/ioa-lab/boosting/internal/codec"
+)
+
+// Model-based property tests: drive each sequential type with random
+// operation scripts and compare against a plain Go reference model.
+
+func TestQueueAgainstSliceModel(t *testing.T) {
+	ty := Queue()
+	f := func(script []byte) bool {
+		if len(script) > 60 {
+			script = script[:60]
+		}
+		val := ty.Initials[0]
+		var model []string
+		for _, b := range script {
+			if b%3 == 0 {
+				r, err := ty.ApplyOne("deq", val)
+				if err != nil {
+					return false
+				}
+				val = r.NewVal
+				if len(model) == 0 {
+					if r.Resp != "empty" {
+						return false
+					}
+				} else {
+					if r.Resp != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			} else {
+				item := "v" + strconv.Itoa(int(b%7))
+				r, err := ty.ApplyOne("enq("+item+")", val)
+				if err != nil || r.Resp != Ack {
+					return false
+				}
+				val = r.NewVal
+				model = append(model, item)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCounterAgainstIntModel(t *testing.T) {
+	ty := Counter()
+	f := func(script []byte) bool {
+		if len(script) > 60 {
+			script = script[:60]
+		}
+		val := ty.Initials[0]
+		model := 0
+		for _, b := range script {
+			if b%2 == 0 {
+				r, err := ty.ApplyOne("inc", val)
+				if err != nil || r.Resp != strconv.Itoa(model) {
+					return false
+				}
+				val = r.NewVal
+				model++
+			} else {
+				r, err := ty.ApplyOne(Read, val)
+				if err != nil || r.Resp != strconv.Itoa(model) {
+					return false
+				}
+				val = r.NewVal
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFetchAddAgainstIntModel(t *testing.T) {
+	ty := FetchAdd()
+	f := func(deltas []int8) bool {
+		if len(deltas) > 50 {
+			deltas = deltas[:50]
+		}
+		val := ty.Initials[0]
+		model := 0
+		for _, d := range deltas {
+			inv := "fadd(" + strconv.Itoa(int(d)) + ")"
+			r, err := ty.ApplyOne(inv, val)
+			if err != nil || r.Resp != strconv.Itoa(model) {
+				return false
+			}
+			val = r.NewVal
+			model += int(d)
+		}
+		r, err := ty.ApplyOne(Read, val)
+		return err == nil && r.Resp == strconv.Itoa(model)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareAndSwapAgainstModel(t *testing.T) {
+	vals := []string{"x", "y", "z"}
+	ty := CompareAndSwap(vals, "x")
+	f := func(script []byte) bool {
+		if len(script) > 50 {
+			script = script[:50]
+		}
+		val := ty.Initials[0]
+		model := "x"
+		for _, b := range script {
+			oldV := vals[int(b)%3]
+			newV := vals[int(b/3)%3]
+			r, err := ty.ApplyOne("cas("+oldV+","+newV+")", val)
+			if err != nil {
+				return false
+			}
+			val = r.NewVal
+			if model == oldV {
+				if r.Resp != "1" {
+					return false
+				}
+				model = newV
+			} else if r.Resp != "0" {
+				return false
+			}
+			if val != model {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKSetDecisionsAlwaysFromW(t *testing.T) {
+	// Property: every permitted result decides a member of the *new* W, and
+	// W never loses members.
+	ty := KSetConsensus(3, 6)
+	f := func(script []byte) bool {
+		if len(script) > 30 {
+			script = script[:30]
+		}
+		val := ty.Initials[0]
+		for _, b := range script {
+			inv := Init(strconv.Itoa(int(b) % 6))
+			results := ty.Apply(inv, val)
+			if len(results) == 0 {
+				return false
+			}
+			oldW, _ := codec.ParseSet(val)
+			for _, r := range results {
+				newW, err := codec.ParseSet(r.NewVal)
+				if err != nil {
+					return false
+				}
+				// Monotone: oldW ⊆ newW.
+				member := map[string]bool{}
+				for _, m := range newW {
+					member[m] = true
+				}
+				for _, m := range oldW {
+					if !member[m] {
+						return false
+					}
+				}
+				// Decision from newW.
+				d, ok := DecideValue(r.Resp)
+				if !ok || !member[d] {
+					return false
+				}
+			}
+			val = results[int(b)%len(results)].NewVal
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortedSetAgainstMapModel(t *testing.T) {
+	keys := []string{"a", "b", "c", "d"}
+	ty := SortedSet(keys)
+	if err := ty.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	f := func(script []byte) bool {
+		if len(script) > 60 {
+			script = script[:60]
+		}
+		val := ty.Initials[0]
+		model := map[string]bool{}
+		for _, b := range script {
+			k := keys[int(b)%len(keys)]
+			var inv, want string
+			switch (b / 4) % 4 {
+			case 0:
+				inv = "insert(" + k + ")"
+				if model[k] {
+					want = "0"
+				} else {
+					want = "1"
+				}
+				model[k] = true
+			case 1:
+				inv = "remove(" + k + ")"
+				if model[k] {
+					want = "1"
+				} else {
+					want = "0"
+				}
+				delete(model, k)
+			case 2:
+				inv = "member(" + k + ")"
+				if model[k] {
+					want = "1"
+				} else {
+					want = "0"
+				}
+			case 3:
+				inv = "min"
+				want = "none"
+				for _, cand := range keys {
+					if model[cand] {
+						want = cand
+						break
+					}
+				}
+			}
+			r, err := ty.ApplyOne(inv, val)
+			if err != nil || r.Resp != want {
+				return false
+			}
+			val = r.NewVal
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortedSetAsCanonicalObjectHistory(t *testing.T) {
+	// The sorted set drives the linearizability substrate too: its δ is a
+	// plain function, so it drops into the same canonical-object engine.
+	ty := SortedSet([]string{"x", "y"})
+	r, err := ty.ApplyOne("insert(x)", ty.Initials[0])
+	if err != nil || r.Resp != "1" {
+		t.Fatalf("insert: %v %v", r, err)
+	}
+	r2, err := ty.ApplyOne("min", r.NewVal)
+	if err != nil || r2.Resp != "x" {
+		t.Fatalf("min: %v %v", r2, err)
+	}
+}

@@ -1,0 +1,120 @@
+// Package seqtype implements sequential types, the specifications of atomic
+// object behaviour (paper Section 2.1.2).
+//
+// A sequential type T = ⟨V, V0, invs, resps, δ⟩ consists of a value set, a
+// nonempty set of initial values, invocation and response sets, and a total
+// transition relation δ from invs × V to resps × V. The paper allows
+// nondeterminism both in the initial value and in δ (needed, e.g., for
+// k-set-consensus); determinism is the special case of a singleton V0 and a
+// functional δ.
+//
+// Values, invocations and responses are canonical strings (see
+// internal/codec), which makes every sequential type value directly usable
+// in state fingerprints.
+package seqtype
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Result is one (response, new value) pair permitted by δ for a given
+// (invocation, value) pair.
+type Result struct {
+	Resp   string
+	NewVal string
+}
+
+// Type is a sequential type. Invocation membership is given by a predicate
+// (invocation sets may be infinite, e.g. write(v) for arbitrary v); SampleVals
+// and SampleInvs give finite probes used by Validate and by property tests.
+type Type struct {
+	// Name identifies the type, e.g. "read/write" or "consensus".
+	Name string
+
+	// Initials is V0, the nonempty set of initial values.
+	Initials []string
+
+	// IsInv reports whether a string is an invocation of the type.
+	IsInv func(inv string) bool
+
+	// Apply is δ: it returns every (response, new value) pair related to
+	// (inv, val). For an invocation of the type, Apply must return at least
+	// one result (δ is total). For a non-invocation it returns nil.
+	Apply func(inv, val string) []Result
+
+	// Deterministic declares whether the type is deterministic (singleton V0
+	// and functional δ). Validate checks the claim on the samples.
+	Deterministic bool
+
+	// SampleVals and SampleInvs are representative values/invocations used
+	// for validation and property-based testing.
+	SampleVals []string
+	SampleInvs []string
+}
+
+// Errors reported by Validate.
+var (
+	ErrNoInitial        = errors.New("seqtype: V0 is empty")
+	ErrNotTotal         = errors.New("seqtype: δ is not total")
+	ErrNotDeterministic = errors.New("seqtype: type declared deterministic but is not")
+	ErrBadSample        = errors.New("seqtype: sample invocation not recognized by IsInv")
+)
+
+// Validate checks the structural requirements of a sequential type against
+// its samples: V0 nonempty; δ total on SampleInvs × SampleVals; and, if the
+// type is declared deterministic, |V0| = 1 and δ functional on the samples.
+func (t *Type) Validate() error {
+	if len(t.Initials) == 0 {
+		return fmt.Errorf("%w (type %s)", ErrNoInitial, t.Name)
+	}
+	if t.Deterministic && len(t.Initials) != 1 {
+		return fmt.Errorf("%w: |V0| = %d (type %s)", ErrNotDeterministic, len(t.Initials), t.Name)
+	}
+	vals := append([]string{}, t.SampleVals...)
+	vals = append(vals, t.Initials...)
+	for _, inv := range t.SampleInvs {
+		if !t.IsInv(inv) {
+			return fmt.Errorf("%w: %q (type %s)", ErrBadSample, inv, t.Name)
+		}
+		for _, v := range vals {
+			results := t.Apply(inv, v)
+			if len(results) == 0 {
+				return fmt.Errorf("%w: no result for (%q, %q) (type %s)", ErrNotTotal, inv, v, t.Name)
+			}
+			if t.Deterministic && len(results) > 1 {
+				return fmt.Errorf("%w: %d results for (%q, %q) (type %s)",
+					ErrNotDeterministic, len(results), inv, v, t.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// ApplyOne applies δ deterministically, returning the unique result. It is
+// the transition(e, s) device of Section 3.1: after the determinism
+// restriction, every (invocation, value) pair has exactly one outcome. For a
+// nondeterministic type it resolves the choice by taking the first result,
+// which is the "remove transitions" restriction the paper licenses.
+func (t *Type) ApplyOne(inv, val string) (Result, error) {
+	results := t.Apply(inv, val)
+	if len(results) == 0 {
+		return Result{}, fmt.Errorf("seqtype %s: δ undefined for (%q, %q)", t.Name, inv, val)
+	}
+	return results[0], nil
+}
+
+// parseCall splits an invocation of the form "op(arg1,arg2,...)" into the
+// operation name and raw argument string. An invocation without parentheses
+// is an operation with no arguments.
+func parseCall(inv string) (op, args string, ok bool) {
+	open := strings.IndexByte(inv, '(')
+	if open < 0 {
+		return inv, "", true
+	}
+	if !strings.HasSuffix(inv, ")") {
+		return "", "", false
+	}
+	return inv[:open], inv[open+1 : len(inv)-1], true
+}

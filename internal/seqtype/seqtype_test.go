@@ -1,0 +1,294 @@
+package seqtype
+
+import (
+	"strconv"
+	"testing"
+	"testing/quick"
+
+	"github.com/ioa-lab/boosting/internal/codec"
+)
+
+func allTypes() []*Type {
+	return []*Type{
+		ReadWrite([]string{"a", "b"}, "a"),
+		BinaryConsensus(),
+		KSetConsensus(2, 4),
+		Counter(),
+		Queue(),
+		TestAndSet(),
+		CompareAndSwap([]string{"x", "y"}, "x"),
+		FetchAdd(),
+	}
+}
+
+func TestValidateAll(t *testing.T) {
+	for _, ty := range allTypes() {
+		if err := ty.Validate(); err != nil {
+			t.Errorf("%s: %v", ty.Name, err)
+		}
+	}
+}
+
+func TestValidateRejectsEmptyInitials(t *testing.T) {
+	ty := &Type{Name: "bad", IsInv: func(string) bool { return false }}
+	if err := ty.Validate(); err == nil {
+		t.Error("want error for empty V0")
+	}
+}
+
+func TestValidateRejectsPartialDelta(t *testing.T) {
+	ty := &Type{
+		Name:       "partial",
+		Initials:   []string{"v"},
+		IsInv:      func(inv string) bool { return inv == "op" },
+		Apply:      func(inv, val string) []Result { return nil },
+		SampleInvs: []string{"op"},
+	}
+	if err := ty.Validate(); err == nil {
+		t.Error("want totality error")
+	}
+}
+
+func TestValidateRejectsFalseDeterminismClaim(t *testing.T) {
+	ty := &Type{
+		Name:          "fake-det",
+		Initials:      []string{"v"},
+		Deterministic: true,
+		IsInv:         func(inv string) bool { return inv == "op" },
+		Apply: func(inv, val string) []Result {
+			return []Result{{Resp: "a", NewVal: val}, {Resp: "b", NewVal: val}}
+		},
+		SampleInvs: []string{"op"},
+	}
+	if err := ty.Validate(); err == nil {
+		t.Error("want determinism error")
+	}
+}
+
+func TestReadWriteSemantics(t *testing.T) {
+	ty := ReadWrite([]string{"a", "b"}, "a")
+	r, err := ty.ApplyOne(Read, "a")
+	if err != nil || r.Resp != "a" || r.NewVal != "a" {
+		t.Errorf("read: %v %v", r, err)
+	}
+	r, err = ty.ApplyOne(Write("b"), "a")
+	if err != nil || r.Resp != Ack || r.NewVal != "b" {
+		t.Errorf("write: %v %v", r, err)
+	}
+	if ty.IsInv(Write("zzz")) {
+		t.Error("write of non-member accepted")
+	}
+}
+
+func TestBinaryConsensusFirstValueWins(t *testing.T) {
+	ty := BinaryConsensus()
+	r1, err := ty.ApplyOne(Init("1"), "")
+	if err != nil || r1.Resp != Decide("1") || r1.NewVal != "1" {
+		t.Fatalf("first init: %v %v", r1, err)
+	}
+	r2, err := ty.ApplyOne(Init("0"), r1.NewVal)
+	if err != nil || r2.Resp != Decide("1") || r2.NewVal != "1" {
+		t.Errorf("second init must return first value: %v %v", r2, err)
+	}
+}
+
+func TestBinaryConsensusStability(t *testing.T) {
+	// Once the value is non-empty it never changes, whatever sequence of
+	// invocations is applied.
+	ty := BinaryConsensus()
+	f := func(bits []bool) bool {
+		val := ""
+		var first string
+		for _, b := range bits {
+			v := "0"
+			if b {
+				v = "1"
+			}
+			r, err := ty.ApplyOne(Init(v), val)
+			if err != nil {
+				return false
+			}
+			val = r.NewVal
+			if first == "" {
+				first = v
+			}
+			if d, _ := DecideValue(r.Resp); d != first {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKSetConsensusRemembersAtMostK(t *testing.T) {
+	const k, n = 2, 5
+	ty := KSetConsensus(k, n)
+	val := ty.Initials[0]
+	for i := 0; i < n; i++ {
+		r, err := ty.ApplyOne(Init(strconv.Itoa(i)), val)
+		if err != nil {
+			t.Fatal(err)
+		}
+		val = r.NewVal
+		members, err := codec.ParseSet(val)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(members) > k {
+			t.Fatalf("after %d ops, |W| = %d > k = %d", i+1, len(members), k)
+		}
+	}
+	members, _ := codec.ParseSet(val)
+	if len(members) != k {
+		t.Errorf("final |W| = %d, want %d", len(members), k)
+	}
+}
+
+func TestKSetConsensusResponsesFromW(t *testing.T) {
+	const k, n = 2, 4
+	ty := KSetConsensus(k, n)
+	// From W = {0,1} (full), every result must decide 0 or 1 and leave W
+	// unchanged.
+	w := codec.Set([]string{"0", "1"})
+	for _, r := range ty.Apply(Init("3"), w) {
+		d, ok := DecideValue(r.Resp)
+		if !ok || (d != "0" && d != "1") {
+			t.Errorf("decide %q not in W", r.Resp)
+		}
+		if r.NewVal != w {
+			t.Errorf("W changed at capacity: %q", r.NewVal)
+		}
+	}
+	// From W = {0} (not full), init(3) may decide 0 or 3, and W gains 3.
+	w1 := codec.Set([]string{"0"})
+	results := ty.Apply(Init("3"), w1)
+	if len(results) != 2 {
+		t.Fatalf("want 2 results, got %d", len(results))
+	}
+	for _, r := range results {
+		if r.NewVal != codec.Set([]string{"0", "3"}) {
+			t.Errorf("new W = %q", r.NewVal)
+		}
+	}
+}
+
+func TestKSetConsensusIsNondeterministic(t *testing.T) {
+	ty := KSetConsensus(2, 3)
+	if ty.Deterministic {
+		t.Error("k-set-consensus must be declared nondeterministic")
+	}
+	results := ty.Apply(Init("1"), codec.Set([]string{"0"}))
+	if len(results) < 2 {
+		t.Errorf("expected multiple permitted results, got %d", len(results))
+	}
+}
+
+func TestCounterSemantics(t *testing.T) {
+	ty := Counter()
+	val := ty.Initials[0]
+	for i := 0; i < 5; i++ {
+		r, err := ty.ApplyOne("inc", val)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Resp != strconv.Itoa(i) {
+			t.Errorf("inc %d: resp %q", i, r.Resp)
+		}
+		val = r.NewVal
+	}
+	r, _ := ty.ApplyOne(Read, val)
+	if r.Resp != "5" {
+		t.Errorf("read after 5 incs: %q", r.Resp)
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	ty := Queue()
+	val := ty.Initials[0]
+	for _, v := range []string{"a", "b", "c"} {
+		r, err := ty.ApplyOne("enq("+v+")", val)
+		if err != nil || r.Resp != Ack {
+			t.Fatalf("enq: %v %v", r, err)
+		}
+		val = r.NewVal
+	}
+	for _, want := range []string{"a", "b", "c", "empty"} {
+		r, err := ty.ApplyOne("deq", val)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Resp != want {
+			t.Errorf("deq: got %q, want %q", r.Resp, want)
+		}
+		val = r.NewVal
+	}
+}
+
+func TestTestAndSet(t *testing.T) {
+	ty := TestAndSet()
+	r, _ := ty.ApplyOne("tas", "0")
+	if r.Resp != "0" || r.NewVal != "1" {
+		t.Errorf("first tas: %v", r)
+	}
+	r, _ = ty.ApplyOne("tas", r.NewVal)
+	if r.Resp != "1" || r.NewVal != "1" {
+		t.Errorf("second tas: %v", r)
+	}
+	r, _ = ty.ApplyOne("reset", r.NewVal)
+	if r.NewVal != "0" {
+		t.Errorf("reset: %v", r)
+	}
+}
+
+func TestCompareAndSwap(t *testing.T) {
+	ty := CompareAndSwap([]string{"x", "y"}, "x")
+	r, _ := ty.ApplyOne("cas(x,y)", "x")
+	if r.Resp != "1" || r.NewVal != "y" {
+		t.Errorf("successful cas: %v", r)
+	}
+	r, _ = ty.ApplyOne("cas(x,y)", "y")
+	if r.Resp != "0" || r.NewVal != "y" {
+		t.Errorf("failed cas: %v", r)
+	}
+}
+
+func TestFetchAdd(t *testing.T) {
+	ty := FetchAdd()
+	r, _ := ty.ApplyOne("fadd(3)", "0")
+	if r.Resp != "0" || r.NewVal != "3" {
+		t.Errorf("fadd(3): %v", r)
+	}
+	r, _ = ty.ApplyOne("fadd(-5)", r.NewVal)
+	if r.Resp != "3" || r.NewVal != "-2" {
+		t.Errorf("fadd(-5): %v", r)
+	}
+}
+
+func TestInitDecideHelpers(t *testing.T) {
+	if v, ok := InitValue(Init("7")); !ok || v != "7" {
+		t.Errorf("InitValue: %v %v", v, ok)
+	}
+	if v, ok := DecideValue(Decide("1")); !ok || v != "1" {
+		t.Errorf("DecideValue: %v %v", v, ok)
+	}
+	if _, ok := InitValue("decide(1)"); ok {
+		t.Error("InitValue accepted decide")
+	}
+	if _, ok := DecideValue("nonsense"); ok {
+		t.Error("DecideValue accepted nonsense")
+	}
+}
+
+func TestApplyOnePrefersFirstResult(t *testing.T) {
+	// The deterministic restriction of a nondeterministic type must be
+	// stable: repeated ApplyOne calls give identical outcomes.
+	ty := KSetConsensus(2, 3)
+	a, err1 := ty.ApplyOne(Init("2"), codec.Set([]string{"0"}))
+	b, err2 := ty.ApplyOne(Init("2"), codec.Set([]string{"0"}))
+	if err1 != nil || err2 != nil || a != b {
+		t.Errorf("ApplyOne unstable: %v vs %v (%v %v)", a, b, err1, err2)
+	}
+}

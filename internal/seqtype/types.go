@@ -1,0 +1,459 @@
+package seqtype
+
+import (
+	"strconv"
+	"strings"
+
+	"github.com/ioa-lab/boosting/internal/codec"
+)
+
+// Invocation and response constructors shared by the concrete types below.
+
+// Read is the read invocation of the read/write type.
+const Read = "read"
+
+// Write builds a write(v) invocation.
+func Write(v string) string { return "write(" + v + ")" }
+
+// Ack is the response to a write.
+const Ack = "ack"
+
+// Init builds an init(v) invocation of the consensus and k-set-consensus
+// types (Section 2.1.2).
+func Init(v string) string { return "init(" + v + ")" }
+
+// Decide builds a decide(v) response.
+func Decide(v string) string { return "decide(" + v + ")" }
+
+// DecideValue extracts v from a decide(v) response; ok is false if the
+// string is not a decide response.
+func DecideValue(resp string) (string, bool) {
+	op, args, okc := parseCall(resp)
+	if !okc || op != "decide" {
+		return "", false
+	}
+	return args, true
+}
+
+// InitValue extracts v from an init(v) invocation.
+func InitValue(inv string) (string, bool) {
+	op, args, okc := parseCall(inv)
+	if !okc || op != "init" {
+		return "", false
+	}
+	return args, true
+}
+
+// ReadWrite returns the read/write sequential type over the given value set
+// with the given initial value (paper Section 2.1.2, first example). It is
+// deterministic.
+func ReadWrite(values []string, initial string) *Type {
+	vset := make(map[string]struct{}, len(values))
+	for _, v := range values {
+		vset[v] = struct{}{}
+	}
+	if _, ok := vset[initial]; !ok {
+		vset[initial] = struct{}{}
+		values = append(append([]string{}, values...), initial)
+	}
+	invs := []string{Read}
+	for _, v := range values {
+		invs = append(invs, Write(v))
+	}
+	return &Type{
+		Name:          "read/write",
+		Initials:      []string{initial},
+		Deterministic: true,
+		IsInv: func(inv string) bool {
+			if inv == Read {
+				return true
+			}
+			op, args, ok := parseCall(inv)
+			if !ok || op != "write" {
+				return false
+			}
+			_, member := vset[args]
+			return member
+		},
+		Apply: func(inv, val string) []Result {
+			if inv == Read {
+				return []Result{{Resp: val, NewVal: val}}
+			}
+			op, args, ok := parseCall(inv)
+			if !ok || op != "write" {
+				return nil
+			}
+			if _, member := vset[args]; !member {
+				return nil
+			}
+			return []Result{{Resp: Ack, NewVal: args}}
+		},
+		SampleVals: values,
+		SampleInvs: invs,
+	}
+}
+
+// Consensus value encoding: the paper's V = {∅, {0}, {1}} is encoded as
+// "" (undecided), "0", and "1".
+
+// BinaryConsensus returns the binary consensus sequential type (paper
+// Section 2.1.2, second example). The first init fixes the value; every
+// operation returns decide of the fixed value. Deterministic.
+func BinaryConsensus() *Type {
+	return &Type{
+		Name:          "consensus",
+		Initials:      []string{""},
+		Deterministic: true,
+		IsInv: func(inv string) bool {
+			v, ok := InitValue(inv)
+			return ok && (v == "0" || v == "1")
+		},
+		Apply: func(inv, val string) []Result {
+			v, ok := InitValue(inv)
+			if !ok || (v != "0" && v != "1") {
+				return nil
+			}
+			if val == "" {
+				return []Result{{Resp: Decide(v), NewVal: v}}
+			}
+			return []Result{{Resp: Decide(val), NewVal: val}}
+		},
+		SampleVals: []string{"", "0", "1"},
+		SampleInvs: []string{Init("0"), Init("1")},
+	}
+}
+
+// KSetConsensus returns the k-set-consensus sequential type for proposal
+// space {0, ..., n-1} (paper Section 2.1.2, third example). The value is the
+// set W of remembered proposals (at most k), encoded with codec.Set; an
+// operation adds its proposal while |W| < k and may return any element of
+// the resulting set. This type is genuinely nondeterministic — the paper
+// notes k-set-consensus cannot be specified by a deterministic sequential
+// type.
+func KSetConsensus(k, n int) *Type {
+	isProposal := func(v string) bool {
+		x, err := strconv.Atoi(v)
+		return err == nil && x >= 0 && x < n
+	}
+	sampleInvs := make([]string, 0, n)
+	for v := 0; v < n; v++ {
+		sampleInvs = append(sampleInvs, Init(strconv.Itoa(v)))
+	}
+	return &Type{
+		Name:          "k-set-consensus(k=" + strconv.Itoa(k) + ",n=" + strconv.Itoa(n) + ")",
+		Initials:      []string{codec.Set(nil)},
+		Deterministic: false,
+		IsInv: func(inv string) bool {
+			v, ok := InitValue(inv)
+			return ok && isProposal(v)
+		},
+		Apply: func(inv, val string) []Result {
+			v, ok := InitValue(inv)
+			if !ok || !isProposal(v) {
+				return nil
+			}
+			w, err := codec.ParseSet(val)
+			if err != nil {
+				return nil
+			}
+			if len(w) < k {
+				// |W| < k: remember v, return any v' ∈ W ∪ {v}.
+				next := codec.Set(append(append([]string{}, w...), v))
+				members, _ := codec.ParseSet(next)
+				out := make([]Result, 0, len(members))
+				// Put v first so that ApplyOne (the deterministic
+				// restriction) favours "first value wins" behaviour.
+				out = append(out, Result{Resp: Decide(v), NewVal: next})
+				for _, m := range members {
+					if m != v {
+						out = append(out, Result{Resp: Decide(m), NewVal: next})
+					}
+				}
+				return out
+			}
+			// |W| = k: return any v' ∈ W, value unchanged.
+			out := make([]Result, 0, len(w))
+			for _, m := range w {
+				out = append(out, Result{Resp: Decide(m), NewVal: val})
+			}
+			return out
+		},
+		SampleVals: []string{codec.Set(nil), codec.Set([]string{"0"}), codec.Set([]string{"0", "1"})},
+		SampleInvs: sampleInvs,
+	}
+}
+
+// Counter returns a fetch-and-increment counter type: "inc" returns the
+// pre-increment value; "read" returns the current value. Deterministic.
+func Counter() *Type {
+	return &Type{
+		Name:          "counter",
+		Initials:      []string{"0"},
+		Deterministic: true,
+		IsInv:         func(inv string) bool { return inv == "inc" || inv == Read },
+		Apply: func(inv, val string) []Result {
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return nil
+			}
+			switch inv {
+			case "inc":
+				return []Result{{Resp: val, NewVal: strconv.Itoa(n + 1)}}
+			case Read:
+				return []Result{{Resp: val, NewVal: val}}
+			}
+			return nil
+		},
+		SampleVals: []string{"0", "1", "7"},
+		SampleInvs: []string{"inc", Read},
+	}
+}
+
+// Queue returns a FIFO queue type: "enq(v)" returns ack; "deq" returns the
+// head or "empty". The value is a codec.List of elements. Deterministic.
+func Queue() *Type {
+	return &Type{
+		Name:          "queue",
+		Initials:      []string{codec.List(nil)},
+		Deterministic: true,
+		IsInv: func(inv string) bool {
+			if inv == "deq" {
+				return true
+			}
+			op, _, ok := parseCall(inv)
+			return ok && op == "enq"
+		},
+		Apply: func(inv, val string) []Result {
+			items, err := codec.ParseList(val)
+			if err != nil {
+				return nil
+			}
+			if inv == "deq" {
+				if len(items) == 0 {
+					return []Result{{Resp: "empty", NewVal: val}}
+				}
+				return []Result{{Resp: items[0], NewVal: codec.List(items[1:])}}
+			}
+			op, arg, ok := parseCall(inv)
+			if !ok || op != "enq" {
+				return nil
+			}
+			return []Result{{Resp: Ack, NewVal: codec.List(append(append([]string{}, items...), arg))}}
+		},
+		SampleVals: []string{codec.List(nil), codec.List([]string{"a"}), codec.List([]string{"a", "b"})},
+		SampleInvs: []string{"enq(a)", "enq(b)", "deq"},
+	}
+}
+
+// TestAndSet returns a test&set bit: "tas" returns the old value and sets
+// the bit; "reset" clears it. Deterministic.
+func TestAndSet() *Type {
+	return &Type{
+		Name:          "test&set",
+		Initials:      []string{"0"},
+		Deterministic: true,
+		IsInv:         func(inv string) bool { return inv == "tas" || inv == "reset" },
+		Apply: func(inv, val string) []Result {
+			switch inv {
+			case "tas":
+				return []Result{{Resp: val, NewVal: "1"}}
+			case "reset":
+				return []Result{{Resp: Ack, NewVal: "0"}}
+			}
+			return nil
+		},
+		SampleVals: []string{"0", "1"},
+		SampleInvs: []string{"tas", "reset"},
+	}
+}
+
+// CompareAndSwap returns a compare&swap cell over the given value set:
+// "cas(old,new)" returns "1" and installs new if the value equals old,
+// else "0"; "read" returns the value. Deterministic.
+func CompareAndSwap(values []string, initial string) *Type {
+	vset := make(map[string]struct{}, len(values)+1)
+	for _, v := range values {
+		vset[v] = struct{}{}
+	}
+	vset[initial] = struct{}{}
+	sampleInvs := []string{Read}
+	for _, a := range values {
+		for _, b := range values {
+			sampleInvs = append(sampleInvs, "cas("+a+","+b+")")
+		}
+	}
+	return &Type{
+		Name:          "compare&swap",
+		Initials:      []string{initial},
+		Deterministic: true,
+		IsInv: func(inv string) bool {
+			if inv == Read {
+				return true
+			}
+			op, args, ok := parseCall(inv)
+			if !ok || op != "cas" {
+				return false
+			}
+			parts := strings.SplitN(args, ",", 2)
+			if len(parts) != 2 {
+				return false
+			}
+			_, a := vset[parts[0]]
+			_, b := vset[parts[1]]
+			return a && b
+		},
+		Apply: func(inv, val string) []Result {
+			if inv == Read {
+				return []Result{{Resp: val, NewVal: val}}
+			}
+			op, args, ok := parseCall(inv)
+			if !ok || op != "cas" {
+				return nil
+			}
+			parts := strings.SplitN(args, ",", 2)
+			if len(parts) != 2 {
+				return nil
+			}
+			if val == parts[0] {
+				return []Result{{Resp: "1", NewVal: parts[1]}}
+			}
+			return []Result{{Resp: "0", NewVal: val}}
+		},
+		SampleVals: append([]string{initial}, values...),
+		SampleInvs: sampleInvs,
+	}
+}
+
+// FetchAdd returns a fetch-and-add register: "fadd(d)" returns the old value
+// and adds d; "read" returns the value. Deterministic.
+func FetchAdd() *Type {
+	return &Type{
+		Name:          "fetch&add",
+		Initials:      []string{"0"},
+		Deterministic: true,
+		IsInv: func(inv string) bool {
+			if inv == Read {
+				return true
+			}
+			op, args, ok := parseCall(inv)
+			if !ok || op != "fadd" {
+				return false
+			}
+			_, err := strconv.Atoi(args)
+			return err == nil
+		},
+		Apply: func(inv, val string) []Result {
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return nil
+			}
+			if inv == Read {
+				return []Result{{Resp: val, NewVal: val}}
+			}
+			op, args, ok := parseCall(inv)
+			if !ok || op != "fadd" {
+				return nil
+			}
+			d, err := strconv.Atoi(args)
+			if err != nil {
+				return nil
+			}
+			return []Result{{Resp: val, NewVal: strconv.Itoa(n + d)}}
+		},
+		SampleVals: []string{"0", "5", "-2"},
+		SampleInvs: []string{Read, "fadd(1)", "fadd(-3)"},
+	}
+}
+
+// SortedSet returns a dictionary sequential type over a finite key space —
+// the paper's intro lists "concurrently-accessible data structures such as
+// balanced trees" among services; this is such a structure as a sequential
+// type (the canonical automaton then provides the concurrent, resilient
+// object). Operations: "insert(k)" → "1" if newly added else "0";
+// "remove(k)" → "1" if present else "0"; "member(k)" → "0"/"1";
+// "min" → smallest member or "none". The value is a codec.Set of keys.
+// Deterministic.
+func SortedSet(keys []string) *Type {
+	kset := make(map[string]struct{}, len(keys))
+	for _, k := range keys {
+		kset[k] = struct{}{}
+	}
+	sampleInvs := []string{"min"}
+	for _, k := range keys {
+		sampleInvs = append(sampleInvs, "insert("+k+")", "remove("+k+")", "member("+k+")")
+	}
+	member := func(items []string, k string) bool {
+		for _, it := range items {
+			if it == k {
+				return true
+			}
+		}
+		return false
+	}
+	return &Type{
+		Name:          "sorted-set",
+		Initials:      []string{codec.Set(nil)},
+		Deterministic: true,
+		IsInv: func(inv string) bool {
+			if inv == "min" {
+				return true
+			}
+			op, arg, ok := parseCall(inv)
+			if !ok {
+				return false
+			}
+			switch op {
+			case "insert", "remove", "member":
+				_, in := kset[arg]
+				return in
+			}
+			return false
+		},
+		Apply: func(inv, val string) []Result {
+			items, err := codec.ParseSet(val)
+			if err != nil {
+				return nil
+			}
+			if inv == "min" {
+				if len(items) == 0 {
+					return []Result{{Resp: "none", NewVal: val}}
+				}
+				// codec.Set keeps members sorted.
+				return []Result{{Resp: items[0], NewVal: val}}
+			}
+			op, arg, ok := parseCall(inv)
+			if !ok {
+				return nil
+			}
+			if _, in := kset[arg]; !in {
+				return nil
+			}
+			switch op {
+			case "insert":
+				if member(items, arg) {
+					return []Result{{Resp: "0", NewVal: val}}
+				}
+				return []Result{{Resp: "1", NewVal: codec.Set(append(items, arg))}}
+			case "remove":
+				if !member(items, arg) {
+					return []Result{{Resp: "0", NewVal: val}}
+				}
+				rest := make([]string, 0, len(items)-1)
+				for _, it := range items {
+					if it != arg {
+						rest = append(rest, it)
+					}
+				}
+				return []Result{{Resp: "1", NewVal: codec.Set(rest)}}
+			case "member":
+				if member(items, arg) {
+					return []Result{{Resp: "1", NewVal: val}}
+				}
+				return []Result{{Resp: "0", NewVal: val}}
+			}
+			return nil
+		},
+		SampleVals: []string{codec.Set(nil), codec.Set([]string{keys[0]})},
+		SampleInvs: sampleInvs,
+	}
+}

@@ -1,0 +1,174 @@
+package service
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/ioa-lab/boosting/internal/ioa"
+	"github.com/ioa-lab/boosting/internal/seqtype"
+	"github.com/ioa-lab/boosting/internal/servicetype"
+)
+
+// driveRegister applies a script of operations (encoded as bytes) to a
+// canonical register through full invoke→perform→output cycles, returning
+// the sequence of responses.
+func driveRegister(t testing.TB, script []byte) []string {
+	t.Helper()
+	reg, err := NewRegister("r", []string{"", "a", "b", "c"}, "", []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := reg.InitialState()
+	var responses []string
+	for _, b := range script {
+		var inv string
+		switch b % 4 {
+		case 0:
+			inv = seqtype.Read
+		case 1:
+			inv = seqtype.Write("a")
+		case 2:
+			inv = seqtype.Write("b")
+		case 3:
+			inv = seqtype.Write("c")
+		}
+		var invErr error
+		st, invErr = reg.Invoke(st, 0, inv)
+		if invErr != nil {
+			t.Fatal(invErr)
+		}
+		st, _, _ = reg.Apply(st, ioa.PerformTask("r", 0))
+		var act ioa.Action
+		st, act, _ = reg.Apply(st, ioa.OutputTask("r", 0))
+		responses = append(responses, act.Payload)
+	}
+	return responses
+}
+
+func TestRegisterReadsReturnLastWrite(t *testing.T) {
+	// Property: in a sequential (one-endpoint) usage, every read returns
+	// the most recently written value.
+	f := func(script []byte) bool {
+		if len(script) > 40 {
+			script = script[:40]
+		}
+		responses := driveRegister(t, script)
+		last := ""
+		for i, b := range script {
+			switch b % 4 {
+			case 0:
+				if responses[i] != last {
+					return false
+				}
+			case 1:
+				last = "a"
+			case 2:
+				last = "b"
+			case 3:
+				last = "c"
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestServiceDeterministicReplayProperty(t *testing.T) {
+	// Property: replaying any script yields identical responses and final
+	// fingerprints (Section 3.1 determinism).
+	f := func(script []byte) bool {
+		if len(script) > 30 {
+			script = script[:30]
+		}
+		a := driveRegister(t, script)
+		b := driveRegister(t, script)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFailedSetMonotoneProperty(t *testing.T) {
+	// Property: the failed set recorded by a service only grows, in any
+	// interleaving of fails and operations.
+	obj, err := NewWaitFree("k",
+		servicetype.FromSequential(seqtype.BinaryConsensus()), []int{0, 1, 2}, Adversarial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(events []byte) bool {
+		if len(events) > 30 {
+			events = events[:30]
+		}
+		st := obj.InitialState()
+		prev := st.Failed
+		for _, e := range events {
+			switch e % 5 {
+			case 0, 1, 2:
+				st = obj.Fail(st, int(e%5))
+			case 3:
+				st, _ = obj.Invoke(st, int(e%3), seqtype.Init("0"))
+			case 4:
+				if _, ok := obj.Enabled(st, ioa.PerformTask("k", int(e%3))); ok {
+					st, _, _ = obj.Apply(st, ioa.PerformTask("k", int(e%3)))
+				}
+			}
+			if !prev.SubsetOf(st.Failed) {
+				return false
+			}
+			prev = st.Failed
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConsensusObjectValueStableProperty(t *testing.T) {
+	// Property: once the canonical consensus object's value is set, no
+	// sequence of performs changes it (the type's stability, preserved by
+	// the service engine).
+	obj, err := NewWaitFree("k",
+		servicetype.FromSequential(seqtype.BinaryConsensus()), []int{0, 1}, Adversarial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(ops []byte) bool {
+		if len(ops) > 25 {
+			ops = ops[:25]
+		}
+		st := obj.InitialState()
+		fixed := ""
+		for _, op := range ops {
+			endpoint := int(op % 2)
+			v := "0"
+			if op%4 >= 2 {
+				v = "1"
+			}
+			st, _ = obj.Invoke(st, endpoint, seqtype.Init(v))
+			st, _, _ = obj.Apply(st, ioa.PerformTask("k", endpoint))
+			if fixed == "" {
+				fixed = st.Val
+			}
+			if st.Val != fixed {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,197 @@
+// Package service implements the canonical f-resilient service automata of
+// the paper: the canonical atomic object (Fig. 1), the canonical
+// failure-oblivious service (Fig. 4) and the canonical general service
+// (Fig. 8) are one engine, parameterized by a servicetype.Type whose Class
+// selects the variant.
+//
+// A canonical service for type U, endpoint set J, resilience f and index k
+// has, per endpoint i ∈ J, a FIFO invocation buffer and a FIFO response
+// buffer, and the value val of the type. Its input actions are invocations
+// a_{i,k} and fail_i; its locally controlled actions are grouped into tasks:
+//
+//   - the i-perform task: perform_{i,k} (apply δ1 to the head of
+//     inv-buffer(i)) and dummy_perform_{i,k};
+//   - the i-output task: b_{i,k} (emit the head of resp-buffer(i)) and
+//     dummy_output_{i,k};
+//   - the g-compute task (failure-oblivious and general services only):
+//     compute_{g,k} (apply δ2) and dummy_compute_{g,k}.
+//
+// The dummy actions are enabled exactly when the canonical automaton is
+// permitted to stop working on behalf of an endpoint: when that endpoint has
+// failed, or when more than f of the service's endpoints have failed (for
+// compute: when more than f endpoints have failed or all endpoints have
+// failed). Under the I/O-automata fairness assumption this is precisely the
+// paper's reading of f-resilience: the service must keep responding while at
+// most f connected processes have failed, and may fall silent afterwards —
+// but never violates its type.
+//
+// The engine resolves the canonical automaton's scheduling nondeterminism
+// deterministically (Section 3.1's restriction): a SilencePolicy chooses the
+// dummy action whenever it is enabled (Adversarial — the behaviour the
+// impossibility proofs exercise) or the real action whenever it is enabled
+// (Benign — the most helpful behaviour the same automaton permits).
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+
+	"github.com/ioa-lab/boosting/internal/ioa"
+	"github.com/ioa-lab/boosting/internal/servicetype"
+)
+
+// SilencePolicy resolves the choice between a real action and an enabled
+// dummy action (both fair behaviours of the canonical automaton).
+type SilencePolicy int
+
+// Silence policies.
+const (
+	// Adversarial takes the dummy action whenever it is enabled: the service
+	// falls silent for failed endpoints and, once more than f endpoints have
+	// failed, for everyone. The impossibility proofs rely on this behaviour
+	// being permitted.
+	Adversarial SilencePolicy = iota + 1
+	// Benign takes the real action whenever one is enabled, i.e. the service
+	// keeps working as long as the canonical automaton allows it to.
+	Benign
+)
+
+// String renders the policy.
+func (p SilencePolicy) String() string {
+	switch p {
+	case Adversarial:
+		return "adversarial"
+	case Benign:
+		return "benign"
+	default:
+		return "policy(" + strconv.Itoa(int(p)) + ")"
+	}
+}
+
+// Errors returned by service operations.
+var (
+	ErrNotEndpoint    = errors.New("service: process is not an endpoint")
+	ErrBadInvocation  = errors.New("service: invocation not in the service type")
+	ErrTaskNotEnabled = errors.New("service: task has no enabled action")
+	ErrForeignTask    = errors.New("service: task does not belong to this service")
+)
+
+// Service is a canonical f-resilient service automaton. It is stateless in
+// the I/O-automata sense: all mutable data lives in State values, so one
+// Service can drive many explorations concurrently.
+type Service struct {
+	index      string
+	typ        *servicetype.Type
+	endpoints  []int
+	endpointIn map[int]bool
+	resilience int
+	policy     SilencePolicy
+}
+
+// Config assembles the parameters of a canonical service.
+type Config struct {
+	// Index is the unique service index (the paper's k or r).
+	Index string
+	// Type is the service type U (or an embedded sequential type).
+	Type *servicetype.Type
+	// Endpoints is the endpoint set J.
+	Endpoints []int
+	// Resilience is f, the number of endpoint failures tolerated.
+	Resilience int
+	// Policy resolves real-vs-dummy choices; zero value means Adversarial.
+	Policy SilencePolicy
+}
+
+// New builds a canonical service. It validates the service type and the
+// endpoint set.
+func New(cfg Config) (*Service, error) {
+	if cfg.Type == nil {
+		return nil, errors.New("service: nil type")
+	}
+	if err := cfg.Type.Validate(); err != nil {
+		return nil, fmt.Errorf("service %s: %w", cfg.Index, err)
+	}
+	if len(cfg.Endpoints) == 0 {
+		return nil, fmt.Errorf("service %s: empty endpoint set", cfg.Index)
+	}
+	if cfg.Resilience < 0 {
+		return nil, fmt.Errorf("service %s: negative resilience", cfg.Index)
+	}
+	policy := cfg.Policy
+	if policy == 0 {
+		policy = Adversarial
+	}
+	eps := append([]int{}, cfg.Endpoints...)
+	sort.Ints(eps)
+	in := make(map[int]bool, len(eps))
+	for _, e := range eps {
+		in[e] = true
+	}
+	return &Service{
+		index:      cfg.Index,
+		typ:        cfg.Type,
+		endpoints:  eps,
+		endpointIn: in,
+		resilience: cfg.Resilience,
+		policy:     policy,
+	}, nil
+}
+
+// NewWaitFree builds a canonical wait-free (i.e. (|J|−1)-resilient) service.
+func NewWaitFree(index string, typ *servicetype.Type, endpoints []int, policy SilencePolicy) (*Service, error) {
+	return New(Config{
+		Index:      index,
+		Type:       typ,
+		Endpoints:  endpoints,
+		Resilience: len(endpoints) - 1,
+		Policy:     policy,
+	})
+}
+
+// NewRegister builds a canonical reliable (wait-free) multi-writer
+// multi-reader register over the given value set (Section 2.1.3): a canonical
+// atomic object of the read/write sequential type that never falls silent
+// while any endpoint is alive.
+func NewRegister(index string, values []string, initial string, endpoints []int) (*Service, error) {
+	rw := servicetype.FromSequential(registerSeqType(values, initial))
+	return NewWaitFree(index, rw, endpoints, Adversarial)
+}
+
+// Index returns the service index (k).
+func (s *Service) Index() string { return s.index }
+
+// Type returns the service type.
+func (s *Service) Type() *servicetype.Type { return s.typ }
+
+// Endpoints returns the endpoint set J, ascending. The returned slice is
+// shared; callers must not modify it.
+func (s *Service) Endpoints() []int { return s.endpoints }
+
+// HasEndpoint reports whether i ∈ J.
+func (s *Service) HasEndpoint(i int) bool { return s.endpointIn[i] }
+
+// Resilience returns f.
+func (s *Service) Resilience() int { return s.resilience }
+
+// WaitFree reports whether the service is wait-free, i.e. f ≥ |J|−1
+// (Section 2.1.3's equivalent formulations).
+func (s *Service) WaitFree() bool { return s.resilience >= len(s.endpoints)-1 }
+
+// Policy returns the silence policy.
+func (s *Service) Policy() SilencePolicy { return s.policy }
+
+// Tasks returns the tasks of the service in a fixed order: i-perform and
+// i-output per endpoint (ascending), then g-compute per global task name.
+func (s *Service) Tasks() []ioa.Task {
+	out := make([]ioa.Task, 0, 2*len(s.endpoints)+len(s.typ.Glob))
+	for _, i := range s.endpoints {
+		out = append(out, ioa.PerformTask(s.index, i))
+		out = append(out, ioa.OutputTask(s.index, i))
+	}
+	for _, g := range s.typ.Glob {
+		out = append(out, ioa.ComputeTask(s.index, g))
+	}
+	return out
+}

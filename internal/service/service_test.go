@@ -1,0 +1,421 @@
+package service
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/ioa-lab/boosting/internal/ioa"
+	"github.com/ioa-lab/boosting/internal/seqtype"
+	"github.com/ioa-lab/boosting/internal/servicetype"
+)
+
+func newConsensusObject(t *testing.T, f int, endpoints []int, policy SilencePolicy) *Service {
+	t.Helper()
+	s, err := New(Config{
+		Index:      "k0",
+		Type:       servicetype.FromSequential(seqtype.BinaryConsensus()),
+		Endpoints:  endpoints,
+		Resilience: f,
+		Policy:     policy,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mustApply(t *testing.T, s *Service, st State, task ioa.Task) (State, ioa.Action) {
+	t.Helper()
+	next, act, err := s.Apply(st, task)
+	if err != nil {
+		t.Fatalf("Apply(%v): %v", task, err)
+	}
+	return next, act
+}
+
+func TestNewValidation(t *testing.T) {
+	u := servicetype.FromSequential(seqtype.BinaryConsensus())
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"nil type", Config{Index: "k", Endpoints: []int{0}}},
+		{"empty endpoints", Config{Index: "k", Type: u}},
+		{"negative resilience", Config{Index: "k", Type: u, Endpoints: []int{0}, Resilience: -1}},
+	}
+	for _, c := range cases {
+		if _, err := New(c.cfg); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+}
+
+func TestInvokePerformOutputCycle(t *testing.T) {
+	s := newConsensusObject(t, 0, []int{0, 1}, Adversarial)
+	st := s.InitialState()
+
+	st, err := s.Invoke(st, 0, seqtype.Init("1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.PendingInvocations(0); len(got) != 1 || got[0] != seqtype.Init("1") {
+		t.Fatalf("inv-buffer: %v", got)
+	}
+
+	// The 0-perform task applies δ and queues the response.
+	st, act := mustApply(t, s, st, ioa.PerformTask("k0", 0))
+	if act.Type != ioa.ActPerform {
+		t.Fatalf("action: %v", act)
+	}
+	if st.Val != "1" {
+		t.Errorf("val: %q", st.Val)
+	}
+	if got := st.PendingResponses(0); len(got) != 1 || got[0] != seqtype.Decide("1") {
+		t.Fatalf("resp-buffer: %v", got)
+	}
+
+	// The 0-output task emits the response.
+	st, act = mustApply(t, s, st, ioa.OutputTask("k0", 0))
+	if act.Type != ioa.ActRespond || act.Payload != seqtype.Decide("1") || act.Proc != 0 {
+		t.Fatalf("respond action: %v", act)
+	}
+	if len(st.PendingResponses(0)) != 0 {
+		t.Error("resp-buffer not drained")
+	}
+}
+
+func TestInvokeRejectsNonEndpointAndBadInvocation(t *testing.T) {
+	s := newConsensusObject(t, 0, []int{0, 1}, Adversarial)
+	st := s.InitialState()
+	if _, err := s.Invoke(st, 7, seqtype.Init("0")); !errors.Is(err, ErrNotEndpoint) {
+		t.Errorf("non-endpoint: %v", err)
+	}
+	if _, err := s.Invoke(st, 0, "nonsense"); !errors.Is(err, ErrBadInvocation) {
+		t.Errorf("bad invocation: %v", err)
+	}
+}
+
+func TestFIFOOrderPerEndpoint(t *testing.T) {
+	rw := servicetype.FromSequential(seqtype.ReadWrite([]string{"a", "b"}, "a"))
+	s, err := New(Config{Index: "r0", Type: rw, Endpoints: []int{0}, Resilience: 0, Policy: Adversarial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.InitialState()
+	st, _ = s.Invoke(st, 0, seqtype.Write("b"))
+	st, _ = s.Invoke(st, 0, seqtype.Read)
+
+	st, _ = mustApply(t, s, st, ioa.PerformTask("r0", 0))
+	st, _ = mustApply(t, s, st, ioa.PerformTask("r0", 0))
+
+	// Responses must come back in invocation order: ack then the read of "b".
+	resp := st.PendingResponses(0)
+	if len(resp) != 2 || resp[0] != seqtype.Ack || resp[1] != "b" {
+		t.Fatalf("responses: %v", resp)
+	}
+}
+
+func TestTaskNotApplicableWhenIdle(t *testing.T) {
+	s := newConsensusObject(t, 0, []int{0, 1}, Adversarial)
+	st := s.InitialState()
+	if _, ok := s.Enabled(st, ioa.PerformTask("k0", 0)); ok {
+		t.Error("perform applicable with empty inv-buffer and no failures")
+	}
+	if _, ok := s.Enabled(st, ioa.OutputTask("k0", 0)); ok {
+		t.Error("output applicable with empty resp-buffer and no failures")
+	}
+	if _, _, err := s.Apply(st, ioa.PerformTask("k0", 0)); !errors.Is(err, ErrTaskNotEnabled) {
+		t.Errorf("Apply on idle task: %v", err)
+	}
+}
+
+func TestDummyEnabledAfterOwnFailure(t *testing.T) {
+	s := newConsensusObject(t, 1, []int{0, 1, 2}, Adversarial)
+	st := s.InitialState()
+	st, _ = s.Invoke(st, 0, seqtype.Init("0"))
+	st = s.Fail(st, 0)
+
+	// Adversarial policy: with fail_0 delivered, the 0-perform task takes
+	// the dummy action even though an invocation is pending.
+	act, ok := s.Enabled(st, ioa.PerformTask("k0", 0))
+	if !ok || act.Type != ioa.ActDummyPerform {
+		t.Fatalf("enabled action: %v %v", act, ok)
+	}
+	next, act := mustApply(t, s, st, ioa.PerformTask("k0", 0))
+	if act.Type != ioa.ActDummyPerform {
+		t.Fatalf("action: %v", act)
+	}
+	if next.Fingerprint() != st.Fingerprint() {
+		t.Error("dummy action changed the state")
+	}
+	// Endpoint 1 is unaffected: one failure ≤ f = 1.
+	if _, ok := s.Enabled(st, ioa.OutputTask("k0", 1)); ok {
+		t.Error("output_1 should be idle, not dummy-enabled")
+	}
+}
+
+func TestBenignPolicyServesFailedEndpointBacklog(t *testing.T) {
+	s := newConsensusObject(t, 1, []int{0, 1, 2}, Benign)
+	st := s.InitialState()
+	st, _ = s.Invoke(st, 0, seqtype.Init("0"))
+	st = s.Fail(st, 0)
+
+	// Benign policy: the real perform is preferred over the enabled dummy —
+	// also a legal behaviour of the canonical automaton.
+	act, ok := s.Enabled(st, ioa.PerformTask("k0", 0))
+	if !ok || act.Type != ioa.ActPerform {
+		t.Fatalf("enabled action: %v %v", act, ok)
+	}
+}
+
+func TestResilienceBudget(t *testing.T) {
+	// f = 1, |J| = 3: after two failures the whole object may fall silent —
+	// dummy actions become enabled for every endpoint, including live ones.
+	s := newConsensusObject(t, 1, []int{0, 1, 2}, Adversarial)
+	st := s.InitialState()
+	st, _ = s.Invoke(st, 2, seqtype.Init("1"))
+	st = s.Fail(st, 0)
+
+	// One failure: live endpoint 2 still served.
+	act, ok := s.Enabled(st, ioa.PerformTask("k0", 2))
+	if !ok || act.Type != ioa.ActPerform {
+		t.Fatalf("after 1 failure: %v %v", act, ok)
+	}
+
+	st = s.Fail(st, 1)
+	// Two failures > f: adversarial service silences endpoint 2 too.
+	act, ok = s.Enabled(st, ioa.PerformTask("k0", 2))
+	if !ok || act.Type != ioa.ActDummyPerform {
+		t.Fatalf("after 2 failures: %v %v", act, ok)
+	}
+}
+
+func TestWaitFreePredicate(t *testing.T) {
+	cases := []struct {
+		f, n int
+		want bool
+	}{{0, 1, true}, {1, 2, true}, {2, 2, true}, {0, 2, false}, {1, 3, false}, {2, 3, true}}
+	for _, c := range cases {
+		eps := make([]int, c.n)
+		for i := range eps {
+			eps[i] = i
+		}
+		s, err := New(Config{
+			Index: "k", Type: servicetype.FromSequential(seqtype.BinaryConsensus()),
+			Endpoints: eps, Resilience: c.f,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := s.WaitFree(); got != c.want {
+			t.Errorf("f=%d n=%d: WaitFree = %v, want %v", c.f, c.n, got, c.want)
+		}
+	}
+}
+
+func TestWaitFreeObjectNeverSilencesLiveEndpoints(t *testing.T) {
+	// A wait-free object stays responsive to live endpoints under any number
+	// of other failures (only "all failed" or own failure silences).
+	s := newConsensusObject(t, 2, []int{0, 1, 2}, Adversarial)
+	st := s.InitialState()
+	st, _ = s.Invoke(st, 2, seqtype.Init("0"))
+	st = s.Fail(st, 0)
+	st = s.Fail(st, 1)
+	act, ok := s.Enabled(st, ioa.PerformTask("k0", 2))
+	if !ok || act.Type != ioa.ActPerform {
+		t.Fatalf("wait-free object silenced live endpoint: %v %v", act, ok)
+	}
+}
+
+func TestFailNonEndpointIsNoop(t *testing.T) {
+	s := newConsensusObject(t, 0, []int{0, 1}, Adversarial)
+	st := s.InitialState()
+	st2 := s.Fail(st, 9)
+	if st2.Fingerprint() != st.Fingerprint() {
+		t.Error("fail of non-endpoint changed state")
+	}
+}
+
+func TestApplyForeignTask(t *testing.T) {
+	s := newConsensusObject(t, 0, []int{0, 1}, Adversarial)
+	if _, _, err := s.Apply(s.InitialState(), ioa.PerformTask("other", 0)); !errors.Is(err, ErrForeignTask) {
+		t.Errorf("foreign task: %v", err)
+	}
+}
+
+func TestStateImmutability(t *testing.T) {
+	s := newConsensusObject(t, 0, []int{0, 1}, Adversarial)
+	st0 := s.InitialState()
+	fp0 := st0.Fingerprint()
+	st1, err := s.Invoke(st0, 0, seqtype.Init("0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st0.Fingerprint() != fp0 {
+		t.Error("Invoke mutated the source state")
+	}
+	st2, _ := mustApply(t, s, st1, ioa.PerformTask("k0", 0))
+	if st1.Fingerprint() == st2.Fingerprint() {
+		t.Error("perform did not change state")
+	}
+	// Divergent extensions from st1 must not interfere.
+	st3, _ := s.Invoke(st1, 1, seqtype.Init("1"))
+	if got := st2.PendingInvocations(1); len(got) != 0 {
+		t.Errorf("sibling state corrupted: %v", got)
+	}
+	_ = st3
+}
+
+func TestTasksEnumeration(t *testing.T) {
+	tob, err := NewWaitFree("b0", servicetype.TotallyOrderedBroadcast([]int{0, 1}), []int{0, 1}, Adversarial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := tob.Tasks()
+	want := []ioa.Task{
+		ioa.PerformTask("b0", 0), ioa.OutputTask("b0", 0),
+		ioa.PerformTask("b0", 1), ioa.OutputTask("b0", 1),
+		ioa.ComputeTask("b0", servicetype.TOBGlobalTask),
+	}
+	if len(tasks) != len(want) {
+		t.Fatalf("tasks: %v", tasks)
+	}
+	for i := range want {
+		if tasks[i] != want[i] {
+			t.Errorf("task %d: got %v, want %v", i, tasks[i], want[i])
+		}
+	}
+}
+
+func TestComputeTaskAlwaysApplicable(t *testing.T) {
+	tob, err := NewWaitFree("b0", servicetype.TotallyOrderedBroadcast([]int{0, 1}), []int{0, 1}, Adversarial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := tob.InitialState()
+	act, ok := tob.Enabled(st, ioa.ComputeTask("b0", servicetype.TOBGlobalTask))
+	if !ok || act.Type != ioa.ActCompute {
+		t.Fatalf("compute: %v %v", act, ok)
+	}
+	// Empty msgs: compute is a no-op but still a transition.
+	next, _ := mustApply(t, tob, st, ioa.ComputeTask("b0", servicetype.TOBGlobalTask))
+	if next.Fingerprint() != st.Fingerprint() {
+		t.Error("no-op compute changed state")
+	}
+}
+
+func TestTOBEndToEnd(t *testing.T) {
+	tob, err := NewWaitFree("b0", servicetype.TotallyOrderedBroadcast([]int{0, 1, 2}), []int{0, 1, 2}, Adversarial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := tob.InitialState()
+	st, err = tob.Invoke(st, 1, servicetype.Bcast("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ = mustApply(t, tob, st, ioa.PerformTask("b0", 1))
+	st, _ = mustApply(t, tob, st, ioa.ComputeTask("b0", servicetype.TOBGlobalTask))
+	for _, i := range []int{0, 1, 2} {
+		resp := st.PendingResponses(i)
+		if len(resp) != 1 {
+			t.Fatalf("endpoint %d: responses %v", i, resp)
+		}
+		m, sender, ok := servicetype.RcvParts(resp[0])
+		if !ok || m != "hello" || sender != 1 {
+			t.Errorf("endpoint %d: rcv %q %d %v", i, m, sender, ok)
+		}
+	}
+}
+
+func TestDummyComputeWhenAllFailed(t *testing.T) {
+	tob, err := NewWaitFree("b0", servicetype.TotallyOrderedBroadcast([]int{0, 1}), []int{0, 1}, Adversarial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := tob.InitialState()
+	st = tob.Fail(st, 0)
+	// One failure with f = 1: compute still real (not all failed, not > f).
+	act, ok := tob.Enabled(st, ioa.ComputeTask("b0", servicetype.TOBGlobalTask))
+	if !ok || act.Type != ioa.ActCompute {
+		t.Fatalf("compute after 1 failure: %v", act)
+	}
+	st = tob.Fail(st, 1)
+	act, ok = tob.Enabled(st, ioa.ComputeTask("b0", servicetype.TOBGlobalTask))
+	if !ok || act.Type != ioa.ActDummyCompute {
+		t.Fatalf("compute after all failed: %v", act)
+	}
+}
+
+func TestPerfectFDService(t *testing.T) {
+	fd, err := New(Config{
+		Index: "fd", Type: servicetype.PerfectFD([]int{0, 1}),
+		Endpoints: []int{0, 1}, Resilience: 1, Policy: Adversarial,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := fd.InitialState()
+	st = fd.Fail(st, 1)
+	st, _ = mustApply(t, fd, st, ioa.ComputeTask("fd", "fd0"))
+	resp := st.PendingResponses(0)
+	if len(resp) != 1 {
+		t.Fatalf("responses: %v", resp)
+	}
+	set, ok := servicetype.SuspectSet(resp[0])
+	if !ok || !set.Has(1) || set.Len() != 1 {
+		t.Errorf("suspicion: %v %v", set, ok)
+	}
+}
+
+func TestRegisterHelper(t *testing.T) {
+	r, err := NewRegister("r0", []string{"", "x"}, "", []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.WaitFree() {
+		t.Error("registers must be wait-free")
+	}
+	st := r.InitialState()
+	st, err = r.Invoke(st, 0, seqtype.Write("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ = mustApply(t, r, st, ioa.PerformTask("r0", 0))
+	st, _ = r.Invoke(st, 1, seqtype.Read)
+	st, _ = mustApply(t, r, st, ioa.PerformTask("r0", 1))
+	resp := st.PendingResponses(1)
+	if len(resp) != 1 || resp[0] != "x" {
+		t.Errorf("read response: %v", resp)
+	}
+}
+
+func TestFingerprintDistinguishesStates(t *testing.T) {
+	s := newConsensusObject(t, 0, []int{0, 1}, Adversarial)
+	st := s.InitialState()
+	st1, _ := s.Invoke(st, 0, seqtype.Init("0"))
+	st2, _ := s.Invoke(st, 0, seqtype.Init("1"))
+	st3, _ := s.Invoke(st, 1, seqtype.Init("0"))
+	fps := map[string]bool{
+		st.Fingerprint(): true, st1.Fingerprint(): true,
+		st2.Fingerprint(): true, st3.Fingerprint(): true,
+	}
+	if len(fps) != 4 {
+		t.Errorf("fingerprint collision: %d distinct", len(fps))
+	}
+}
+
+func TestFingerprintCanonicalAcrossPaths(t *testing.T) {
+	// Reaching "same logical state" via different orders of independent
+	// operations yields identical fingerprints.
+	s := newConsensusObject(t, 1, []int{0, 1}, Adversarial)
+	a := s.InitialState()
+	a, _ = s.Invoke(a, 0, seqtype.Init("0"))
+	a, _ = s.Invoke(a, 1, seqtype.Init("1"))
+	b := s.InitialState()
+	b, _ = s.Invoke(b, 1, seqtype.Init("1"))
+	b, _ = s.Invoke(b, 0, seqtype.Init("0"))
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("fingerprints differ for commuting invocations at distinct endpoints")
+	}
+}

@@ -1,0 +1,130 @@
+package service
+
+import (
+	"strconv"
+
+	"github.com/ioa-lab/boosting/internal/codec"
+	"github.com/ioa-lab/boosting/internal/seqtype"
+	"github.com/ioa-lab/boosting/internal/servicetype"
+)
+
+// State is the state of a canonical service automaton: the value of the
+// type, the per-endpoint invocation and response FIFO buffers, and the set
+// of endpoints known to have failed (Fig. 1's val, inv-buffer, resp-buffer
+// and failed components).
+//
+// States are treated as immutable: every transition returns a fresh State.
+// Buffers of untouched endpoints are shared between the old and new state,
+// and mutated buffers are re-allocated, so sharing is safe.
+type State struct {
+	Val    string
+	Inv    map[int][]string
+	Resp   map[int][]string
+	Failed codec.IntSet
+}
+
+// InitialState returns the start state: val = the type's initial value, all
+// buffers empty, no failures.
+func (s *Service) InitialState() State {
+	return State{
+		Val:    s.typ.Initial,
+		Inv:    map[int][]string{},
+		Resp:   map[int][]string{},
+		Failed: codec.NewIntSet(),
+	}
+}
+
+// Fingerprint returns the canonical encoding of the state.
+func (st State) Fingerprint() string {
+	return codec.List([]string{
+		codec.Atom(st.Val),
+		fingerprintBuffers(st.Inv),
+		fingerprintBuffers(st.Resp),
+		st.Failed.Fingerprint(),
+	})
+}
+
+func fingerprintBuffers(buf map[int][]string) string {
+	m := make(map[string]string, len(buf))
+	for i, items := range buf {
+		if len(items) == 0 {
+			continue
+		}
+		m[strconv.Itoa(i)] = codec.List(items)
+	}
+	return codec.Map(m)
+}
+
+// shallowWith returns a copy of the state with the given buffer map entry
+// replaced (copy-on-write at the map level).
+func withBuffer(buf map[int][]string, i int, items []string) map[int][]string {
+	out := make(map[int][]string, len(buf)+1)
+	for k, v := range buf {
+		out[k] = v
+	}
+	if len(items) == 0 {
+		delete(out, i)
+	} else {
+		out[i] = items
+	}
+	return out
+}
+
+// pushed returns buf with item appended to endpoint i's queue, without
+// mutating buf.
+func pushed(buf map[int][]string, i int, item string) map[int][]string {
+	old := buf[i]
+	items := make([]string, len(old), len(old)+1)
+	copy(items, old)
+	return withBuffer(buf, i, append(items, item))
+}
+
+// pushedAll returns buf with items appended to endpoint i's queue.
+func pushedAll(buf map[int][]string, i int, items []string) map[int][]string {
+	if len(items) == 0 {
+		return buf
+	}
+	old := buf[i]
+	merged := make([]string, len(old), len(old)+len(items))
+	copy(merged, old)
+	return withBuffer(buf, i, append(merged, items...))
+}
+
+// popped returns buf with the head of endpoint i's queue removed, plus the
+// removed head. ok is false if the queue is empty.
+func popped(buf map[int][]string, i int) (out map[int][]string, head string, ok bool) {
+	items := buf[i]
+	if len(items) == 0 {
+		return buf, "", false
+	}
+	rest := make([]string, len(items)-1)
+	copy(rest, items[1:])
+	return withBuffer(buf, i, rest), items[0], true
+}
+
+// applyResponses appends every response in rm to the corresponding response
+// buffers, returning a fresh buffer map.
+func applyResponses(resp map[int][]string, rm servicetype.ResponseMap) map[int][]string {
+	out := resp
+	for _, i := range rm.Endpoints() {
+		out = pushedAll(out, i, rm.Responses(i))
+	}
+	return out
+}
+
+// PendingInvocations returns the invocation buffer of endpoint i (shared
+// slice; do not modify).
+func (st State) PendingInvocations(i int) []string { return st.Inv[i] }
+
+// PendingResponses returns the response buffer of endpoint i (shared slice;
+// do not modify).
+func (st State) PendingResponses(i int) []string { return st.Resp[i] }
+
+// registerSeqType builds the read/write sequential type used by canonical
+// registers, defaulting the value set when empty.
+func registerSeqType(values []string, initial string) *seqtype.Type {
+	if len(values) == 0 {
+		values = []string{initial}
+	}
+	return seqtype.ReadWrite(values, initial)
+}

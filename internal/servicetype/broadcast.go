@@ -1,0 +1,110 @@
+package servicetype
+
+import (
+	"strconv"
+
+	"github.com/ioa-lab/boosting/internal/codec"
+)
+
+// Totally ordered broadcast (paper Section 5.2, Figs. 5–7).
+//
+// The value is the msgs queue of (message, sender) pairs that have been
+// totally ordered but not yet delivered. δ1 processes a bcast(m) invocation
+// from endpoint i by appending (m, i) to msgs and producing no responses.
+// δ2, driven by the single global task g, pops the head of msgs and appends
+// rcv(m, i) to the response buffer of every endpoint.
+
+// TOBGlobalTask is the single global task name of the totally ordered
+// broadcast type (the paper's glob = {g}).
+const TOBGlobalTask = "g"
+
+// Bcast builds a bcast(m) invocation.
+func Bcast(m string) string { return "bcast(" + m + ")" }
+
+// Rcv builds an rcv(m, i) response: the receipt of message m from sender i.
+func Rcv(m string, sender int) string {
+	return "rcv" + codec.Pair(m, strconv.Itoa(sender))
+}
+
+// RcvParts decodes an rcv response into message and sender.
+func RcvParts(resp string) (m string, sender int, ok bool) {
+	const prefix = "rcv"
+	if len(resp) <= len(prefix) || resp[:len(prefix)] != prefix {
+		return "", 0, false
+	}
+	a, b, err := codec.ParsePair(resp[len(prefix):])
+	if err != nil {
+		return "", 0, false
+	}
+	s, err2 := strconv.Atoi(b)
+	if err2 != nil {
+		return "", 0, false
+	}
+	return a, s, true
+}
+
+// BcastMessage extracts m from a bcast(m) invocation.
+func BcastMessage(inv string) (string, bool) {
+	const prefix, suffix = "bcast(", ")"
+	if len(inv) < len(prefix)+len(suffix) || inv[:len(prefix)] != prefix || inv[len(inv)-1] != ')' {
+		return "", false
+	}
+	return inv[len(prefix) : len(inv)-1], true
+}
+
+// TotallyOrderedBroadcast returns the totally-ordered-broadcast service type
+// for the given endpoint set. It is failure-oblivious: neither δ1 nor δ2
+// consults the failed set. The paper uses it as the leading example of a
+// service that is *not* an atomic object (one invocation triggers many
+// responses) yet is covered by Theorem 9.
+func TotallyOrderedBroadcast(endpoints []int) *Type {
+	eps := append([]int{}, endpoints...)
+	return &Type{
+		Name:    "totally-ordered-broadcast",
+		Class:   FailureOblivious,
+		Initial: codec.List(nil),
+		IsInv: func(inv string) bool {
+			_, ok := BcastMessage(inv)
+			return ok
+		},
+		Glob: []string{TOBGlobalTask},
+		// Fig. 6: append (m, i) to msgs; B(j) empty for all j.
+		Delta1: func(inv string, endpoint int, val string, _ codec.IntSet) (ResponseMap, string) {
+			m, ok := BcastMessage(inv)
+			if !ok {
+				return nil, val
+			}
+			msgs, err := codec.ParseList(val)
+			if err != nil {
+				return nil, val
+			}
+			entry := codec.Pair(m, strconv.Itoa(endpoint))
+			return nil, codec.List(append(append([]string{}, msgs...), entry))
+		},
+		// Fig. 7: pop the head of msgs and deliver rcv(m, i) to every j ∈ J;
+		// if msgs is empty, do nothing.
+		Delta2: func(g string, val string, _ codec.IntSet) (ResponseMap, string) {
+			if g != TOBGlobalTask {
+				return nil, val
+			}
+			msgs, err := codec.ParseList(val)
+			if err != nil || len(msgs) == 0 {
+				return nil, val
+			}
+			m, sender, perr := codec.ParsePair(msgs[0])
+			if perr != nil {
+				return nil, val
+			}
+			s, aerr := strconv.Atoi(sender)
+			if aerr != nil {
+				return nil, val
+			}
+			return Broadcast(eps, Rcv(m, s)), codec.List(msgs[1:])
+		},
+		SampleVals: []string{
+			codec.List(nil),
+			codec.List([]string{codec.Pair("m1", "0")}),
+		},
+		SampleInvs: []string{Bcast("m1"), Bcast("m2")},
+	}
+}

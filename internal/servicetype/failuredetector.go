@@ -1,0 +1,115 @@
+package servicetype
+
+import (
+	"strconv"
+
+	"github.com/ioa-lab/boosting/internal/codec"
+)
+
+// Failure detectors (paper Section 6.2, Figs. 9–11), modelled as general
+// (failure-aware) service types. As the paper notes, these automaton-based
+// detectors react only to the *order* of failures, not their timing — the
+// "time-independent" subset of realistic failure detectors.
+//
+// Failure detector types have no invocations: their only inputs are fail
+// actions, and their responses are suspect(J′) reports pushed to endpoints
+// by global compute tasks.
+
+// Suspect builds a suspect(J′) response carrying the suspected set.
+func Suspect(suspected codec.IntSet) string {
+	return "suspect" + suspected.Fingerprint()
+}
+
+// SuspectSet decodes a suspect response into the suspected set.
+func SuspectSet(resp string) (codec.IntSet, bool) {
+	const prefix = "suspect"
+	if len(resp) < len(prefix) || resp[:len(prefix)] != prefix {
+		return codec.IntSet{}, false
+	}
+	s, err := codec.ParseIntSet(resp[len(prefix):])
+	if err != nil {
+		return codec.IntSet{}, false
+	}
+	return s, true
+}
+
+// PerfectFD returns the perfect failure detector P for the given endpoint
+// set (Fig. 9): V is the trivial singleton; glob contains one task per
+// endpoint; δ2(i, v̄, failed) appends suspect(failed) to endpoint i's
+// response buffer. Suspicions are therefore always accurate (only failed
+// processes are suspected) and, under fairness, complete (each failed
+// process is eventually reported to every live endpoint).
+func PerfectFD(endpoints []int) *Type {
+	glob := make([]string, len(endpoints))
+	byTask := make(map[string]int, len(endpoints))
+	for idx, i := range endpoints {
+		name := "fd" + strconv.Itoa(i)
+		glob[idx] = name
+		byTask[name] = i
+	}
+	return &Type{
+		Name:    "perfect-fd",
+		Class:   General,
+		Initial: "",
+		IsInv:   func(string) bool { return false },
+		Glob:    glob,
+		Delta2: func(g string, val string, failed codec.IntSet) (ResponseMap, string) {
+			i, ok := byTask[g]
+			if !ok {
+				return nil, val
+			}
+			return Single(i, Suspect(failed)), val
+		},
+	}
+}
+
+// Mode values of the eventually perfect failure detector (Fig. 10).
+const (
+	ModeImperfect = "imperfect"
+	ModePerfect   = "perfect"
+)
+
+// EvPerfectStabilizeTask is the special global task g of ◇P that flips mode
+// from imperfect to perfect (Fig. 11's "background task").
+const EvPerfectStabilizeTask = "g"
+
+// EventuallyPerfectFD returns the eventually perfect failure detector ◇P for
+// the given endpoint set (Figs. 10–11): V holds a mode ∈ {imperfect,
+// perfect}, initially imperfect. While imperfect, per-endpoint tasks may
+// report arbitrary suspicions — our deterministic restriction reports the
+// maximally wrong "suspect everyone else". After the background task g fires,
+// mode is perfect and reports equal the actual failed set. Fairness
+// guarantees g eventually fires, so suspicions eventually become recent and
+// accurate.
+func EventuallyPerfectFD(endpoints []int) *Type {
+	glob := make([]string, 0, len(endpoints)+1)
+	byTask := make(map[string]int, len(endpoints))
+	all := codec.NewIntSet(endpoints...)
+	for _, i := range endpoints {
+		name := "fd" + strconv.Itoa(i)
+		glob = append(glob, name)
+		byTask[name] = i
+	}
+	glob = append(glob, EvPerfectStabilizeTask)
+	return &Type{
+		Name:    "eventually-perfect-fd",
+		Class:   General,
+		Initial: ModeImperfect,
+		IsInv:   func(string) bool { return false },
+		Glob:    glob,
+		Delta2: func(g string, val string, failed codec.IntSet) (ResponseMap, string) {
+			if g == EvPerfectStabilizeTask {
+				return nil, ModePerfect
+			}
+			i, ok := byTask[g]
+			if !ok {
+				return nil, val
+			}
+			if val == ModePerfect {
+				return Single(i, Suspect(failed)), val
+			}
+			// Imperfect mode: arbitrary (here: everyone but the endpoint).
+			return Single(i, Suspect(all.Without(i))), val
+		},
+	}
+}

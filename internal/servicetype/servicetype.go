@@ -1,0 +1,246 @@
+// Package servicetype implements service types, the behavioural
+// specifications behind canonical services (paper Sections 5.1 and 6.1).
+//
+// A service type U = ⟨V, V0, invs, resps, glob, δ1, δ2⟩ generalizes a
+// sequential type: δ1 handles perform steps (an invocation at an endpoint may
+// produce responses at any set of endpoints), and δ2 handles spontaneous
+// compute steps driven by global tasks. General (failure-aware) service types
+// additionally see the current failed set in δ1 and δ2 (Fig. 8); atomic and
+// failure-oblivious types must ignore it.
+//
+// Following the determinism restriction of Section 3.1 (which the paper
+// adopts without loss of generality for its proofs), δ1 and δ2 are
+// represented as functions and V0 as a single initial value.
+package servicetype
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+
+	"github.com/ioa-lab/boosting/internal/codec"
+	"github.com/ioa-lab/boosting/internal/seqtype"
+)
+
+// Class places a service type in the paper's hierarchy (Sections 2.1.3, 5.1,
+// 6.1). The hierarchy is strict: every atomic object is a failure-oblivious
+// service, and every failure-oblivious service is a general service.
+type Class int
+
+// Service classes.
+const (
+	// Atomic: a canonical atomic object (Fig. 1) — derived from a sequential
+	// type; one response, to the invoking endpoint; no global tasks.
+	Atomic Class = iota + 1
+	// FailureOblivious: a canonical failure-oblivious service (Fig. 4) —
+	// arbitrary response fan-out and compute steps, but no step may depend
+	// on failure events.
+	FailureOblivious
+	// General: a canonical general, possibly failure-aware, service
+	// (Fig. 8) — δ1 and δ2 may consult the failed set.
+	General
+)
+
+// String renders the class.
+func (c Class) String() string {
+	switch c {
+	case Atomic:
+		return "atomic"
+	case FailureOblivious:
+		return "failure-oblivious"
+	case General:
+		return "general"
+	default:
+		return "class(" + strconv.Itoa(int(c)) + ")"
+	}
+}
+
+// ResponseMap maps endpoints to the finite sequences of responses that a
+// perform or compute step appends to the corresponding response buffers.
+type ResponseMap map[int][]string
+
+// Responses returns the responses for endpoint i (nil if none).
+func (m ResponseMap) Responses(i int) []string { return m[i] }
+
+// Endpoints returns the endpoints with at least one response, ascending.
+func (m ResponseMap) Endpoints() []int {
+	out := make([]int, 0, len(m))
+	for i, rs := range m {
+		if len(rs) > 0 {
+			out = append(out, i)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Single returns a ResponseMap carrying one response to one endpoint — the
+// shape every atomic-object perform step has.
+func Single(endpoint int, resp string) ResponseMap {
+	return ResponseMap{endpoint: {resp}}
+}
+
+// Broadcast returns a ResponseMap carrying the same response to every
+// endpoint in J.
+func Broadcast(endpoints []int, resp string) ResponseMap {
+	m := make(ResponseMap, len(endpoints))
+	for _, i := range endpoints {
+		m[i] = []string{resp}
+	}
+	return m
+}
+
+// Type is a (deterministically restricted) service type U.
+type Type struct {
+	// Name identifies the type.
+	Name string
+
+	// Class is the position in the atomic / failure-oblivious / general
+	// hierarchy. For Atomic and FailureOblivious types, Delta1 and Delta2
+	// must ignore the failed argument.
+	Class Class
+
+	// Initial is the single initial value (V0 after the determinism
+	// restriction).
+	Initial string
+
+	// IsInv reports whether a string is an invocation of the type. Failure
+	// detectors have no invocations (IsInv always false).
+	IsInv func(inv string) bool
+
+	// Glob lists the global task names.
+	Glob []string
+
+	// Delta1 is δ1, applied by perform steps: given the invocation at the
+	// head of endpoint's inv-buffer, the current value, and (for General
+	// types) the failed set, it returns the responses to append and the new
+	// value. It must be total over invocations × values.
+	Delta1 func(inv string, endpoint int, val string, failed codec.IntSet) (ResponseMap, string)
+
+	// Delta2 is δ2, applied by compute steps of global task g. It must be
+	// total: it always returns a (possibly empty) response map and new value.
+	Delta2 func(g string, val string, failed codec.IntSet) (ResponseMap, string)
+
+	// Seq is the originating sequential type when the service type was
+	// derived by FromSequential; nil otherwise.
+	Seq *seqtype.Type
+
+	// SampleVals and SampleInvs are probes for Validate and property tests.
+	SampleVals []string
+	SampleInvs []string
+}
+
+// Validation errors.
+var (
+	ErrNoDelta      = errors.New("servicetype: missing transition function")
+	ErrFailureAware = errors.New("servicetype: non-general type consults the failed set")
+	ErrBadClass     = errors.New("servicetype: invalid class")
+)
+
+// Validate checks structural requirements: transition functions present
+// where needed, and — for Atomic and FailureOblivious types — failure
+// obliviousness, probed by comparing outcomes across different failed sets
+// on the sample values and invocations.
+func (t *Type) Validate() error {
+	switch t.Class {
+	case Atomic, FailureOblivious, General:
+	default:
+		return fmt.Errorf("%w: %d (type %s)", ErrBadClass, int(t.Class), t.Name)
+	}
+	if t.Delta1 == nil && len(t.SampleInvs) > 0 {
+		return fmt.Errorf("%w: δ1 (type %s)", ErrNoDelta, t.Name)
+	}
+	if t.Delta2 == nil && len(t.Glob) > 0 {
+		return fmt.Errorf("%w: δ2 (type %s)", ErrNoDelta, t.Name)
+	}
+	if t.Class == General {
+		return nil
+	}
+	// Probe failure obliviousness: outcomes must not vary with failed.
+	failedSets := []codec.IntSet{codec.NewIntSet(), codec.NewIntSet(0), codec.NewIntSet(0, 1, 2)}
+	vals := append([]string{t.Initial}, t.SampleVals...)
+	for _, inv := range t.SampleInvs {
+		for _, v := range vals {
+			rm0, nv0 := t.Delta1(inv, 0, v, failedSets[0])
+			for _, fs := range failedSets[1:] {
+				rm, nv := t.Delta1(inv, 0, v, fs)
+				if nv != nv0 || !responseMapsEqual(rm, rm0) {
+					return fmt.Errorf("%w: δ1(%q, %q) (type %s)", ErrFailureAware, inv, v, t.Name)
+				}
+			}
+		}
+	}
+	for _, g := range t.Glob {
+		for _, v := range vals {
+			rm0, nv0 := t.Delta2(g, v, failedSets[0])
+			for _, fs := range failedSets[1:] {
+				rm, nv := t.Delta2(g, v, fs)
+				if nv != nv0 || !responseMapsEqual(rm, rm0) {
+					return fmt.Errorf("%w: δ2(%q, %q) (type %s)", ErrFailureAware, g, v, t.Name)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func responseMapsEqual(a, b ResponseMap) bool {
+	if len(a) != len(b) {
+		// Normalize: empty slices count as absent.
+		return normalizedLen(a) == normalizedLen(b) && subsumes(a, b) && subsumes(b, a)
+	}
+	return subsumes(a, b) && subsumes(b, a)
+}
+
+func normalizedLen(m ResponseMap) int {
+	n := 0
+	for _, rs := range m {
+		if len(rs) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func subsumes(a, b ResponseMap) bool {
+	for i, rs := range a {
+		os := b[i]
+		if len(rs) != len(os) {
+			return false
+		}
+		for j := range rs {
+			if rs[j] != os[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// FromSequential embeds a sequential type T as an atomic service type
+// (paper Section 5.1): glob = ∅, δ2 empty, and δ1(a, i, v) produces the
+// single δ-response to endpoint i. The determinism restriction resolves any
+// nondeterminism in T via seqtype.ApplyOne.
+func FromSequential(seq *seqtype.Type) *Type {
+	return &Type{
+		Name:    seq.Name,
+		Class:   Atomic,
+		Initial: seq.Initials[0],
+		IsInv:   seq.IsInv,
+		Delta1: func(inv string, endpoint int, val string, _ codec.IntSet) (ResponseMap, string) {
+			r, err := seq.ApplyOne(inv, val)
+			if err != nil {
+				// δ is total on invocations of the type; a miss means the
+				// invocation was not validated upstream. Leave the value
+				// unchanged and respond with an explicit error marker rather
+				// than dropping the operation silently.
+				return Single(endpoint, "error(bad-invocation)"), val
+			}
+			return Single(endpoint, r.Resp), r.NewVal
+		},
+		Seq:        seq,
+		SampleVals: seq.SampleVals,
+		SampleInvs: seq.SampleInvs,
+	}
+}

@@ -1,0 +1,341 @@
+package servicetype
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/ioa-lab/boosting/internal/codec"
+	"github.com/ioa-lab/boosting/internal/seqtype"
+)
+
+func TestFromSequentialShape(t *testing.T) {
+	u := FromSequential(seqtype.BinaryConsensus())
+	if u.Class != Atomic {
+		t.Errorf("class: %v", u.Class)
+	}
+	if len(u.Glob) != 0 {
+		t.Errorf("atomic object must have no global tasks, got %v", u.Glob)
+	}
+	if err := u.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rm, nv := u.Delta1(seqtype.Init("1"), 2, "", codec.NewIntSet())
+	if nv != "1" {
+		t.Errorf("new value: %q", nv)
+	}
+	if !reflect.DeepEqual(rm, Single(2, seqtype.Decide("1"))) {
+		t.Errorf("response map: %v", rm)
+	}
+}
+
+func TestFromSequentialRespondsOnlyToInvoker(t *testing.T) {
+	u := FromSequential(seqtype.ReadWrite([]string{"a", "b"}, "a"))
+	rm, _ := u.Delta1(seqtype.Read, 1, "a", codec.NewIntSet())
+	eps := rm.Endpoints()
+	if len(eps) != 1 || eps[0] != 1 {
+		t.Errorf("endpoints with responses: %v", eps)
+	}
+}
+
+func TestValidateDetectsFailureAwareness(t *testing.T) {
+	u := &Type{
+		Name:    "sneaky",
+		Class:   FailureOblivious,
+		Initial: "",
+		IsInv:   func(inv string) bool { return inv == "op" },
+		Delta1: func(inv string, endpoint int, val string, failed codec.IntSet) (ResponseMap, string) {
+			if failed.Len() > 0 {
+				return Single(endpoint, "failures-seen"), val
+			}
+			return Single(endpoint, "clean"), val
+		},
+		SampleInvs: []string{"op"},
+	}
+	if err := u.Validate(); err == nil {
+		t.Error("want failure-awareness error")
+	}
+}
+
+func TestValidateAcceptsGeneralFailureAwareness(t *testing.T) {
+	u := PerfectFD([]int{0, 1, 2})
+	if err := u.Validate(); err != nil {
+		t.Errorf("perfect FD should validate: %v", err)
+	}
+}
+
+func TestResponseMapHelpers(t *testing.T) {
+	m := Broadcast([]int{2, 0, 1}, "x")
+	if got := m.Endpoints(); !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Errorf("Endpoints: %v", got)
+	}
+	if got := m.Responses(1); !reflect.DeepEqual(got, []string{"x"}) {
+		t.Errorf("Responses: %v", got)
+	}
+	if m.Responses(9) != nil {
+		t.Error("Responses for absent endpoint should be nil")
+	}
+}
+
+func TestTOBDelta1AppendsToMsgs(t *testing.T) {
+	u := TotallyOrderedBroadcast([]int{0, 1})
+	if err := u.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rm, nv := u.Delta1(Bcast("hello"), 1, u.Initial, codec.NewIntSet())
+	if len(rm) != 0 {
+		t.Errorf("bcast must produce no immediate responses, got %v", rm)
+	}
+	msgs, err := codec.ParseList(nv)
+	if err != nil || len(msgs) != 1 {
+		t.Fatalf("msgs after bcast: %v %v", msgs, err)
+	}
+	m, snd, err := codec.ParsePair(msgs[0])
+	if err != nil || m != "hello" || snd != "1" {
+		t.Errorf("entry: %q %q %v", m, snd, err)
+	}
+}
+
+func TestTOBDelta2DeliversToAll(t *testing.T) {
+	u := TotallyOrderedBroadcast([]int{0, 1, 2})
+	_, nv := u.Delta1(Bcast("m"), 0, u.Initial, codec.NewIntSet())
+	rm, nv2 := u.Delta2(TOBGlobalTask, nv, codec.NewIntSet())
+	if got := rm.Endpoints(); !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Errorf("delivery endpoints: %v", got)
+	}
+	for _, i := range []int{0, 1, 2} {
+		msg, sender, ok := RcvParts(rm.Responses(i)[0])
+		if !ok || msg != "m" || sender != 0 {
+			t.Errorf("rcv at %d: %q %d %v", i, msg, sender, ok)
+		}
+	}
+	if msgs, _ := codec.ParseList(nv2); len(msgs) != 0 {
+		t.Errorf("msgs not drained: %v", msgs)
+	}
+}
+
+func TestTOBDelta2EmptyIsNoop(t *testing.T) {
+	u := TotallyOrderedBroadcast([]int{0, 1})
+	rm, nv := u.Delta2(TOBGlobalTask, u.Initial, codec.NewIntSet())
+	if len(rm) != 0 || nv != u.Initial {
+		t.Errorf("empty compute must be a no-op: %v %q", rm, nv)
+	}
+}
+
+func TestTOBPreservesOrder(t *testing.T) {
+	u := TotallyOrderedBroadcast([]int{0, 1})
+	val := u.Initial
+	for _, m := range []string{"a", "b", "c"} {
+		_, val = u.Delta1(Bcast(m), 0, val, codec.NewIntSet())
+	}
+	var delivered []string
+	for i := 0; i < 3; i++ {
+		rm, nv := u.Delta2(TOBGlobalTask, val, codec.NewIntSet())
+		val = nv
+		m, _, ok := RcvParts(rm.Responses(1)[0])
+		if !ok {
+			t.Fatal("bad rcv")
+		}
+		delivered = append(delivered, m)
+	}
+	if !reflect.DeepEqual(delivered, []string{"a", "b", "c"}) {
+		t.Errorf("delivery order: %v", delivered)
+	}
+}
+
+func TestTOBIsFailureOblivious(t *testing.T) {
+	u := TotallyOrderedBroadcast([]int{0, 1})
+	if u.Class != FailureOblivious {
+		t.Fatalf("class: %v", u.Class)
+	}
+	// Same step with and without failures must coincide.
+	_, nv1 := u.Delta1(Bcast("m"), 0, u.Initial, codec.NewIntSet())
+	_, nv2 := u.Delta1(Bcast("m"), 0, u.Initial, codec.NewIntSet(0, 1))
+	if nv1 != nv2 {
+		t.Error("TOB δ1 depends on failures")
+	}
+}
+
+func TestRcvPartsRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{"", "rcv", "rcvxx", "suspect{}", Bcast("m")} {
+		if _, _, ok := RcvParts(bad); ok {
+			t.Errorf("RcvParts accepted %q", bad)
+		}
+	}
+}
+
+func TestPerfectFDReportsExactlyFailed(t *testing.T) {
+	u := PerfectFD([]int{0, 1, 2})
+	failed := codec.NewIntSet(2)
+	rm, nv := u.Delta2("fd0", "", failed)
+	if nv != "" {
+		t.Errorf("P must keep trivial value, got %q", nv)
+	}
+	set, ok := SuspectSet(rm.Responses(0)[0])
+	if !ok || !set.Equal(failed) {
+		t.Errorf("suspected: %v (ok=%v), want %v", set, ok, failed)
+	}
+	if len(rm.Endpoints()) != 1 {
+		t.Errorf("response fan-out: %v", rm.Endpoints())
+	}
+}
+
+func TestPerfectFDAccuracy(t *testing.T) {
+	// Accuracy: the suspect set is always a subset of the failed set.
+	u := PerfectFD([]int{0, 1, 2, 3})
+	for _, failed := range []codec.IntSet{codec.NewIntSet(), codec.NewIntSet(1), codec.NewIntSet(0, 3)} {
+		for _, g := range u.Glob {
+			rm, _ := u.Delta2(g, "", failed)
+			for _, i := range rm.Endpoints() {
+				set, ok := SuspectSet(rm.Responses(i)[0])
+				if !ok || !set.SubsetOf(failed) {
+					t.Errorf("inaccurate suspicion %v with failed %v", set, failed)
+				}
+			}
+		}
+	}
+}
+
+func TestPerfectFDHasNoInvocations(t *testing.T) {
+	u := PerfectFD([]int{0, 1})
+	if u.IsInv("anything") || u.IsInv("") {
+		t.Error("failure detectors must have empty invs")
+	}
+}
+
+func TestEventuallyPerfectFDStabilizes(t *testing.T) {
+	u := EventuallyPerfectFD([]int{0, 1, 2})
+	failed := codec.NewIntSet(1)
+
+	// Imperfect mode: suspicions are arbitrary (here: everyone else).
+	rm, _ := u.Delta2("fd0", ModeImperfect, failed)
+	set, ok := SuspectSet(rm.Responses(0)[0])
+	if !ok || !set.Equal(codec.NewIntSet(1, 2)) {
+		t.Errorf("imperfect suspicion: %v", set)
+	}
+
+	// The background task flips the mode.
+	_, nv := u.Delta2(EvPerfectStabilizeTask, ModeImperfect, failed)
+	if nv != ModePerfect {
+		t.Fatalf("mode after g: %q", nv)
+	}
+
+	// Perfect mode: suspicions are exactly the failed set.
+	rm, _ = u.Delta2("fd2", ModePerfect, failed)
+	set, ok = SuspectSet(rm.Responses(2)[0])
+	if !ok || !set.Equal(failed) {
+		t.Errorf("perfect suspicion: %v", set)
+	}
+}
+
+func TestEventuallyPerfectFDModeIsSticky(t *testing.T) {
+	u := EventuallyPerfectFD([]int{0, 1})
+	_, nv := u.Delta2(EvPerfectStabilizeTask, ModePerfect, codec.NewIntSet())
+	if nv != ModePerfect {
+		t.Errorf("mode regressed: %q", nv)
+	}
+}
+
+func TestSuspectRoundTrip(t *testing.T) {
+	s := codec.NewIntSet(0, 5)
+	got, ok := SuspectSet(Suspect(s))
+	if !ok || !got.Equal(s) {
+		t.Errorf("round trip: %v %v", got, ok)
+	}
+	if _, ok := SuspectSet("rcv(x)"); ok {
+		t.Error("SuspectSet accepted rcv")
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	if Atomic.String() != "atomic" || FailureOblivious.String() != "failure-oblivious" || General.String() != "general" {
+		t.Error("class strings wrong")
+	}
+}
+
+func TestValidateRejectsBadClass(t *testing.T) {
+	u := &Type{Name: "none"}
+	if err := u.Validate(); err == nil {
+		t.Error("want class error")
+	}
+}
+
+func TestFromSequentialMatchesSeqTypeProperty(t *testing.T) {
+	// Property: the atomic embedding agrees with the sequential type on
+	// every (invocation, value) pair — same response (to the invoker only)
+	// and same new value.
+	seq := seqtype.Counter()
+	u := FromSequential(seq)
+	f := func(ops []byte, endpoint uint8) bool {
+		if len(ops) > 30 {
+			ops = ops[:30]
+		}
+		val := seq.Initials[0]
+		for _, b := range ops {
+			inv := "inc"
+			if b%2 == 0 {
+				inv = seqtype.Read
+			}
+			want, err := seq.ApplyOne(inv, val)
+			if err != nil {
+				return false
+			}
+			ep := int(endpoint % 4)
+			rm, nv := u.Delta1(inv, ep, val, codec.NewIntSet())
+			if nv != want.NewVal {
+				return false
+			}
+			rs := rm.Responses(ep)
+			if len(rs) != 1 || rs[0] != want.Resp {
+				return false
+			}
+			if len(rm.Endpoints()) != 1 {
+				return false
+			}
+			val = nv
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTOBBroadcastDeliveryCountProperty(t *testing.T) {
+	// Property: after b broadcasts and b compute steps, every endpoint has
+	// received exactly b deliveries, in broadcast order.
+	u := TotallyOrderedBroadcast([]int{0, 1, 2})
+	f := func(msgs []byte) bool {
+		if len(msgs) > 15 {
+			msgs = msgs[:15]
+		}
+		val := u.Initial
+		for i, m := range msgs {
+			_, val = u.Delta1(Bcast(string(rune('a'+m%26))), i%3, val, codec.NewIntSet())
+		}
+		delivered := map[int][]string{}
+		for range msgs {
+			rm, nv := u.Delta2(TOBGlobalTask, val, codec.NewIntSet())
+			val = nv
+			for _, ep := range rm.Endpoints() {
+				delivered[ep] = append(delivered[ep], rm.Responses(ep)...)
+			}
+		}
+		for _, ep := range []int{0, 1, 2} {
+			if len(delivered[ep]) != len(msgs) {
+				return false
+			}
+			for i := range delivered[ep] {
+				if delivered[ep][i] != delivered[0][i] {
+					return false
+				}
+			}
+		}
+		// Queue fully drained.
+		rm, _ := u.Delta2(TOBGlobalTask, val, codec.NewIntSet())
+		return len(rm) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

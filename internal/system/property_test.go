@@ -1,0 +1,144 @@
+package system_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/ioa-lab/boosting/internal/explore"
+	"github.com/ioa-lab/boosting/internal/protocols"
+	"github.com/ioa-lab/boosting/internal/service"
+	"github.com/ioa-lab/boosting/internal/system"
+)
+
+// applyScript runs a byte-encoded schedule (task picks modulo applicable
+// tasks, with occasional failure injections) and returns the final
+// fingerprint.
+func applyScript(t testing.TB, sys *system.System, script []byte) string {
+	t.Helper()
+	st := sys.InitialState()
+	st, _, _ = sys.Init(st, 0, "0")
+	st, _, _ = sys.Init(st, 1, "1")
+	for _, b := range script {
+		if b == 0xFF {
+			st, _, _ = sys.Fail(st, 1)
+			continue
+		}
+		var applicable []int
+		for i, task := range sys.Tasks() {
+			if sys.Applicable(st, task) {
+				applicable = append(applicable, i)
+			}
+		}
+		if len(applicable) == 0 {
+			break
+		}
+		task := sys.Tasks()[applicable[int(b)%len(applicable)]]
+		next, _, err := sys.Apply(st, task)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st = next
+	}
+	return sys.Fingerprint(st)
+}
+
+func TestSystemReplayDeterminismProperty(t *testing.T) {
+	// Property: the same schedule script always lands in the same state —
+	// executions are determined by their input+task sequences (Section 3.1).
+	sys, err := protocols.BuildForward(2, 1, service.Adversarial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(script []byte) bool {
+		if len(script) > 50 {
+			script = script[:50]
+		}
+		return applyScript(t, sys, script) == applyScript(t, sys, script)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParticipantsAtMostTwoProperty(t *testing.T) {
+	// Property (Section 2.2.3): every non-fail action has at most two
+	// participants, and a two-participant action pairs a process with a
+	// service.
+	sys, err := protocols.BuildForward(3, 1, service.Adversarial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(script []byte) bool {
+		if len(script) > 40 {
+			script = script[:40]
+		}
+		st := sys.InitialState()
+		st, _, _ = sys.Init(st, 0, "0")
+		st, _, _ = sys.Init(st, 1, "1")
+		st, _, _ = sys.Init(st, 2, "0")
+		for _, b := range script {
+			for _, task := range sys.Tasks() {
+				p := sys.Participants(st, task)
+				if len(p) > 2 {
+					return false
+				}
+				if len(p) == 2 && (p[0][0] != 'P' || p[1][0] == 'P') {
+					return false
+				}
+			}
+			var applicable []int
+			for i, task := range sys.Tasks() {
+				if sys.Applicable(st, task) {
+					applicable = append(applicable, i)
+				}
+			}
+			if len(applicable) == 0 {
+				break
+			}
+			next, _, err := sys.Apply(st, sys.Tasks()[applicable[int(b)%len(applicable)]])
+			if err != nil {
+				return false
+			}
+			st = next
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomRunsNeverViolateSafetyProperty(t *testing.T) {
+	// Property: whatever the seed and failure pattern, the wait-free
+	// forward system never violates agreement or validity.
+	sys, err := protocols.BuildForward(3, 2, service.Adversarial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64, failFirst bool) bool {
+		cfg := explore.RunConfig{Inputs: map[int]string{0: "0", 1: "1", 2: "1"}}
+		if failFirst {
+			cfg.Failures = []explore.FailureEvent{{Proc: 0}}
+		}
+		res, err := explore.Random(sys, cfg, seed, 3000)
+		if err != nil {
+			return false
+		}
+		valid := map[string]bool{"0": true, "1": true}
+		var first string
+		have := false
+		for _, v := range res.Decisions {
+			if !valid[v] {
+				return false
+			}
+			if have && v != first {
+				return false
+			}
+			first, have = v, true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,354 @@
+// Package system implements the complete system C of the paper
+// (Section 2.2.3): the parallel composition of process automata P_i,
+// canonical resilient services S_k, and canonical reliable registers S_r,
+// with the internal communication actions hidden.
+//
+// Composition follows the I/O-automata rules: an invocation output a_{i,c}
+// of P_i is simultaneously an input of S_c; a response output b_{i,c} of S_c
+// is simultaneously an input of P_i; fail_i is an input of P_i and of every
+// service with i among its endpoints. No two services, and no two processes,
+// share an action; every action (except fail) has at most two participants.
+//
+// Registers are not a separate kind here: a canonical reliable register is a
+// wait-free canonical atomic object of the read/write type (Section 2.1.3),
+// built with service.NewRegister. The system tracks which services are
+// registers only for reporting.
+package system
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/ioa-lab/boosting/internal/codec"
+	"github.com/ioa-lab/boosting/internal/ioa"
+	"github.com/ioa-lab/boosting/internal/process"
+	"github.com/ioa-lab/boosting/internal/service"
+)
+
+// Errors returned by system operations.
+var (
+	ErrDuplicateID    = errors.New("system: duplicate component index")
+	ErrUnknownProcess = errors.New("system: unknown process")
+	ErrUnknownService = errors.New("system: unknown service")
+	ErrBadEndpoint    = errors.New("system: service endpoint is not a process")
+	ErrNotApplicable  = errors.New("system: task not applicable")
+)
+
+// System is the (immutable) structure of a complete system C: its processes
+// and services and the derived task list. All mutable data lives in State.
+type System struct {
+	procs   map[int]*process.Process
+	procIDs []int
+	svcs    map[string]*service.Service
+	svcIDs  []string
+	tasks   []ioa.Task
+}
+
+// New composes processes and services into a complete system. Every service
+// endpoint must be a process of the system.
+func New(procs []*process.Process, svcs []*service.Service) (*System, error) {
+	s := &System{
+		procs: make(map[int]*process.Process, len(procs)),
+		svcs:  make(map[string]*service.Service, len(svcs)),
+	}
+	for _, p := range procs {
+		if _, dup := s.procs[p.ID()]; dup {
+			return nil, fmt.Errorf("%w: process %d", ErrDuplicateID, p.ID())
+		}
+		s.procs[p.ID()] = p
+		s.procIDs = append(s.procIDs, p.ID())
+	}
+	sort.Ints(s.procIDs)
+	for _, sv := range svcs {
+		if _, dup := s.svcs[sv.Index()]; dup {
+			return nil, fmt.Errorf("%w: service %s", ErrDuplicateID, sv.Index())
+		}
+		for _, e := range sv.Endpoints() {
+			if _, ok := s.procs[e]; !ok {
+				return nil, fmt.Errorf("%w: service %s endpoint %d", ErrBadEndpoint, sv.Index(), e)
+			}
+		}
+		s.svcs[sv.Index()] = sv
+		s.svcIDs = append(s.svcIDs, sv.Index())
+	}
+	sort.Strings(s.svcIDs)
+
+	// Fixed task enumeration: process tasks in id order, then service tasks
+	// in index order. This is the round-robin order used by the Fig. 3 hook
+	// construction.
+	for _, id := range s.procIDs {
+		s.tasks = append(s.tasks, ioa.ProcessTask(id))
+	}
+	for _, k := range s.svcIDs {
+		s.tasks = append(s.tasks, s.svcs[k].Tasks()...)
+	}
+	return s, nil
+}
+
+// ProcessIDs returns the process indices (ascending). Shared slice — do not
+// modify.
+func (s *System) ProcessIDs() []int { return s.procIDs }
+
+// ServiceIDs returns the service indices (sorted). Shared slice — do not
+// modify.
+func (s *System) ServiceIDs() []string { return s.svcIDs }
+
+// Service returns the service with the given index, or nil.
+func (s *System) Service(k string) *service.Service { return s.svcs[k] }
+
+// Process returns the process with the given id, or nil.
+func (s *System) Process(i int) *process.Process { return s.procs[i] }
+
+// Tasks returns all tasks of the composed system, in the fixed round-robin
+// order. Shared slice — do not modify.
+func (s *System) Tasks() []ioa.Task { return s.tasks }
+
+// State is a state of the composed system: one component state per process
+// and per service.
+type State struct {
+	Procs map[int]process.State
+	Svcs  map[string]service.State
+}
+
+// InitialState returns the start state of C.
+func (s *System) InitialState() State {
+	st := State{
+		Procs: make(map[int]process.State, len(s.procs)),
+		Svcs:  make(map[string]service.State, len(s.svcs)),
+	}
+	for id, p := range s.procs {
+		st.Procs[id] = p.InitialState()
+	}
+	for k, sv := range s.svcs {
+		st.Svcs[k] = sv.InitialState()
+	}
+	return st
+}
+
+// Fingerprint returns the canonical encoding of the system state, composed
+// from the component fingerprints in fixed component order.
+func (s *System) Fingerprint(st State) string {
+	var b strings.Builder
+	for _, id := range s.procIDs {
+		b.WriteString(st.Procs[id].Fingerprint())
+	}
+	for _, k := range s.svcIDs {
+		b.WriteString(st.Svcs[k].Fingerprint())
+	}
+	return b.String()
+}
+
+// withProc returns st with process i's state replaced (copy-on-write).
+func (st State) withProc(i int, ps process.State) State {
+	procs := make(map[int]process.State, len(st.Procs))
+	for k, v := range st.Procs {
+		procs[k] = v
+	}
+	procs[i] = ps
+	return State{Procs: procs, Svcs: st.Svcs}
+}
+
+// withSvc returns st with service k's state replaced.
+func (st State) withSvc(k string, ss service.State) State {
+	svcs := make(map[string]service.State, len(st.Svcs))
+	for k2, v := range st.Svcs {
+		svcs[k2] = v
+	}
+	svcs[k] = ss
+	return State{Procs: st.Procs, Svcs: svcs}
+}
+
+// Init delivers the external input init(v)_i.
+func (s *System) Init(st State, i int, v string) (State, ioa.Action, error) {
+	p, ok := s.procs[i]
+	if !ok {
+		return st, ioa.Action{}, fmt.Errorf("%w: %d", ErrUnknownProcess, i)
+	}
+	next := st.withProc(i, p.OnInit(st.Procs[i], v))
+	return next, ioa.Action{Type: ioa.ActInit, Proc: i, Payload: v}, nil
+}
+
+// Fail delivers the input fail_i: it fails P_i and is simultaneously an
+// input of every service with endpoint i (Section 2.2.3).
+func (s *System) Fail(st State, i int) (State, ioa.Action, error) {
+	p, ok := s.procs[i]
+	if !ok {
+		return st, ioa.Action{}, fmt.Errorf("%w: %d", ErrUnknownProcess, i)
+	}
+	next := st.withProc(i, p.Fail(st.Procs[i]))
+	svcs := make(map[string]service.State, len(next.Svcs))
+	for k, v := range next.Svcs {
+		svcs[k] = v
+	}
+	for k, sv := range s.svcs {
+		if sv.HasEndpoint(i) {
+			svcs[k] = sv.Fail(svcs[k], i)
+		}
+	}
+	next = State{Procs: next.Procs, Svcs: svcs}
+	return next, ioa.Action{Type: ioa.ActFail, Proc: i}, nil
+}
+
+// Enabled returns the action the given task would perform in st, with
+// ok = false if the task is not applicable.
+func (s *System) Enabled(st State, task ioa.Task) (ioa.Action, bool) {
+	switch task.Kind {
+	case ioa.TaskProcess:
+		p, ok := s.procs[task.Proc]
+		if !ok {
+			return ioa.Action{}, false
+		}
+		// The process task is always applicable (dummy step at worst).
+		return p.Enabled(st.Procs[task.Proc]), true
+	case ioa.TaskPerform, ioa.TaskOutput, ioa.TaskCompute:
+		sv, ok := s.svcs[task.Service]
+		if !ok {
+			return ioa.Action{}, false
+		}
+		return sv.Enabled(st.Svcs[task.Service], task)
+	default:
+		return ioa.Action{}, false
+	}
+}
+
+// Applicable reports whether the task has an enabled action in st
+// (the applicability notion of Lemma 1).
+func (s *System) Applicable(st State, task ioa.Task) bool {
+	_, ok := s.Enabled(st, task)
+	return ok
+}
+
+// Apply runs one task of the composed system, performing the matched
+// transitions of all participants of the resulting action.
+func (s *System) Apply(st State, task ioa.Task) (State, ioa.Action, error) {
+	switch task.Kind {
+	case ioa.TaskProcess:
+		return s.applyProcess(st, task)
+	case ioa.TaskPerform, ioa.TaskCompute:
+		sv, ok := s.svcs[task.Service]
+		if !ok {
+			return st, ioa.Action{}, fmt.Errorf("%w: %s", ErrUnknownService, task.Service)
+		}
+		ss, act, err := sv.Apply(st.Svcs[task.Service], task)
+		if err != nil {
+			return st, ioa.Action{}, err
+		}
+		return st.withSvc(task.Service, ss), act, nil
+	case ioa.TaskOutput:
+		return s.applyOutput(st, task)
+	default:
+		return st, ioa.Action{}, fmt.Errorf("%w: %v", ErrNotApplicable, task)
+	}
+}
+
+// applyProcess runs a process task. If the emitted action is an invocation,
+// the target service takes the matching input transition in the same step.
+func (s *System) applyProcess(st State, task ioa.Task) (State, ioa.Action, error) {
+	p, ok := s.procs[task.Proc]
+	if !ok {
+		return st, ioa.Action{}, fmt.Errorf("%w: %d", ErrUnknownProcess, task.Proc)
+	}
+	ps, act := p.Step(st.Procs[task.Proc])
+	next := st.withProc(task.Proc, ps)
+	if act.Type == ioa.ActInvoke {
+		sv, ok := s.svcs[act.Service]
+		if !ok {
+			return st, ioa.Action{}, fmt.Errorf("%w: %s (invoked by P%d)", ErrUnknownService, act.Service, task.Proc)
+		}
+		ss, err := sv.Invoke(next.Svcs[act.Service], task.Proc, act.Payload)
+		if err != nil {
+			return st, ioa.Action{}, fmt.Errorf("P%d invoking %s: %w", task.Proc, act.Service, err)
+		}
+		next = next.withSvc(act.Service, ss)
+	}
+	return next, act, nil
+}
+
+// applyOutput runs a service i-output task. If the emitted action is a real
+// response b_{i,k}, process P_i takes the matching input transition in the
+// same step.
+func (s *System) applyOutput(st State, task ioa.Task) (State, ioa.Action, error) {
+	sv, ok := s.svcs[task.Service]
+	if !ok {
+		return st, ioa.Action{}, fmt.Errorf("%w: %s", ErrUnknownService, task.Service)
+	}
+	ss, act, err := sv.Apply(st.Svcs[task.Service], task)
+	if err != nil {
+		return st, ioa.Action{}, err
+	}
+	next := st.withSvc(task.Service, ss)
+	if act.Type == ioa.ActRespond {
+		p, ok := s.procs[act.Proc]
+		if !ok {
+			return st, ioa.Action{}, fmt.Errorf("%w: %d", ErrUnknownProcess, act.Proc)
+		}
+		next = next.withProc(act.Proc, p.OnResponse(next.Procs[act.Proc], task.Service, act.Payload))
+	}
+	return next, act, nil
+}
+
+// Participants returns the names of the automata participating in the action
+// the task would take from st ("P<i>" for processes, the service index for
+// services), or nil if the task is not applicable. Per the paper, every
+// non-fail action has at most two participants.
+func (s *System) Participants(st State, task ioa.Task) []string {
+	act, ok := s.Enabled(st, task)
+	if !ok {
+		return nil
+	}
+	switch act.Type {
+	case ioa.ActInvoke, ioa.ActRespond:
+		return []string{procName(act.Proc), act.Service}
+	case ioa.ActPerform, ioa.ActDummyPerform, ioa.ActDummyOutput:
+		return []string{act.Service}
+	case ioa.ActCompute, ioa.ActDummyCompute:
+		return []string{act.Service}
+	case ioa.ActDecide, ioa.ActProcStep, ioa.ActProcDummy:
+		return []string{procName(act.Proc)}
+	default:
+		return nil
+	}
+}
+
+func procName(i int) string { return fmt.Sprintf("P%d", i) }
+
+// Decisions returns the recorded decision value of every process that has
+// one, keyed by process id.
+func (s *System) Decisions(st State) map[int]string {
+	out := map[int]string{}
+	for _, id := range s.procIDs {
+		if ps := st.Procs[id]; ps.HasDec {
+			out[id] = ps.Decided
+		}
+	}
+	return out
+}
+
+// FailedProcesses returns the ids of failed processes, ascending.
+func (s *System) FailedProcesses(st State) []int {
+	var out []int
+	for _, id := range s.procIDs {
+		if st.Procs[id].Failed {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// LiveProcesses returns the ids of non-failed processes, ascending.
+func (s *System) LiveProcesses(st State) []int {
+	out := make([]int, 0, len(s.procIDs))
+	for _, id := range s.procIDs {
+		if !st.Procs[id].Failed {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// FailedSet returns the failed processes as an IntSet.
+func (s *System) FailedSet(st State) codec.IntSet {
+	return codec.NewIntSet(s.FailedProcesses(st)...)
+}
