@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: all build test race bench lint vet fmt-check fmt
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The race job is what proves the parallel exploration engine correct:
+# worker-pool BFS, lock-striped dedup and the atomic valence sweep all run
+# under the race detector.
+race:
+	$(GO) test -race ./...
+
+# Benchmark smoke run: every benchmark once, no timing rigour. Use
+# `$(GO) test -bench=. -benchmem ./...` for real measurements.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run '^$$' ./...
+
+lint: vet fmt-check
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+fmt:
+	gofmt -w .

@@ -6,6 +6,8 @@ package boosting_test
 //	go test -bench=. -benchmem
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"github.com/ioa-lab/boosting/internal/check"
@@ -405,6 +407,108 @@ func BenchmarkRefuteKSet(b *testing.B) {
 		if err != nil || report.Violated() {
 			b.Fatalf("k-set refuter: %v", err)
 		}
+	}
+}
+
+// workerSweep returns the deduplicated worker counts benchmarked by the
+// serial-vs-parallel comparisons: serial, a couple of fixed points, and one
+// worker per CPU.
+func workerSweep() []int {
+	counts := []int{1, 2, 4}
+	ncpu := runtime.NumCPU()
+	for _, c := range counts {
+		if c == ncpu {
+			return counts
+		}
+	}
+	return append(counts, ncpu)
+}
+
+// BenchmarkBuildGraphWorkers (E22) compares the serial exploration engine
+// with the worker-pool engine on the two largest completing seed systems:
+// the 4-process forward candidate (2486-vertex G(C)) and the 2-process
+// register-vote candidate (1416 vertices). The workers=1 rows are the serial
+// baseline; higher rows measure the parallel speedup on this machine.
+func BenchmarkBuildGraphWorkers(b *testing.B) {
+	systems := []struct {
+		name  string
+		build func() (*system.System, error)
+	}{
+		{"forward-n4", func() (*system.System, error) { return protocols.BuildForward(4, 0, service.Adversarial) }},
+		{"registervote-n2", func() (*system.System, error) { return protocols.BuildRegisterVote(2) }},
+	}
+	for _, sc := range systems {
+		sys, err := sc.build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, w := range workerSweep() {
+			b.Run(fmt.Sprintf("%s/workers=%d", sc.name, w), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					c, err := explore.ClassifyInits(sys, explore.BuildOptions{Workers: w})
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(float64(c.Graph.Size()), "states")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkRefuteWorkers (E23) compares the serial refuter against the
+// parallel one (concurrent safety sweep, parallel graph, concurrent failure
+// scenarios) on the register-vote candidate, whose 2^n safety sweep
+// dominates.
+func BenchmarkRefuteWorkers(b *testing.B) {
+	sys, err := protocols.BuildRegisterVote(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range workerSweep() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				report, err := explore.Refute(sys, 1, explore.RefuteOptions{
+					Build: explore.BuildOptions{Workers: w},
+				})
+				if err != nil || !report.Violated() {
+					b.Fatalf("refutation failed: %v", err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRunBatchWorkers (E24) compares batched fair runs across worker
+// counts on the Section 4 construction: all 15 proper failure patterns of
+// the 4-process set-boost system, verified concurrently.
+func BenchmarkRunBatchWorkers(b *testing.B) {
+	sys, err := protocols.BuildSetBoost(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inputs := map[int]string{0: "0", 1: "1", 2: "1", 3: "0"}
+	var cfgs []explore.RunConfig
+	for bits := 0; bits < 1<<4; bits++ {
+		var failures []explore.FailureEvent
+		for idx := 0; idx < 4; idx++ {
+			if bits&(1<<idx) != 0 {
+				failures = append(failures, explore.FailureEvent{Round: 0, Proc: idx})
+			}
+		}
+		if len(failures) == 4 {
+			continue
+		}
+		cfgs = append(cfgs, explore.RunConfig{Inputs: inputs, Failures: failures})
+	}
+	for _, w := range workerSweep() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := explore.RunBatch(sys, cfgs, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -47,6 +47,7 @@ func run(args []string) error {
 		f         = fs.Int("f", 0, "service resilience")
 		claim     = fs.Int("claim", 1, "claimed tolerated failures")
 		benign    = fs.Bool("benign", false, "benign silence policy (services never exercise their right to fall silent)")
+		workers   = fs.Int("workers", 0, "exploration workers (0 = one per CPU, 1 = serial)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -82,6 +83,7 @@ func run(args []string) error {
 	fmt.Printf("candidate: %s (n=%d, f=%d, policy=%s), claiming %d-failure tolerance\n\n",
 		*candidate, *n, *f, policy, *claim)
 	report, err := explore.Refute(sys, *claim, explore.RefuteOptions{
+		Build:             explore.BuildOptions{Workers: *workers},
 		SkipGraphAnalysis: skipGraph,
 		MaxRounds:         2000,
 	})

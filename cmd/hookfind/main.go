@@ -28,8 +28,9 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("hookfind", flag.ContinueOnError)
 	var (
-		n = fs.Int("n", 2, "number of processes")
-		f = fs.Int("f", 0, "consensus object resilience")
+		n       = fs.Int("n", 2, "number of processes")
+		f       = fs.Int("f", 0, "consensus object resilience")
+		workers = fs.Int("workers", 0, "exploration workers (0 = one per CPU, 1 = serial)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -40,7 +41,7 @@ func run(args []string) error {
 	}
 	fmt.Printf("system: %d processes forwarding to a %d-resilient consensus object\n\n", *n, *f)
 
-	inits, err := explore.ClassifyInits(sys, explore.BuildOptions{})
+	inits, err := explore.ClassifyInits(sys, explore.BuildOptions{Workers: *workers})
 	if err != nil {
 		return err
 	}
@@ -50,7 +51,7 @@ func run(args []string) error {
 		return nil
 	}
 
-	res, err := explore.FindHook(inits.Graph, inits.Roots[inits.BivalentIndex])
+	res, err := explore.FindHookWorkers(inits.Graph, inits.Roots[inits.BivalentIndex], *workers)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,3 @@
+module github.com/ioa-lab/boosting
+
+go 1.24

@@ -90,17 +90,26 @@ type Graph struct {
 type BuildOptions struct {
 	// MaxStates caps the number of distinct vertices (0 = default 200000).
 	MaxStates int
+	// Workers is the number of goroutines expanding the frontier and
+	// back-propagating valences: 0 means one per CPU (runtime.NumCPU()),
+	// 1 forces the serial engine. The produced graph is identical either
+	// way — same vertices, edges and valences.
+	Workers int
 }
 
 const defaultMaxStates = 200_000
 
 // BuildGraph explores the failure-free closure of the given root states
 // under all applicable tasks and computes the valence of every vertex by
-// backward fixpoint over reachable decisions.
+// backward fixpoint over reachable decisions. With more than one worker the
+// exploration runs on the parallel engine (see parallel.go).
 func BuildGraph(sys *system.System, roots []system.State, opt BuildOptions) (*Graph, error) {
 	maxStates := opt.MaxStates
 	if maxStates <= 0 {
 		maxStates = defaultMaxStates
+	}
+	if workers := effectiveWorkers(opt.Workers); workers > 1 {
+		return buildGraphParallel(sys, roots, maxStates, workers)
 	}
 	g := &Graph{
 		sys:    sys,

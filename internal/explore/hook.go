@@ -64,9 +64,18 @@ type HookSearchResult struct {
 // analysis). If the construction revisits a configuration, the system
 // diverges: an infinite fair bivalent path exists.
 func FindHook(g *Graph, root string) (HookSearchResult, error) {
+	return FindHookWorkers(g, root, 1)
+}
+
+// FindHookWorkers is FindHook with a concurrency knob: the bivalent-extension
+// searches of the Fig. 3 construction scan each BFS level across the given
+// number of workers (0 = runtime.NumCPU(), 1 = serial). The outcome is
+// identical to the serial search.
+func FindHookWorkers(g *Graph, root string, workers int) (HookSearchResult, error) {
 	if g.Valence(root) != Bivalent {
 		return HookSearchResult{}, fmt.Errorf("%w: %s", ErrNotBivalent, g.Valence(root))
 	}
+	workers = effectiveWorkers(workers)
 	tasks := g.sys.Tasks()
 	alpha := root
 	rr := 0
@@ -104,7 +113,7 @@ func FindHook(g *Graph, root string) (HookSearchResult, error) {
 
 		// Search for α′ reachable from alpha without e-edges such that
 		// e(α′) is bivalent.
-		target, path, ok := g.findBivalentExtension(alpha, e)
+		target, path, ok := g.findBivalentExtension(alpha, e, workers)
 		if !ok {
 			// Construction terminates: for every α′ reachable without e,
 			// e(α′) is univalent. Locate the hook.
@@ -120,30 +129,63 @@ func FindHook(g *Graph, root string) (HookSearchResult, error) {
 	}
 }
 
-// findBivalentExtension searches (BFS, avoiding e-labelled edges) for a
-// vertex α′ with e(α′) bivalent, returning α′ and the path to it.
-func (g *Graph) findBivalentExtension(alpha string, e ioa.Task) (string, []Edge, bool) {
-	type qitem struct {
-		fp   string
-		path []Edge
+// findBivalentExtension searches (level-synchronous BFS, avoiding e-labelled
+// edges) for a vertex α′ with e(α′) bivalent, returning α′ and the path to
+// it. The per-level predicate checks run across the given number of workers;
+// levels are expanded in queue order, so the vertex found is the first one in
+// serial BFS order regardless of the worker count.
+func (g *Graph) findBivalentExtension(alpha string, e ioa.Task, workers int) (string, []Edge, bool) {
+	type parentLink struct {
+		from string
+		edge Edge
+	}
+	parents := map[string]parentLink{}
+	reconstruct := func(fp string) []Edge {
+		var rev []Edge
+		for fp != alpha {
+			pl := parents[fp]
+			rev = append(rev, pl.edge)
+			fp = pl.from
+		}
+		for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+			rev[i], rev[j] = rev[j], rev[i]
+		}
+		return rev
 	}
 	visited := map[string]bool{alpha: true}
-	queue := []qitem{{fp: alpha}}
-	for len(queue) > 0 {
-		item := queue[0]
-		queue = queue[1:]
-		if edge, ok := g.Succ(item.fp, e); ok && g.Valence(edge.To) == Bivalent {
-			return item.fp, item.path, true
+	level := []string{alpha}
+	// The per-vertex predicate is a few map lookups, so fanning a level out
+	// only pays for itself once the level is large; below the threshold the
+	// goroutine spawn would cost more than the scan.
+	const minParallelLevel = 256
+	for len(level) > 0 {
+		w := workers
+		if len(level) < minParallelLevel {
+			w = 1
 		}
-		for _, edge := range g.succs[item.fp] {
-			if edge.Task == e || visited[edge.To] {
-				continue
+		hits := make([]bool, len(level))
+		parallelFor(w, len(level), func(i int) {
+			if edge, ok := g.Succ(level[i], e); ok && g.Valence(edge.To) == Bivalent {
+				hits[i] = true
 			}
-			visited[edge.To] = true
-			path := make([]Edge, len(item.path), len(item.path)+1)
-			copy(path, item.path)
-			queue = append(queue, qitem{fp: edge.To, path: append(path, edge)})
+		})
+		for i, fp := range level {
+			if hits[i] {
+				return fp, reconstruct(fp), true
+			}
 		}
+		var next []string
+		for _, fp := range level {
+			for _, edge := range g.succs[fp] {
+				if edge.Task == e || visited[edge.To] {
+					continue
+				}
+				visited[edge.To] = true
+				parents[edge.To] = parentLink{from: fp, edge: edge}
+				next = append(next, edge.To)
+			}
+		}
+		level = next
 	}
 	return "", nil, false
 }

@@ -1,0 +1,351 @@
+package explore_test
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/ioa-lab/boosting/internal/explore"
+	"github.com/ioa-lab/boosting/internal/protocols"
+	"github.com/ioa-lab/boosting/internal/service"
+	"github.com/ioa-lab/boosting/internal/system"
+)
+
+// parallelWorkers is the worker count used by the parity tests: high enough
+// to force real contention on the sharded fingerprint store even on small
+// machines.
+const parallelWorkers = 8
+
+// seedSystems enumerates the seed protocols whose failure-free graphs the
+// determinism tests compare across engines.
+func seedSystems(t *testing.T) map[string]*system.System {
+	t.Helper()
+	out := map[string]*system.System{
+		"forward-2-0": mustForward(t, 2, 0, service.Adversarial),
+		"forward-3-1": mustForward(t, 3, 1, service.Adversarial),
+	}
+	tob, err := protocols.BuildTOBConsensus(2, 0, service.Adversarial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["tob-2-0"] = tob
+	rv, err := protocols.BuildRegisterVote(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["registervote-2"] = rv
+	return out
+}
+
+// TestBuildGraphDeterministicAcrossWorkers asserts the tentpole determinism
+// property: the serial engine (Workers: 1) and the worker-pool engine
+// (Workers: 8) produce identical graphs — same fingerprint set, same edges,
+// same valences — on every seed protocol.
+func TestBuildGraphDeterministicAcrossWorkers(t *testing.T) {
+	for name, sys := range seedSystems(t) {
+		t.Run(name, func(t *testing.T) {
+			serial, err := explore.ClassifyInits(sys, explore.BuildOptions{Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallel, err := explore.ClassifyInits(sys, explore.BuildOptions{Workers: parallelWorkers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			gs, gp := serial.Graph, parallel.Graph
+			if gs.Size() != gp.Size() {
+				t.Fatalf("sizes differ: serial %d, parallel %d", gs.Size(), gp.Size())
+			}
+			if len(gs.Roots()) != len(gp.Roots()) {
+				t.Fatalf("root counts differ: %d vs %d", len(gs.Roots()), len(gp.Roots()))
+			}
+			for i, r := range gs.Roots() {
+				if gp.Roots()[i] != r {
+					t.Fatalf("root %d differs", i)
+				}
+			}
+			// Same fingerprint set, same valence and same outgoing edges per
+			// vertex. Walking the serial graph covers every vertex (both
+			// graphs have the same size, so the parallel graph has no
+			// extras).
+			for _, fp := range gs.Roots() {
+				walkGraph(t, gs, fp, func(fp string) {
+					if _, ok := gp.State(fp); !ok {
+						t.Fatalf("vertex %.24q... missing from parallel graph", fp)
+					}
+					if vs, vp := gs.Valence(fp), gp.Valence(fp); vs != vp {
+						t.Fatalf("valence of %.24q... differs: serial %v, parallel %v", fp, vs, vp)
+					}
+					es, ep := gs.Succs(fp), gp.Succs(fp)
+					if len(es) != len(ep) {
+						t.Fatalf("edge counts of %.24q... differ: %d vs %d", fp, len(es), len(ep))
+					}
+					for i := range es {
+						if es[i] != ep[i] {
+							t.Fatalf("edge %d of %.24q... differs: %+v vs %+v", i, fp, es[i], ep[i])
+						}
+					}
+				})
+			}
+			// The Lemma 4 classification built on top must agree too.
+			if serial.BivalentIndex != parallel.BivalentIndex {
+				t.Errorf("bivalent index: serial %d, parallel %d", serial.BivalentIndex, parallel.BivalentIndex)
+			}
+			for i := range serial.Valences {
+				if serial.Valences[i] != parallel.Valences[i] {
+					t.Errorf("α_%d valence: serial %v, parallel %v", i, serial.Valences[i], parallel.Valences[i])
+				}
+			}
+		})
+	}
+}
+
+// walkGraph visits every vertex reachable from start once.
+func walkGraph(t *testing.T, g *explore.Graph, start string, visit func(fp string)) {
+	t.Helper()
+	seen := map[string]bool{}
+	queue := []string{start}
+	for len(queue) > 0 {
+		fp := queue[0]
+		queue = queue[1:]
+		if seen[fp] {
+			continue
+		}
+		seen[fp] = true
+		visit(fp)
+		for _, e := range g.Succs(fp) {
+			queue = append(queue, e.To)
+		}
+	}
+}
+
+// TestBuildGraphParallelStateLimit checks that the worker pool honours
+// MaxStates with the same error as the serial engine.
+func TestBuildGraphParallelStateLimit(t *testing.T) {
+	sys := mustForward(t, 2, 0, service.Adversarial)
+	root, _, err := initAll(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = explore.BuildGraph(sys, []system.State{root},
+		explore.BuildOptions{MaxStates: 3, Workers: parallelWorkers})
+	if !errors.Is(err, explore.ErrStateExplosion) {
+		t.Errorf("want state-explosion error, got %v", err)
+	}
+	// Boundary parity with the serial engine: a budget of exactly the graph
+	// size succeeds, one less must overflow — for any worker count.
+	full, err := explore.BuildGraph(sys, []system.State{root}, explore.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{1, parallelWorkers} {
+		g, err := explore.BuildGraph(sys, []system.State{root},
+			explore.BuildOptions{MaxStates: full.Size(), Workers: w})
+		if err != nil {
+			t.Errorf("workers=%d: exact budget %d failed: %v", w, full.Size(), err)
+		} else if g.Size() != full.Size() {
+			t.Errorf("workers=%d: got %d states under exact budget, want %d", w, g.Size(), full.Size())
+		}
+		if _, err := explore.BuildGraph(sys, []system.State{root},
+			explore.BuildOptions{MaxStates: full.Size() - 1, Workers: w}); !errors.Is(err, explore.ErrStateExplosion) {
+			t.Errorf("workers=%d: budget %d should overflow, got %v", w, full.Size()-1, err)
+		}
+	}
+}
+
+// TestParallelWitnessPathsReplay checks that the BFS-tree predecessors
+// recorded under concurrent discovery still form valid paths: every vertex's
+// witness path must replay edge-by-edge from one of the roots.
+func TestParallelWitnessPathsReplay(t *testing.T) {
+	sys := mustForward(t, 2, 0, service.Adversarial)
+	c, err := explore.ClassifyInits(sys, explore.BuildOptions{Workers: parallelWorkers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := c.Graph
+	checked := 0
+	walkGraph(t, g, c.Roots[c.BivalentIndex], func(fp string) {
+		path := g.WitnessPath(fp)
+		for _, root := range g.Roots() {
+			if replays(g, root, path, fp) {
+				checked++
+				return
+			}
+		}
+		t.Fatalf("witness path of %.24q... (len %d) replays from no root", fp, len(path))
+	})
+	if checked < 10 {
+		t.Fatalf("suspiciously few vertices checked: %d", checked)
+	}
+}
+
+// replays walks path from start via Succ and reports whether it ends at want.
+func replays(g *explore.Graph, start string, path []explore.Edge, want string) bool {
+	cur := start
+	for _, e := range path {
+		edge, ok := g.Succ(cur, e.Task)
+		if !ok || edge.To != e.To {
+			return false
+		}
+		cur = edge.To
+	}
+	return cur == want
+}
+
+// TestFindHookWorkersMatchesSerial checks the parallel hook search returns
+// exactly the serial hook on both graph-analysable candidate families.
+func TestFindHookWorkersMatchesSerial(t *testing.T) {
+	for name, sys := range seedSystems(t) {
+		t.Run(name, func(t *testing.T) {
+			c, err := explore.ClassifyInits(sys, explore.BuildOptions{Workers: parallelWorkers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.BivalentIndex < 0 {
+				t.Skip("no bivalent initialization")
+			}
+			root := c.Roots[c.BivalentIndex]
+			serial, err := explore.FindHook(c.Graph, root)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallel, err := explore.FindHookWorkers(c.Graph, root, parallelWorkers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if serial.PathLen != parallel.PathLen {
+				t.Errorf("path lengths differ: %d vs %d", serial.PathLen, parallel.PathLen)
+			}
+			switch {
+			case serial.Hook != nil:
+				if parallel.Hook == nil {
+					t.Fatalf("serial found a hook, parallel found %+v", parallel)
+				}
+				if *serial.Hook != *parallel.Hook {
+					t.Errorf("hooks differ:\n serial   %+v\n parallel %+v", *serial.Hook, *parallel.Hook)
+				}
+			case serial.Divergence != nil:
+				if parallel.Divergence == nil || *serial.Divergence != *parallel.Divergence {
+					t.Errorf("divergences differ: %+v vs %+v", serial.Divergence, parallel.Divergence)
+				}
+			}
+		})
+	}
+}
+
+// TestRefuteParallelMatchesSerial checks the full refuter produces the same
+// report with the worker pool as without, on a refuted candidate (Theorem 2),
+// a safety-refuted candidate, and a surviving candidate.
+func TestRefuteParallelMatchesSerial(t *testing.T) {
+	build := func(name string) (*system.System, error) {
+		switch name {
+		case "forward-2-0":
+			return protocols.BuildForward(2, 0, service.Adversarial)
+		case "forward-2-1":
+			return protocols.BuildForward(2, 1, service.Adversarial)
+		case "registervote-2":
+			return protocols.BuildRegisterVote(2)
+		}
+		return nil, fmt.Errorf("unknown system %q", name)
+	}
+	for _, name := range []string{"forward-2-0", "forward-2-1", "registervote-2"} {
+		t.Run(name, func(t *testing.T) {
+			sys, err := build(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			serial, err := explore.Refute(sys, 1, explore.RefuteOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallel, err := explore.Refute(sys, 1, explore.RefuteOptions{
+				Build: explore.BuildOptions{Workers: parallelWorkers},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := parallel.String(), serial.String(); got != want {
+				t.Errorf("reports differ:\n--- serial ---\n%s--- parallel ---\n%s", want, got)
+			}
+		})
+	}
+}
+
+// TestRunBatchMatchesSerial checks batched fair runs equal one-by-one runs.
+func TestRunBatchMatchesSerial(t *testing.T) {
+	sys := mustForward(t, 2, 1, service.Adversarial)
+	cfgs := []explore.RunConfig{
+		{Inputs: map[int]string{0: "0", 1: "1"}},
+		{Inputs: map[int]string{0: "1", 1: "1"}},
+		{Inputs: map[int]string{0: "0", 1: "1"}, Failures: []explore.FailureEvent{{Round: 0, Proc: 1}}},
+		{Inputs: map[int]string{0: "0", 1: "1"}, Failures: []explore.FailureEvent{{Round: 1, Proc: 0}}},
+	}
+	batch, err := explore.RunBatch(sys, cfgs, parallelWorkers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(cfgs) {
+		t.Fatalf("got %d results for %d configs", len(batch), len(cfgs))
+	}
+	for i, cfg := range cfgs {
+		want, err := explore.RoundRobin(sys, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := batch[i]
+		if got.Done != want.Done || got.Diverged != want.Diverged || got.Rounds != want.Rounds {
+			t.Errorf("cfg %d: got (done=%v div=%v rounds=%d), want (done=%v div=%v rounds=%d)",
+				i, got.Done, got.Diverged, got.Rounds, want.Done, want.Diverged, want.Rounds)
+		}
+		if sys.Fingerprint(got.Final) != sys.Fingerprint(want.Final) {
+			t.Errorf("cfg %d: final states differ", i)
+		}
+		if len(got.Decisions) != len(want.Decisions) {
+			t.Errorf("cfg %d: decisions %v vs %v", i, got.Decisions, want.Decisions)
+		}
+		for p, v := range want.Decisions {
+			if got.Decisions[p] != v {
+				t.Errorf("cfg %d: P%d decided %q, want %q", i, p, got.Decisions[p], v)
+			}
+		}
+	}
+}
+
+// TestParallelSpeedup measures the wall-clock gain of the worker pool over
+// the serial engine on the largest completing seed system (forward, n = 4).
+// Only meaningful with real parallel hardware, so it is skipped below 4 CPUs
+// and under the race detector's serialization (benchmarks cover the rest).
+func TestParallelSpeedup(t *testing.T) {
+	if runtime.NumCPU() < 4 {
+		t.Skipf("need >= 4 CPUs for a speedup measurement, have %d", runtime.NumCPU())
+	}
+	if raceEnabled {
+		t.Skip("race-detector instrumentation invalidates wall-clock measurement")
+	}
+	if testing.Short() {
+		t.Skip("speedup measurement skipped in -short mode")
+	}
+	sys := mustForward(t, 4, 0, service.Adversarial)
+	measure := func(workers int) time.Duration {
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < 3; i++ {
+			start := time.Now()
+			if _, err := explore.ClassifyInits(sys, explore.BuildOptions{Workers: workers}); err != nil {
+				t.Fatal(err)
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	serial := measure(1)
+	parallel := measure(runtime.NumCPU())
+	speedup := float64(serial) / float64(parallel)
+	t.Logf("serial %v, parallel(%d) %v: speedup %.2fx", serial, runtime.NumCPU(), parallel, speedup)
+	if speedup < 1.5 {
+		t.Errorf("parallel engine too slow: %.2fx speedup on %d CPUs, want >= 1.5x", speedup, runtime.NumCPU())
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package explore_test
+
+// raceEnabled reports that this binary was built with the race detector,
+// whose instrumentation overhead invalidates wall-clock speedup
+// measurements.
+const raceEnabled = true

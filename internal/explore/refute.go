@@ -144,15 +144,31 @@ type RefuteOptions struct {
 func Refute(sys *system.System, claimed int, opt RefuteOptions) (*Report, error) {
 	report := &Report{Claimed: claimed}
 
-	// Phase 1: exhaustive failure-free safety sweep.
+	// Phase 1: exhaustive failure-free safety sweep. The 2^n assignments are
+	// independent, so they are swept across the configured workers, with the
+	// pool divided between the sweep and the per-assignment graph builds so
+	// the total goroutine count stays near the knob. Certificates are
+	// collected in assignment order, so the report matches the serial sweep.
 	if !opt.SkipExhaustiveSafety && !opt.SkipGraphAnalysis {
-		for _, inputs := range AllAssignments(sys) {
-			cert, err := safetySweep(sys, inputs, opt.Build)
-			if err != nil {
-				return nil, err
+		assignments := AllAssignments(sys)
+		workers := effectiveWorkers(opt.Build.Workers)
+		inner := opt.Build
+		if workers > 1 {
+			// Split the pool: when there are fewer assignments than workers
+			// the spare cores go to the per-assignment graph builds.
+			inner.Workers = max(1, workers/len(assignments))
+		}
+		certs := make([]*Certificate, len(assignments))
+		errs := make([]error, len(assignments))
+		parallelFor(workers, len(assignments), func(i int) {
+			certs[i], errs[i] = safetySweep(sys, assignments[i], inner)
+		})
+		for i := range assignments {
+			if errs[i] != nil {
+				return nil, errs[i]
 			}
-			if cert != nil {
-				report.Certificates = append(report.Certificates, *cert)
+			if certs[i] != nil {
+				report.Certificates = append(report.Certificates, *certs[i])
 			}
 		}
 		if report.Violated() {
@@ -174,7 +190,7 @@ func Refute(sys *system.System, claimed int, opt RefuteOptions) (*Report, error)
 	report.Inits = inits
 	if inits.BivalentIndex >= 0 {
 		hookInputs = inits.Assignments[inits.BivalentIndex]
-		hs, err := FindHook(inits.Graph, inits.Roots[inits.BivalentIndex])
+		hs, err := FindHookWorkers(inits.Graph, inits.Roots[inits.BivalentIndex], opt.Build.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -208,31 +224,42 @@ func Refute(sys *system.System, claimed int, opt RefuteOptions) (*Report, error)
 }
 
 // refuteScenarios is phase 3: failure scenarios at the start and at the
-// hook vertices, for every failure set of the claimed size.
+// hook vertices, for every failure set of the claimed size. The scenarios of
+// one failure set are independent fair runs, so they execute across the
+// configured workers; certificates are collected in scenario order and the
+// early stop after the first violated failure set is preserved, so the
+// report matches the serial refuter.
 func refuteScenarios(sys *system.System, report *Report, hookInputs map[int]string, hookStates []system.State, opt RefuteOptions) (*Report, error) {
 	assignments := []map[int]string{
 		hookInputs,
 		MonotoneAssignment(sys, 0),
 		MonotoneAssignment(sys, len(sys.ProcessIDs())),
 	}
+	workers := effectiveWorkers(opt.Build.Workers)
 	for _, J := range failureSets(sys.ProcessIDs(), report.Claimed) {
+		scenarios := make([]func() (*Certificate, error), 0, len(assignments)+len(hookStates))
 		for _, inputs := range assignments {
-			cert, err := failureScenario(sys, inputs, J, opt)
-			if err != nil {
-				return nil, err
-			}
-			if cert != nil {
-				report.Certificates = append(report.Certificates, *cert)
-			}
+			scenarios = append(scenarios, func() (*Certificate, error) {
+				return failureScenario(sys, inputs, J, opt)
+			})
 		}
 		// Hook-anchored: fail J at the univalent ends of the hook.
 		for _, st := range hookStates {
-			cert, err := failureScenarioFrom(sys, st, hookInputs, J, opt)
-			if err != nil {
-				return nil, err
+			scenarios = append(scenarios, func() (*Certificate, error) {
+				return failureScenarioFrom(sys, st, hookInputs, J, opt)
+			})
+		}
+		certs := make([]*Certificate, len(scenarios))
+		errs := make([]error, len(scenarios))
+		parallelFor(workers, len(scenarios), func(i int) {
+			certs[i], errs[i] = scenarios[i]()
+		})
+		for i := range scenarios {
+			if errs[i] != nil {
+				return nil, errs[i]
 			}
-			if cert != nil {
-				report.Certificates = append(report.Certificates, *cert)
+			if certs[i] != nil {
+				report.Certificates = append(report.Certificates, *certs[i])
 			}
 		}
 		if report.Violated() {
@@ -466,14 +493,19 @@ func RefuteKSet(sys *system.System, k, claimed int, opt RefuteOptions) (*Report,
 		MonotoneAssignment(sys, len(sys.ProcessIDs())),
 		alternatingAssignment(sys),
 	}
+	workers := effectiveWorkers(opt.Build.Workers)
 	for _, J := range failureSets(sys.ProcessIDs(), claimed) {
-		for _, inputs := range assignments {
-			cert, err := kSetScenario(sys, inputs, J, k, opt)
-			if err != nil {
-				return nil, err
+		certs := make([]*Certificate, len(assignments))
+		errs := make([]error, len(assignments))
+		parallelFor(workers, len(assignments), func(i int) {
+			certs[i], errs[i] = kSetScenario(sys, assignments[i], J, k, opt)
+		})
+		for i := range assignments {
+			if errs[i] != nil {
+				return nil, errs[i]
 			}
-			if cert != nil {
-				report.Certificates = append(report.Certificates, *cert)
+			if certs[i] != nil {
+				report.Certificates = append(report.Certificates, *certs[i])
 			}
 		}
 		if report.Violated() {

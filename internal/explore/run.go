@@ -239,6 +239,33 @@ func Random(sys *system.System, cfg RunConfig, seed int64, steps int) (RunResult
 	return res, nil
 }
 
+// RunBatch runs every configuration under the canonical fair schedule,
+// spread across the given number of workers (0 = runtime.NumCPU(), 1 =
+// serial), and returns the results in input order. Runs are independent —
+// the system structure is immutable and states are copy-on-write — so the
+// batch result is identical to running the configurations one by one; on
+// error the first failing configuration's error (in input order) is
+// returned.
+//
+// RunBatch is a bulk-verification primitive: the per-step execution traces
+// are dropped (a batch of thousands of configurations would otherwise pin
+// every trace in memory at once). Run RoundRobin directly when Exec is
+// needed.
+func RunBatch(sys *system.System, cfgs []RunConfig, workers int) ([]RunResult, error) {
+	results := make([]RunResult, len(cfgs))
+	errs := make([]error, len(cfgs))
+	parallelFor(effectiveWorkers(workers), len(cfgs), func(i int) {
+		results[i], errs[i] = RoundRobin(sys, cfgs[i])
+		results[i].Exec = ioa.Execution{}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
 func sortedInputKeys(inputs map[int]string) []int {
 	keys := make([]int, 0, len(inputs))
 	for k := range inputs {
