@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench lint vet fmt-check fmt
+.PHONY: all build test race bench bench-allocs lint vet fmt-check fmt
 
 all: build lint test
 
@@ -20,6 +20,16 @@ race:
 # `$(GO) test -bench=. -benchmem ./...` for real measurements.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' ./...
+
+# Allocation accounting for the exploration stack: the E22–E24 engine
+# comparisons plus the E25 fingerprint-encoder comparison, with -benchmem.
+# B/op and allocs/op are stable at low iteration counts, so a short fixed
+# benchtime keeps this cheap enough to run per-PR; CI uploads the output as
+# an artifact (bench-allocs.txt) to make allocation regressions visible.
+bench-allocs:
+	@$(GO) test -bench 'BenchmarkBuildGraphWorkers|BenchmarkRefuteWorkers|BenchmarkRunBatchWorkers|BenchmarkFingerprint' \
+		-benchmem -benchtime=2x -run '^$$' . > bench-allocs.txt; \
+		status=$$?; cat bench-allocs.txt; exit $$status
 
 lint: vet fmt-check
 

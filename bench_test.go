@@ -444,6 +444,7 @@ func BenchmarkBuildGraphWorkers(b *testing.B) {
 		}
 		for _, w := range workerSweep() {
 			b.Run(fmt.Sprintf("%s/workers=%d", sc.name, w), func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					c, err := explore.ClassifyInits(sys, explore.BuildOptions{Workers: w})
 					if err != nil {
@@ -467,6 +468,7 @@ func BenchmarkRefuteWorkers(b *testing.B) {
 	}
 	for _, w := range workerSweep() {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				report, err := explore.Refute(sys, 1, explore.RefuteOptions{
 					Build: explore.BuildOptions{Workers: w},
@@ -503,6 +505,7 @@ func BenchmarkRunBatchWorkers(b *testing.B) {
 	}
 	for _, w := range workerSweep() {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := explore.RunBatch(sys, cfgs, w); err != nil {
 					b.Fatal(err)
@@ -510,6 +513,30 @@ func BenchmarkRunBatchWorkers(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkFingerprint (E25) compares the string fingerprint builder with
+// the append-style byte encoder that the interned exploration engines use:
+// same bytes, but the append form reuses one buffer and allocates nothing.
+func BenchmarkFingerprint(b *testing.B) {
+	sys := mustForward(b, 3, 1, service.Adversarial)
+	st := sys.InitialState()
+	st, _, _ = sys.Init(st, 0, "0")
+	st, _, _ = sys.Init(st, 1, "1")
+	st, _, _ = sys.Apply(st, ioa.ProcessTask(0))
+	b.Run("string", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = sys.Fingerprint(st)
+		}
+	})
+	b.Run("append", func(b *testing.B) {
+		b.ReportAllocs()
+		buf := make([]byte, 0, 1024)
+		for i := 0; i < b.N; i++ {
+			buf = sys.AppendFingerprint(buf[:0], st)
+		}
+	})
 }
 
 // BenchmarkFairnessAudit (E21) times the post-hoc fairness audit of a fair

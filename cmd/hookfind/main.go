@@ -60,7 +60,7 @@ func run(args []string) error {
 		h := res.Hook
 		fmt.Printf("Fig. 3 construction terminated after a %d-edge bivalent path.\n\n", res.PathLen)
 		fmt.Printf("%s\n\n", h)
-		fmt.Printf("  α   (bivalent) : %.24q...\n", h.Alpha)
+		fmt.Printf("  α   (bivalent) : %.24q...\n", inits.Graph.Fingerprint(h.Alpha))
 		fmt.Printf("  e              : %v\n", h.E)
 		fmt.Printf("  e'             : %v\n", h.EPrime)
 		fmt.Printf("  α0 = e(α)      : %v\n", inits.Graph.Valence(h.Alpha0))

@@ -83,7 +83,7 @@ func run() error {
 	}
 	fmt.Println("replicated logs after a fair failure-free run:")
 	for i := 0; i < n; i++ {
-		fmt.Printf("  P%d: %s\n", i, res.Final.Procs[i].Get("log"))
+		fmt.Printf("  P%d: %s\n", i, sys.ProcState(res.Final, i).Get("log"))
 	}
 	if err := check.TotalOrder(check.TOBDeliveries(res.Exec, "b0")); err != nil {
 		return err
@@ -101,7 +101,7 @@ func run() error {
 	}
 	fmt.Println("\nwith fail_2 after round 1:")
 	for i := 0; i < 2; i++ {
-		fmt.Printf("  P%d: %s\n", i, res.Final.Procs[i].Get("log"))
+		fmt.Printf("  P%d: %s\n", i, sys.ProcState(res.Final, i).Get("log"))
 	}
 	if err := check.TotalOrder(check.TOBDeliveries(res.Exec, "b0")); err != nil {
 		return err

@@ -1,0 +1,203 @@
+package codec
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestAppendMatchesStringBuilders pins the core invariant of the two-faced
+// codec: every Append* function produces exactly the bytes of its string
+// counterpart, so interned fingerprints and the stable external format can
+// never drift apart.
+func TestAppendMatchesStringBuilders(t *testing.T) {
+	atoms := []string{"", "x", "hello world", "12:34", "[{(<", strings.Repeat("a", 300)}
+	for _, s := range atoms {
+		if got := string(AppendAtom(nil, s)); got != Atom(s) {
+			t.Errorf("AppendAtom(%q) = %q, want %q", s, got, Atom(s))
+		}
+	}
+	for _, v := range []int{0, 1, -1, 42, -42, 1 << 30} {
+		if got := string(AppendInt(nil, v)); got != Int(v) {
+			t.Errorf("AppendInt(%d) = %q, want %q", v, got, Int(v))
+		}
+	}
+	lists := [][]string{{}, {"a"}, {"a", "b", "a"}, {"", "", ""}, atoms}
+	for _, items := range lists {
+		if got := string(AppendList(nil, items)); got != List(items) {
+			t.Errorf("AppendList(%q) = %q, want %q", items, got, List(items))
+		}
+		if got := string(AppendSet(nil, items)); got != Set(items) {
+			t.Errorf("AppendSet(%q) = %q, want %q", items, got, Set(items))
+		}
+	}
+	if got := string(AppendPair(nil, "k", "v")); got != Pair("k", "v") {
+		t.Errorf("AppendPair = %q, want %q", got, Pair("k", "v"))
+	}
+	maps := []map[string]string{
+		{},
+		{"one": "1"},
+		{"b": "2", "a": "1", "c": ""},
+		{"": "empty key", "10": "x", "2": "y"},
+	}
+	for _, m := range maps {
+		if got := string(AppendMap(nil, m)); got != Map(m) {
+			t.Errorf("AppendMap(%v) = %q, want %q", m, got, Map(m))
+		}
+	}
+}
+
+// TestAppendWrapped checks the splice-in-place length prefix against the
+// equivalent Atom-of-encoding composition.
+func TestAppendWrapped(t *testing.T) {
+	inner := map[string]string{"a": "1", "bb": "22"}
+	got := AppendWrapped([]byte("prefix"), func(d []byte) []byte {
+		return AppendMap(d, inner)
+	})
+	want := "prefix" + Atom(Map(inner))
+	if string(got) != want {
+		t.Errorf("AppendWrapped = %q, want %q", got, want)
+	}
+	// Nested wrapping: an atom-of-list-of-atoms, reusing one buffer.
+	got = AppendWrapped(got[:0], func(d []byte) []byte {
+		return AppendList(d, []string{"x", "y"})
+	})
+	if want := Atom(List([]string{"x", "y"})); string(got) != want {
+		t.Errorf("nested AppendWrapped = %q, want %q", got, want)
+	}
+}
+
+// TestAppendRoundTripRandom is the property test: random values encoded with
+// the append API parse back to themselves with the existing parsers.
+func TestAppendRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	randAtom := func() string {
+		n := rng.Intn(12)
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			b.WriteByte(byte(rng.Intn(96) + 32)) // printable ASCII incl. delimiters
+		}
+		return b.String()
+	}
+	for trial := 0; trial < 500; trial++ {
+		s := randAtom()
+		val, rest, err := ParseAtom(string(AppendAtom(nil, s)))
+		if err != nil || val != s || rest != "" {
+			t.Fatalf("atom round trip: %q → %q, %q, %v", s, val, rest, err)
+		}
+		v := rng.Intn(1<<20) - 1<<19
+		pv, rest, err := ParseInt(string(AppendInt(nil, v)))
+		if err != nil || pv != v || rest != "" {
+			t.Fatalf("int round trip: %d → %d, %q, %v", v, pv, rest, err)
+		}
+		items := make([]string, rng.Intn(6))
+		for i := range items {
+			items[i] = randAtom()
+		}
+		back, err := ParseList(string(AppendList(nil, items)))
+		if err != nil || len(back) != len(items) {
+			t.Fatalf("list round trip: %q → %q, %v", items, back, err)
+		}
+		for i := range items {
+			if back[i] != items[i] {
+				t.Fatalf("list round trip: %q → %q", items, back)
+			}
+		}
+		setBack, err := ParseSet(string(AppendSet(nil, items)))
+		if err != nil {
+			t.Fatalf("set round trip: %q: %v", items, err)
+		}
+		want := map[string]bool{}
+		for _, it := range items {
+			want[it] = true
+		}
+		if len(setBack) != len(want) {
+			t.Fatalf("set round trip: %q → %q", items, setBack)
+		}
+		for _, it := range setBack {
+			if !want[it] {
+				t.Fatalf("set round trip: %q → %q", items, setBack)
+			}
+		}
+		m := map[string]string{}
+		for i := 0; i < rng.Intn(5); i++ {
+			m[randAtom()] = randAtom()
+		}
+		mBack, err := ParseMap(string(AppendMap(nil, m)))
+		if err != nil || len(mBack) != len(m) {
+			t.Fatalf("map round trip: %v → %v, %v", m, mBack, err)
+		}
+		for k, v := range m {
+			if mBack[k] != v {
+				t.Fatalf("map round trip: %v → %v", m, mBack)
+			}
+		}
+	}
+}
+
+// TestIntSetAppendFingerprint checks byte identity with IntSet.Fingerprint
+// across cardinalities, including the lexicographic (not numeric) member
+// order at double-digit members.
+func TestIntSetAppendFingerprint(t *testing.T) {
+	sets := [][]int{{}, {3}, {0, 1, 2}, {2, 10, 1}, {11, 2, 100, 20}}
+	for _, members := range sets {
+		s := NewIntSet(members...)
+		if got, want := string(s.AppendFingerprint(nil)), s.Fingerprint(); got != want {
+			t.Errorf("AppendFingerprint(%v) = %q, want %q", members, got, want)
+		}
+		back, err := ParseIntSet(string(s.AppendFingerprint(nil)))
+		if err != nil || !back.Equal(s) {
+			t.Errorf("IntSet round trip %v: %v, %v", members, back, err)
+		}
+	}
+}
+
+// TestAppendReusesBuffer ensures the append API does not allocate when the
+// destination has capacity (the hot-path contract fingerprinting relies on).
+func TestAppendReusesBuffer(t *testing.T) {
+	buf := make([]byte, 0, 1024)
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = AppendAtom(buf[:0], "payload")
+		buf = AppendInt(buf, 12345)
+		buf = AppendPair(buf, "a", "b")
+	})
+	if allocs != 0 {
+		t.Errorf("append primitives allocated %.1f times per run", allocs)
+	}
+}
+
+// FuzzParseAtom bashes the atom decoder with truncated and hostile inputs:
+// it must either return a value that re-encodes into a prefix of the input,
+// or reject with ErrMalformed — never panic or mis-parse.
+func FuzzParseAtom(f *testing.F) {
+	f.Add("5:hello")
+	f.Add("0:")
+	f.Add("5:hell")                 // truncated body
+	f.Add("5hello")                 // missing separator
+	f.Add(":")                      // empty length
+	f.Add("-1:x")                   // negative length
+	f.Add("99999999999999999999:x") // overflowing length
+	f.Add("07:exactly")             // leading zero
+	f.Add("3:[1:x")                 // delimiter bytes inside body
+	f.Add("")
+	f.Add("2:ab5:extra")
+	f.Fuzz(func(t *testing.T, s string) {
+		val, rest, err := ParseAtom(s)
+		if err != nil {
+			return
+		}
+		if len(val)+len(rest) > len(s) {
+			t.Fatalf("ParseAtom(%q) returned more bytes than input: %q + %q", s, val, rest)
+		}
+		// Canonical re-encoding must reproduce the consumed prefix.
+		consumed := s[:len(s)-len(rest)]
+		if reenc := Atom(val); reenc != consumed {
+			// Non-canonical length prefixes (leading zeros, plus signs) may
+			// parse; they must still agree on the value and the remainder.
+			val2, rest2, err2 := ParseAtom(reenc + rest)
+			if err2 != nil || val2 != val || rest2 != rest {
+				t.Fatalf("ParseAtom(%q) = %q, %q: re-encode mismatch %q", s, val, rest, reenc)
+			}
+		}
+	})
+}

@@ -240,16 +240,15 @@ func TestTasksCommuteWithDisjointParticipants(t *testing.T) {
 	checked := 0
 	// Scan the whole reachable graph from all roots for applicable disjoint
 	// pairs.
-	seen := map[string]bool{}
-	queue := append([]string{}, c.Roots...)
-	for len(queue) > 0 {
-		fp := queue[0]
-		queue = queue[1:]
-		if seen[fp] {
+	seen := make([]bool, g.Size())
+	queue := append([]explore.StateID{}, c.Roots...)
+	for head := 0; head < len(queue); head++ {
+		id := queue[head]
+		if seen[id] {
 			continue
 		}
-		seen[fp] = true
-		st, ok := g.State(fp)
+		seen[id] = true
+		st, ok := g.State(id)
 		if !ok {
 			continue
 		}
@@ -261,12 +260,12 @@ func TestTasksCommuteWithDisjointParticipants(t *testing.T) {
 				if explore.ParticipantsDisjoint(sys, st, tasks[i], tasks[j]) {
 					checked++
 					if !explore.TasksCommute(sys, st, tasks[i], tasks[j]) {
-						t.Fatalf("disjoint tasks %v, %v do not commute at %q", tasks[i], tasks[j], fp)
+						t.Fatalf("disjoint tasks %v, %v do not commute at %q", tasks[i], tasks[j], g.Fingerprint(id))
 					}
 				}
 			}
 		}
-		for _, e := range g.Succs(fp) {
+		for _, e := range g.Succs(id) {
 			queue = append(queue, e.To)
 		}
 	}
@@ -565,21 +564,20 @@ func TestLemma3NoUnvalentStates(t *testing.T) {
 		t.Fatal(err)
 	}
 	g := c.Graph
-	seen := map[string]bool{}
-	queue := append([]string{}, c.Roots...)
+	seen := make([]bool, g.Size())
+	queue := append([]explore.StateID{}, c.Roots...)
 	checked := 0
-	for len(queue) > 0 {
-		fp := queue[0]
-		queue = queue[1:]
-		if seen[fp] {
+	for head := 0; head < len(queue); head++ {
+		id := queue[head]
+		if seen[id] {
 			continue
 		}
-		seen[fp] = true
+		seen[id] = true
 		checked++
-		if g.Valence(fp) == explore.Unvalent {
+		if g.Valence(id) == explore.Unvalent {
 			t.Fatalf("unvalent reachable state found (Lemma 3 violated for a correct candidate)")
 		}
-		for _, e := range g.Succs(fp) {
+		for _, e := range g.Succs(id) {
 			queue = append(queue, e.To)
 		}
 	}

@@ -3,9 +3,18 @@ package explore
 import (
 	"fmt"
 
+	"github.com/ioa-lab/boosting/internal/intern"
 	"github.com/ioa-lab/boosting/internal/ioa"
 	"github.com/ioa-lab/boosting/internal/system"
 )
+
+// StateID is the dense index of a vertex of G(C): the i-th distinct state
+// discovered (in BFS order) gets ID i. Both exploration engines assign IDs
+// identically for any worker count, so IDs are stable coordinates of the
+// graph, not artifacts of scheduling. The canonical string fingerprint
+// remains available per vertex via Graph.Fingerprint, as the stable external
+// format for reports and witness output.
+type StateID = intern.StateID
 
 // Valence classifies a finite failure-free input-first execution by the
 // decisions reachable in its failure-free extensions (Section 3.2). The
@@ -58,32 +67,38 @@ func valenceOfMask(m uint8) Valence {
 }
 
 // Edge is one labelled transition of G(C): scheduling Task from the source
-// vertex leads to the vertex with fingerprint To, performing Action.
+// vertex leads to the vertex To, performing Action.
 type Edge struct {
 	Task   ioa.Task
 	Action ioa.Action
-	To     string
+	To     StateID
 }
 
 // pred records how a vertex was first reached (BFS tree), for witness
-// reconstruction.
+// reconstruction. Roots have has == false.
 type pred struct {
-	from string
+	from StateID
 	task ioa.Task
 	act  ioa.Action
+	has  bool
 }
 
 // Graph is (a finite fragment of) the graph G(C) of Section 3.3: vertices
-// are fingerprints of failure-free reachable states, edges are applicable
-// tasks. Because processes and services are deterministic, each vertex has
-// at most one outgoing edge per task.
+// are failure-free reachable states, identified by dense StateIDs assigned
+// in discovery (BFS) order, and edges are applicable tasks. Because
+// processes and services are deterministic, each vertex has at most one
+// outgoing edge per task.
+//
+// Everything is slice-backed and indexed by StateID; the interner is the
+// only string-keyed table, holding each canonical fingerprint exactly once.
 type Graph struct {
 	sys    *system.System
-	states map[string]system.State
-	succs  map[string][]Edge
-	preds  map[string]pred
-	roots  []string
-	masks  map[string]uint8
+	tab    *intern.Table
+	states []system.State
+	succs  [][]Edge
+	preds  []pred
+	roots  []StateID
+	masks  []uint8
 }
 
 // BuildOptions bounds graph construction.
@@ -93,11 +108,41 @@ type BuildOptions struct {
 	// Workers is the number of goroutines expanding the frontier and
 	// back-propagating valences: 0 means one per CPU (runtime.NumCPU()),
 	// 1 forces the serial engine. The produced graph is identical either
-	// way — same vertices, edges and valences.
+	// way — same StateIDs, edges, predecessors and valences.
 	Workers int
 }
 
 const defaultMaxStates = 200_000
+
+func newGraph(sys *system.System) *Graph {
+	return &Graph{sys: sys, tab: intern.NewTable(1024)}
+}
+
+// addState interns a new vertex: fp must not be present in the table yet.
+func (g *Graph) addState(fp string, st system.State, p pred) StateID {
+	id, fresh := g.tab.Intern(fp)
+	if !fresh {
+		panic("explore: addState on an interned fingerprint")
+	}
+	g.states = append(g.states, st)
+	g.succs = append(g.succs, nil)
+	g.preds = append(g.preds, p)
+	return id
+}
+
+// internRoots seeds the graph with the root states. Roots are exempt from
+// the vertex budget and always get the smallest IDs, in input order.
+func (g *Graph) internRoots(roots []system.State, buf []byte) []byte {
+	for _, r := range roots {
+		buf = g.sys.AppendFingerprint(buf[:0], r)
+		id, ok := g.tab.LookupBytes(buf)
+		if !ok {
+			id = g.addState(string(buf), r, pred{})
+		}
+		g.roots = append(g.roots, id)
+	}
+	return buf
+}
 
 // BuildGraph explores the failure-free closure of the given root states
 // under all applicable tasks and computes the valence of every vertex by
@@ -111,47 +156,33 @@ func BuildGraph(sys *system.System, roots []system.State, opt BuildOptions) (*Gr
 	if workers := effectiveWorkers(opt.Workers); workers > 1 {
 		return buildGraphParallel(sys, roots, maxStates, workers)
 	}
-	g := &Graph{
-		sys:    sys,
-		states: map[string]system.State{},
-		succs:  map[string][]Edge{},
-		preds:  map[string]pred{},
-		masks:  map[string]uint8{},
-	}
-	queue := make([]string, 0, len(roots))
-	for _, r := range roots {
-		fp := sys.Fingerprint(r)
-		g.roots = append(g.roots, fp)
-		if _, ok := g.states[fp]; !ok {
-			g.states[fp] = r
-			queue = append(queue, fp)
-		}
-	}
-	for len(queue) > 0 {
-		fp := queue[0]
-		queue = queue[1:]
-		st := g.states[fp]
+	g := newGraph(sys)
+	buf := g.internRoots(roots, nil)
+	// IDs are dense in discovery order, so the BFS queue is implicit: the
+	// next vertex to expand is simply the next ID. Nothing is pinned or
+	// copied as the frontier advances.
+	for next := 0; next < len(g.states); next++ {
+		st := g.states[next]
 		var edges []Edge
 		for _, task := range sys.Tasks() {
 			if !sys.Applicable(st, task) {
 				continue
 			}
-			next, act, err := sys.Apply(st, task)
+			succ, act, err := sys.Apply(st, task)
 			if err != nil {
 				return nil, fmt.Errorf("explore: apply %v: %w", task, err)
 			}
-			nfp := sys.Fingerprint(next)
-			edges = append(edges, Edge{Task: task, Action: act, To: nfp})
-			if _, ok := g.states[nfp]; !ok {
+			buf = sys.AppendFingerprint(buf[:0], succ)
+			id, ok := g.tab.LookupBytes(buf)
+			if !ok {
 				if len(g.states) >= maxStates {
 					return nil, fmt.Errorf("%w: > %d states", ErrStateExplosion, maxStates)
 				}
-				g.states[nfp] = next
-				g.preds[nfp] = pred{from: fp, task: task, act: act}
-				queue = append(queue, nfp)
+				id = g.addState(string(buf), succ, pred{from: StateID(next), task: task, act: act, has: true})
 			}
+			edges = append(edges, Edge{Task: task, Action: act, To: id})
 		}
-		g.succs[fp] = edges
+		g.succs[next] = edges
 	}
 	g.computeMasks()
 	return g, nil
@@ -161,21 +192,22 @@ func BuildGraph(sys *system.System, roots []system.State, opt BuildOptions) (*Gr
 // mask(s) = decided(s) ∪ ⋃_{s→t} mask(t).
 func (g *Graph) computeMasks() {
 	// Seed with each state's own recorded decisions.
-	for fp, st := range g.states {
-		g.masks[fp] = ownMask(g.sys, st)
+	g.masks = make([]uint8, len(g.states))
+	for i := range g.states {
+		g.masks[i] = ownMask(g.sys, g.states[i])
 	}
 	// Chaotic iteration to fixpoint. The mask lattice has height 2, so this
 	// terminates quickly even without a topological order.
 	changed := true
 	for changed {
 		changed = false
-		for fp, edges := range g.succs {
-			m := g.masks[fp]
+		for i, edges := range g.succs {
+			m := g.masks[i]
 			for _, e := range edges {
 				m |= g.masks[e.To]
 			}
-			if m != g.masks[fp] {
-				g.masks[fp] = m
+			if m != g.masks[i] {
+				g.masks[i] = m
 				changed = true
 			}
 		}
@@ -195,24 +227,39 @@ func ownMask(sys *system.System, st system.State) uint8 {
 	return m
 }
 
-// Size returns the number of vertices.
+// Size returns the number of vertices. Valid StateIDs are 0 … Size()−1.
 func (g *Graph) Size() int { return len(g.states) }
 
-// Roots returns the root fingerprints in insertion order.
-func (g *Graph) Roots() []string { return g.roots }
+// Roots returns the root vertices in insertion order.
+func (g *Graph) Roots() []StateID { return g.roots }
 
 // State returns the representative state of a vertex.
-func (g *Graph) State(fp string) (system.State, bool) {
-	st, ok := g.states[fp]
-	return st, ok
+func (g *Graph) State(id StateID) (system.State, bool) {
+	if int(id) >= len(g.states) {
+		return system.State{}, false
+	}
+	return g.states[id], true
 }
 
+// Fingerprint returns the canonical string encoding of a vertex — the
+// stable external format for reports and witness output.
+func (g *Graph) Fingerprint(id StateID) string { return g.tab.Key(id) }
+
+// Lookup resolves a canonical fingerprint to its vertex, if the state was
+// discovered.
+func (g *Graph) Lookup(fp string) (StateID, bool) { return g.tab.Lookup(fp) }
+
 // Succs returns the outgoing edges of a vertex.
-func (g *Graph) Succs(fp string) []Edge { return g.succs[fp] }
+func (g *Graph) Succs(id StateID) []Edge {
+	if int(id) >= len(g.succs) {
+		return nil
+	}
+	return g.succs[id]
+}
 
 // Succ returns the e-successor of a vertex, if task e is applicable there.
-func (g *Graph) Succ(fp string, task ioa.Task) (Edge, bool) {
-	for _, e := range g.succs[fp] {
+func (g *Graph) Succ(id StateID, task ioa.Task) (Edge, bool) {
+	for _, e := range g.Succs(id) {
 		if e.Task == task {
 			return e, true
 		}
@@ -221,20 +268,20 @@ func (g *Graph) Succ(fp string, task ioa.Task) (Edge, bool) {
 }
 
 // Valence returns the valence of a vertex.
-func (g *Graph) Valence(fp string) Valence {
-	return valenceOfMask(g.masks[fp])
+func (g *Graph) Valence(id StateID) Valence {
+	if int(id) >= len(g.masks) {
+		return Unvalent
+	}
+	return valenceOfMask(g.masks[id])
 }
 
 // WitnessPath reconstructs the BFS-tree path of edges from a root to the
 // given vertex.
-func (g *Graph) WitnessPath(fp string) []Edge {
+func (g *Graph) WitnessPath(id StateID) []Edge {
 	var rev []Edge
-	cur := fp
-	for {
-		p, ok := g.preds[cur]
-		if !ok {
-			break
-		}
+	cur := id
+	for int(cur) < len(g.preds) && g.preds[cur].has {
+		p := g.preds[cur]
 		rev = append(rev, Edge{Task: p.task, Action: p.act, To: cur})
 		cur = p.from
 	}
@@ -245,35 +292,87 @@ func (g *Graph) WitnessPath(fp string) []Edge {
 	return rev
 }
 
+// bfsTree records, per visited vertex, the edge it was first reached by in a
+// filtered BFS: parent[v] is the predecessor and pedge[v] the index of the
+// edge in succs(parent[v]). Storing one link per vertex and reconstructing
+// the path once at the end replaces the old per-enqueue prefix copying,
+// which was quadratic in path depth.
+//
+// Visited marks are epoch stamps, so one tree can be reused across many
+// searches (the Fig. 3 construction runs one BFS per step): begin() bumps
+// the epoch instead of re-zeroing the full-graph-size arrays.
+type bfsTree struct {
+	epoch  uint32
+	mark   []uint32
+	parent []StateID
+	pedge  []int32
+}
+
+func newBFSTree(n int) *bfsTree {
+	return &bfsTree{
+		mark:   make([]uint32, n),
+		parent: make([]StateID, n),
+		pedge:  make([]int32, n),
+	}
+}
+
+// begin starts a fresh search rooted at start: all vertices read as
+// unvisited except start.
+func (t *bfsTree) begin(start StateID) {
+	if t.epoch == ^uint32(0) {
+		// Epoch wrapped: clear the stale stamps once.
+		clear(t.mark)
+		t.epoch = 0
+	}
+	t.epoch++
+	t.mark[start] = t.epoch
+}
+
+func (t *bfsTree) seen(v StateID) bool { return t.mark[v] == t.epoch }
+
+func (t *bfsTree) visit(from StateID, edgeIdx int, to StateID) {
+	t.mark[to] = t.epoch
+	t.parent[to] = from
+	t.pedge[to] = int32(edgeIdx)
+}
+
+// path reconstructs the edges from start to v, in order.
+func (t *bfsTree) path(g *Graph, start, v StateID) []Edge {
+	var rev []Edge
+	for v != start {
+		from := t.parent[v]
+		rev = append(rev, g.succs[from][t.pedge[v]])
+		v = from
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
 // FindState returns the first vertex (in BFS order from the given start)
 // satisfying the predicate, searching only edges allowed by the filter
 // (nil filter = all edges). The returned path is the sequence of edges from
 // start to the found vertex.
-func (g *Graph) FindState(start string, allow func(Edge) bool, want func(system.State) bool) (string, []Edge, bool) {
-	type qitem struct {
-		fp   string
-		path []Edge
-	}
-	visited := map[string]bool{start: true}
-	queue := []qitem{{fp: start}}
-	for len(queue) > 0 {
-		item := queue[0]
-		queue = queue[1:]
-		if st, ok := g.states[item.fp]; ok && want(st) {
-			return item.fp, item.path, true
+func (g *Graph) FindState(start StateID, allow func(Edge) bool, want func(system.State) bool) (StateID, []Edge, bool) {
+	tree := newBFSTree(len(g.states))
+	tree.begin(start)
+	queue := []StateID{start}
+	for head := 0; head < len(queue); head++ {
+		id := queue[head]
+		if st, ok := g.State(id); ok && want(st) {
+			return id, tree.path(g, start, id), true
 		}
-		for _, e := range g.succs[item.fp] {
+		for i, e := range g.succs[id] {
 			if allow != nil && !allow(e) {
 				continue
 			}
-			if visited[e.To] {
+			if tree.seen(e.To) {
 				continue
 			}
-			visited[e.To] = true
-			path := make([]Edge, len(item.path), len(item.path)+1)
-			copy(path, item.path)
-			queue = append(queue, qitem{fp: e.To, path: append(path, e)})
+			tree.visit(id, i, e.To)
+			queue = append(queue, e.To)
 		}
 	}
-	return "", nil, false
+	return 0, nil, false
 }

@@ -11,12 +11,12 @@ import (
 // to the 1-valent Alpha1. (Valences may be swapped; Valence0 records the
 // valence of Alpha0.)
 type Hook struct {
-	Alpha      string
+	Alpha      StateID
 	E          ioa.Task
 	EPrime     ioa.Task
-	AlphaPrime string
-	Alpha0     string
-	Alpha1     string
+	AlphaPrime StateID
+	Alpha0     StateID
+	Alpha1     StateID
 	// Valence0 is the valence of Alpha0 (ZeroValent or OneValent); Alpha1
 	// has the opposite valence.
 	Valence0 Valence
@@ -39,7 +39,7 @@ func (h Hook) String() string {
 // bivalent, hence decision-free).
 type Divergence struct {
 	// CycleVertex is the repeated vertex.
-	CycleVertex string
+	CycleVertex StateID
 	// Steps is the number of construction steps taken before the repeat.
 	Steps int
 }
@@ -63,7 +63,7 @@ type HookSearchResult struct {
 // current vertex to a vertex deciding the opposite value (Lemma 5's case
 // analysis). If the construction revisits a configuration, the system
 // diverges: an infinite fair bivalent path exists.
-func FindHook(g *Graph, root string) (HookSearchResult, error) {
+func FindHook(g *Graph, root StateID) (HookSearchResult, error) {
 	return FindHookWorkers(g, root, 1)
 }
 
@@ -71,17 +71,20 @@ func FindHook(g *Graph, root string) (HookSearchResult, error) {
 // searches of the Fig. 3 construction scan each BFS level across the given
 // number of workers (0 = runtime.NumCPU(), 1 = serial). The outcome is
 // identical to the serial search.
-func FindHookWorkers(g *Graph, root string, workers int) (HookSearchResult, error) {
+func FindHookWorkers(g *Graph, root StateID, workers int) (HookSearchResult, error) {
 	if g.Valence(root) != Bivalent {
 		return HookSearchResult{}, fmt.Errorf("%w: %s", ErrNotBivalent, g.Valence(root))
 	}
 	workers = effectiveWorkers(workers)
 	tasks := g.sys.Tasks()
+	// One BFS tree reused across every construction step: begin() bumps an
+	// epoch instead of reallocating graph-size arrays per step.
+	tree := newBFSTree(len(g.states))
 	alpha := root
 	rr := 0
 	pathLen := 0
 	type cfg struct {
-		fp string
+		id StateID
 		rr int
 	}
 	seen := map[cfg]bool{}
@@ -108,12 +111,12 @@ func FindHookWorkers(g *Graph, root string, workers int) (HookSearchResult, erro
 			}
 		}
 		if !found {
-			return HookSearchResult{}, fmt.Errorf("explore: no applicable task at %q", alpha)
+			return HookSearchResult{}, fmt.Errorf("explore: no applicable task at %q", g.Fingerprint(alpha))
 		}
 
 		// Search for α′ reachable from alpha without e-edges such that
 		// e(α′) is bivalent.
-		target, path, ok := g.findBivalentExtension(alpha, e, workers)
+		target, path, ok := g.findBivalentExtension(alpha, e, workers, tree)
 		if !ok {
 			// Construction terminates: for every α′ reachable without e,
 			// e(α′) is univalent. Locate the hook.
@@ -134,27 +137,10 @@ func FindHookWorkers(g *Graph, root string, workers int) (HookSearchResult, erro
 // it. The per-level predicate checks run across the given number of workers;
 // levels are expanded in queue order, so the vertex found is the first one in
 // serial BFS order regardless of the worker count.
-func (g *Graph) findBivalentExtension(alpha string, e ioa.Task, workers int) (string, []Edge, bool) {
-	type parentLink struct {
-		from string
-		edge Edge
-	}
-	parents := map[string]parentLink{}
-	reconstruct := func(fp string) []Edge {
-		var rev []Edge
-		for fp != alpha {
-			pl := parents[fp]
-			rev = append(rev, pl.edge)
-			fp = pl.from
-		}
-		for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
-			rev[i], rev[j] = rev[j], rev[i]
-		}
-		return rev
-	}
-	visited := map[string]bool{alpha: true}
-	level := []string{alpha}
-	// The per-vertex predicate is a few map lookups, so fanning a level out
+func (g *Graph) findBivalentExtension(alpha StateID, e ioa.Task, workers int, tree *bfsTree) (StateID, []Edge, bool) {
+	tree.begin(alpha)
+	level := []StateID{alpha}
+	// The per-vertex predicate is a few slice lookups, so fanning a level out
 	// only pays for itself once the level is large; below the threshold the
 	// goroutine spawn would cost more than the scan.
 	const minParallelLevel = 256
@@ -169,32 +155,31 @@ func (g *Graph) findBivalentExtension(alpha string, e ioa.Task, workers int) (st
 				hits[i] = true
 			}
 		})
-		for i, fp := range level {
+		for i, id := range level {
 			if hits[i] {
-				return fp, reconstruct(fp), true
+				return id, tree.path(g, alpha, id), true
 			}
 		}
-		var next []string
-		for _, fp := range level {
-			for _, edge := range g.succs[fp] {
-				if edge.Task == e || visited[edge.To] {
+		var next []StateID
+		for _, id := range level {
+			for j, edge := range g.succs[id] {
+				if edge.Task == e || tree.seen(edge.To) {
 					continue
 				}
-				visited[edge.To] = true
-				parents[edge.To] = parentLink{from: fp, edge: edge}
+				tree.visit(id, j, edge.To)
 				next = append(next, edge.To)
 			}
 		}
 		level = next
 	}
-	return "", nil, false
+	return 0, nil, false
 }
 
 // locateHook implements the case analysis at the end of Lemma 5's proof:
 // alpha is bivalent, e(alpha) is univalent (say v-valent), and e(α′) is
 // univalent for every α′ reachable from alpha without e-edges. Walk a path
 // from alpha towards a vertex deciding the opposite value and find the flip.
-func (g *Graph) locateHook(alpha string, e ioa.Task) (*Hook, error) {
+func (g *Graph) locateHook(alpha StateID, e ioa.Task) (*Hook, error) {
 	first, ok := g.Succ(alpha, e)
 	if !ok {
 		return nil, fmt.Errorf("explore: task %v not applicable at hook base", e)
@@ -230,7 +215,7 @@ func (g *Graph) locateHook(alpha string, e ioa.Task) (*Hook, error) {
 			break
 		}
 	}
-	sigma := make([]string, 0, limit+1)
+	sigma := make([]StateID, 0, limit+1)
 	sigma = append(sigma, alpha)
 	for j := 0; j < limit; j++ {
 		sigma = append(sigma, decPath[j].To)
@@ -264,29 +249,24 @@ func (g *Graph) locateHook(alpha string, e ioa.Task) (*Hook, error) {
 }
 
 // findDecidingPath returns a path (BFS tree) from start to a vertex whose
-// state records a decision matching wantMask.
-func (g *Graph) findDecidingPath(start string, wantMask uint8) ([]Edge, error) {
-	type qitem struct {
-		fp   string
-		path []Edge
-	}
-	visited := map[string]bool{start: true}
-	queue := []qitem{{fp: start}}
-	for len(queue) > 0 {
-		item := queue[0]
-		queue = queue[1:]
-		if st, ok := g.states[item.fp]; ok && ownMask(g.sys, st)&wantMask != 0 {
-			return item.path, nil
+// state records a decision matching wantMask. Like FindState, it stores one
+// predecessor link per visited vertex and reconstructs the path once.
+func (g *Graph) findDecidingPath(start StateID, wantMask uint8) ([]Edge, error) {
+	tree := newBFSTree(len(g.states))
+	tree.begin(start)
+	queue := []StateID{start}
+	for head := 0; head < len(queue); head++ {
+		id := queue[head]
+		if ownMask(g.sys, g.states[id])&wantMask != 0 {
+			return tree.path(g, start, id), nil
 		}
-		for _, edge := range g.succs[item.fp] {
-			if visited[edge.To] {
+		for i, edge := range g.succs[id] {
+			if tree.seen(edge.To) {
 				continue
 			}
-			visited[edge.To] = true
-			path := make([]Edge, len(item.path), len(item.path)+1)
-			copy(path, item.path)
-			queue = append(queue, qitem{fp: edge.To, path: append(path, edge)})
+			tree.visit(id, i, edge.To)
+			queue = append(queue, edge.To)
 		}
 	}
-	return nil, fmt.Errorf("%w from %q", ErrNoDecision, start)
+	return nil, fmt.Errorf("%w from %q", ErrNoDecision, g.Fingerprint(start))
 }

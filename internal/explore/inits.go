@@ -13,8 +13,8 @@ import (
 type InitClassification struct {
 	// Assignments[i] is the input map of α_i.
 	Assignments []map[int]string
-	// Roots[i] is the fingerprint of the state after α_i.
-	Roots []string
+	// Roots[i] is the vertex of the state after α_i.
+	Roots []StateID
 	// Valences[i] is the valence of α_i.
 	Valences []Valence
 	// BivalentIndex is the first i with bivalent α_i, or -1.
@@ -65,7 +65,6 @@ func ClassifyInits(sys *system.System, opt BuildOptions) (*InitClassification, e
 			return nil, err
 		}
 		out.Assignments = append(out.Assignments, inputs)
-		out.Roots = append(out.Roots, sys.Fingerprint(st))
 		roots = append(roots, st)
 	}
 	g, err := BuildGraph(sys, roots, opt)
@@ -73,8 +72,9 @@ func ClassifyInits(sys *system.System, opt BuildOptions) (*InitClassification, e
 		return nil, err
 	}
 	out.Graph = g
-	for i, fp := range out.Roots {
-		v := g.Valence(fp)
+	out.Roots = g.Roots()
+	for i, id := range out.Roots {
+		v := g.Valence(id)
 		out.Valences = append(out.Valences, v)
 		if v == Bivalent && out.BivalentIndex < 0 {
 			out.BivalentIndex = i

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/ioa-lab/boosting/internal/intern"
 	"github.com/ioa-lab/boosting/internal/system"
 )
 
@@ -49,160 +50,126 @@ func parallelFor(workers, n int, f func(i int)) {
 	wg.Wait()
 }
 
-// fpShards is the number of lock stripes of the concurrent fingerprint
-// store. Power of two so the shard index is a mask.
-const fpShards = 64
-
-// fpShard is one stripe of the deduplication store: the states first
-// discovered under this stripe's fingerprints, plus their BFS-tree
-// predecessors.
-type fpShard struct {
-	mu     sync.Mutex
-	states map[string]system.State
-	preds  map[string]pred
-}
-
-func shardIndex(fp string) int {
-	// FNV-1a.
-	h := uint32(2166136261)
-	for i := 0; i < len(fp); i++ {
-		h ^= uint32(fp[i])
-		h *= 16777619
+// parallelForBuf is parallelFor with a worker-local scratch buffer threaded
+// through f: each chunk goroutine passes its buffer from one iteration to
+// the next, so per-iteration encoding work reuses one allocation per worker
+// instead of one per index.
+func parallelForBuf(workers, n int, f func(i int, buf []byte) []byte) {
+	if workers > n {
+		workers = n
 	}
-	return int(h & (fpShards - 1))
-}
-
-// graphBuilder is the shared state of the parallel BFS: the sharded
-// fingerprint store and the global vertex budget.
-type graphBuilder struct {
-	sys       *system.System
-	maxStates int64
-	shards    [fpShards]fpShard
-	count     atomic.Int64
-}
-
-func newGraphBuilder(sys *system.System, maxStates int) *graphBuilder {
-	b := &graphBuilder{sys: sys, maxStates: int64(maxStates)}
-	for i := range b.shards {
-		b.shards[i].states = map[string]system.State{}
-		b.shards[i].preds = map[string]pred{}
+	if workers <= 1 || n <= 1 {
+		var buf []byte
+		for i := 0; i < n; i++ {
+			buf = f(i, buf)
+		}
+		return
 	}
-	return b
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := min(lo+chunk, n)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			var buf []byte
+			for i := lo; i < hi; i++ {
+				buf = f(i, buf)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
 }
 
-// tryInsert records fp → st (with predecessor p) if fp is new. The first
-// inserter wins; later discoveries of the same fingerprint are dropped, so
-// every vertex enters the frontier exactly once. Roots are exempt from the
-// vertex budget, matching the serial engine.
-func (b *graphBuilder) tryInsert(fp string, st system.State, p pred, isRoot bool) (inserted, overflow bool) {
-	sh := &b.shards[shardIndex(fp)]
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if _, ok := sh.states[fp]; ok {
-		return false, false
-	}
-	// Claim a budget slot atomically: concurrent inserts into different
-	// shards must not conspire to exceed MaxStates.
-	if b.count.Add(1) > b.maxStates && !isRoot {
-		b.count.Add(-1)
-		return false, true
-	}
-	sh.states[fp] = st
-	if !isRoot {
-		sh.preds[fp] = p
-	}
-	return true, false
+// fresh is a successor discovered during frontier expansion that was not in
+// the intern table when its level started: the fingerprint (an owned copy),
+// the state, and the index of the edge whose target awaits its ID.
+type fresh struct {
+	edgeIdx int
+	fp      string
+	st      system.State
 }
 
-func (b *graphBuilder) state(fp string) system.State {
-	sh := &b.shards[shardIndex(fp)]
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	return sh.states[fp]
-}
-
-// expansion is the result of expanding one frontier vertex: its outgoing
-// edges and the fingerprints of states it discovered first.
+// expansion is the result of expanding one frontier vertex.
 type expansion struct {
 	edges []Edge
-	fresh []string
+	fresh []fresh
 	err   error
 }
 
-// expand applies every applicable task to the state of fp, inserting newly
-// discovered successors into the sharded store.
-func (b *graphBuilder) expand(fp string) expansion {
-	st := b.state(fp)
+// expandFrontier applies every applicable task to st, resolving successor
+// IDs through the frozen intern table. Successors not yet interned are
+// returned as fresh candidates with their edge targets left at
+// intern.NoState, to be patched at the level barrier. buf is the calling
+// worker's fingerprint scratch, returned (possibly grown) for reuse.
+func expandFrontier(sys *system.System, tab *intern.Table, st system.State, buf []byte) (expansion, []byte) {
 	var out expansion
-	for _, task := range b.sys.Tasks() {
-		if !b.sys.Applicable(st, task) {
+	for _, task := range sys.Tasks() {
+		if !sys.Applicable(st, task) {
 			continue
 		}
-		next, act, err := b.sys.Apply(st, task)
+		next, act, err := sys.Apply(st, task)
 		if err != nil {
 			out.err = fmt.Errorf("explore: apply %v: %w", task, err)
-			return out
+			return out, buf
 		}
-		nfp := b.sys.Fingerprint(next)
-		out.edges = append(out.edges, Edge{Task: task, Action: act, To: nfp})
-		inserted, overflow := b.tryInsert(nfp, next, pred{from: fp, task: task, act: act}, false)
-		if overflow {
-			out.err = fmt.Errorf("%w: > %d states", ErrStateExplosion, b.maxStates)
-			return out
+		buf = sys.AppendFingerprint(buf[:0], next)
+		id, ok := tab.LookupBytes(buf)
+		if !ok {
+			id = intern.NoState
+			out.fresh = append(out.fresh, fresh{edgeIdx: len(out.edges), fp: string(buf), st: next})
 		}
-		if inserted {
-			out.fresh = append(out.fresh, nfp)
-		}
+		out.edges = append(out.edges, Edge{Task: task, Action: act, To: id})
 	}
-	return out
+	return out, buf
 }
 
 // buildGraphParallel is the worker-pool engine behind BuildGraph: a
-// level-synchronous BFS in which each frontier level is split across workers,
-// deduplicated through the lock-striped fingerprint store, followed by a
-// parallel reverse valence sweep. The produced graph has exactly the same
-// vertex set, edge set and valences as the serial engine (exploration order
-// only affects which BFS-tree predecessor each vertex records).
+// level-synchronous BFS over the interned ID space. Each frontier level is
+// expanded across workers against the *frozen* intern table (concurrent
+// lookups, no writes); at the level barrier the coordinator walks the
+// expansions in frontier order and interns the level's discoveries serially.
+// Serial interning at the barrier is what makes the engine deterministic:
+// IDs, edges, predecessors and the overflow point are assigned in exactly
+// the order the serial engine would assign them, for any worker count — the
+// parallel graph is not merely isomorphic to the serial one, it is
+// identical.
 func buildGraphParallel(sys *system.System, roots []system.State, maxStates, workers int) (*Graph, error) {
-	b := newGraphBuilder(sys, maxStates)
-	g := &Graph{
-		sys:    sys,
-		states: make(map[string]system.State),
-		succs:  make(map[string][]Edge),
-		preds:  make(map[string]pred),
-		masks:  make(map[string]uint8),
-	}
-	var frontier []string
-	for _, r := range roots {
-		fp := sys.Fingerprint(r)
-		g.roots = append(g.roots, fp)
-		if inserted, _ := b.tryInsert(fp, r, pred{}, true); inserted {
-			frontier = append(frontier, fp)
-		}
+	g := newGraph(sys)
+	g.internRoots(roots, nil)
+	frontier := make([]StateID, len(g.states))
+	for i := range frontier {
+		frontier[i] = StateID(i)
 	}
 	for len(frontier) > 0 {
 		results := make([]expansion, len(frontier))
-		parallelFor(workers, len(frontier), func(i int) {
-			results[i] = b.expand(frontier[i])
+		parallelForBuf(workers, len(frontier), func(i int, buf []byte) []byte {
+			results[i], buf = expandFrontier(sys, g.tab, g.states[frontier[i]], buf)
+			return buf
 		})
-		var next []string
+		// Level barrier: resolve the level's discoveries in frontier order ×
+		// task order — the serial engine's discovery order.
+		var next []StateID
 		for i := range results {
-			if results[i].err != nil {
-				return nil, results[i].err
+			res := &results[i]
+			if res.err != nil {
+				return nil, res.err
 			}
-			g.succs[frontier[i]] = results[i].edges
-			next = append(next, results[i].fresh...)
+			for _, f := range res.fresh {
+				id, ok := g.tab.Lookup(f.fp)
+				if !ok {
+					if len(g.states) >= maxStates {
+						return nil, fmt.Errorf("%w: > %d states", ErrStateExplosion, maxStates)
+					}
+					e := res.edges[f.edgeIdx]
+					id = g.addState(f.fp, f.st, pred{from: frontier[i], task: e.Task, act: e.Action, has: true})
+					next = append(next, id)
+				}
+				res.edges[f.edgeIdx].To = id
+			}
+			g.succs[frontier[i]] = res.edges
 		}
 		frontier = next
-	}
-	for i := range b.shards {
-		sh := &b.shards[i]
-		for fp, st := range sh.states {
-			g.states[fp] = st
-		}
-		for fp, p := range sh.preds {
-			g.preds[fp] = p
-		}
 	}
 	g.computeMasksParallel(workers)
 	return g, nil
@@ -210,42 +177,23 @@ func buildGraphParallel(sys *system.System, roots []system.State, maxStates, wor
 
 // computeMasksParallel is the parallel counterpart of computeMasks: the same
 // backward fixpoint mask(s) = decided(s) ∪ ⋃_{s→t} mask(t), computed as a
-// chaotic iteration over an indexed adjacency representation. Masks only grow
+// chaotic iteration directly over the slice-backed adjacency. Masks only grow
 // under ∪, so concurrent sweeps converge to the same least fixpoint as the
 // serial iteration; each vertex is written by exactly one worker per sweep
 // and successor masks are read atomically.
 func (g *Graph) computeMasksParallel(workers int) {
 	n := len(g.states)
-	fps := make([]string, 0, n)
-	for fp := range g.states {
-		fps = append(fps, fp)
-	}
-	idx := make(map[string]int32, n)
-	for i, fp := range fps {
-		idx[fp] = int32(i)
-	}
 	masks := make([]uint32, n)
-	adj := make([][]int32, n)
 	parallelFor(workers, n, func(i int) {
-		fp := fps[i]
-		masks[i] = uint32(ownMask(g.sys, g.states[fp]))
-		edges := g.succs[fp]
-		if len(edges) == 0 {
-			return
-		}
-		out := make([]int32, len(edges))
-		for j, e := range edges {
-			out[j] = idx[e.To]
-		}
-		adj[i] = out
+		masks[i] = uint32(ownMask(g.sys, g.states[i]))
 	})
 	for {
 		var changed atomic.Bool
 		parallelFor(workers, n, func(i int) {
 			m := atomic.LoadUint32(&masks[i])
 			next := m
-			for _, j := range adj[i] {
-				next |= atomic.LoadUint32(&masks[j])
+			for _, e := range g.succs[i] {
+				next |= atomic.LoadUint32(&masks[e.To])
 			}
 			if next != m {
 				atomic.StoreUint32(&masks[i], next)
@@ -256,7 +204,8 @@ func (g *Graph) computeMasksParallel(workers int) {
 			break
 		}
 	}
-	for i, fp := range fps {
-		g.masks[fp] = uint8(masks[i])
+	g.masks = make([]uint8, n)
+	for i := range masks {
+		g.masks[i] = uint8(masks[i])
 	}
 }

@@ -66,28 +66,36 @@ func TestBuildGraphDeterministicAcrossWorkers(t *testing.T) {
 					t.Fatalf("root %d differs", i)
 				}
 			}
-			// Same fingerprint set, same valence and same outgoing edges per
-			// vertex. Walking the serial graph covers every vertex (both
-			// graphs have the same size, so the parallel graph has no
-			// extras).
-			for _, fp := range gs.Roots() {
-				walkGraph(t, gs, fp, func(fp string) {
-					if _, ok := gp.State(fp); !ok {
-						t.Fatalf("vertex %.24q... missing from parallel graph", fp)
+			// The two engines must assign identical StateIDs: same
+			// fingerprint, valence, outgoing edges and BFS-tree witness
+			// path per ID — the graphs are identical, not merely
+			// isomorphic.
+			for id := 0; id < gs.Size(); id++ {
+				sid := explore.StateID(id)
+				if fs, fp2 := gs.Fingerprint(sid), gp.Fingerprint(sid); fs != fp2 {
+					t.Fatalf("fingerprint of %d differs: %.24q... vs %.24q...", id, fs, fp2)
+				}
+				if vs, vp := gs.Valence(sid), gp.Valence(sid); vs != vp {
+					t.Fatalf("valence of %d differs: serial %v, parallel %v", id, vs, vp)
+				}
+				es, ep := gs.Succs(sid), gp.Succs(sid)
+				if len(es) != len(ep) {
+					t.Fatalf("edge counts of %d differ: %d vs %d", id, len(es), len(ep))
+				}
+				for i := range es {
+					if es[i] != ep[i] {
+						t.Fatalf("edge %d of %d differs: %+v vs %+v", i, id, es[i], ep[i])
 					}
-					if vs, vp := gs.Valence(fp), gp.Valence(fp); vs != vp {
-						t.Fatalf("valence of %.24q... differs: serial %v, parallel %v", fp, vs, vp)
+				}
+				ws, wp := gs.WitnessPath(sid), gp.WitnessPath(sid)
+				if len(ws) != len(wp) {
+					t.Fatalf("witness paths of %d differ in length: %d vs %d", id, len(ws), len(wp))
+				}
+				for i := range ws {
+					if ws[i] != wp[i] {
+						t.Fatalf("witness edge %d of %d differs: %+v vs %+v", i, id, ws[i], wp[i])
 					}
-					es, ep := gs.Succs(fp), gp.Succs(fp)
-					if len(es) != len(ep) {
-						t.Fatalf("edge counts of %.24q... differ: %d vs %d", fp, len(es), len(ep))
-					}
-					for i := range es {
-						if es[i] != ep[i] {
-							t.Fatalf("edge %d of %.24q... differs: %+v vs %+v", i, fp, es[i], ep[i])
-						}
-					}
-				})
+				}
 			}
 			// The Lemma 4 classification built on top must agree too.
 			if serial.BivalentIndex != parallel.BivalentIndex {
@@ -103,20 +111,19 @@ func TestBuildGraphDeterministicAcrossWorkers(t *testing.T) {
 }
 
 // walkGraph visits every vertex reachable from start once.
-func walkGraph(t *testing.T, g *explore.Graph, start string, visit func(fp string)) {
+func walkGraph(t *testing.T, g *explore.Graph, start explore.StateID, visit func(id explore.StateID)) {
 	t.Helper()
-	seen := map[string]bool{}
-	queue := []string{start}
-	for len(queue) > 0 {
-		fp := queue[0]
-		queue = queue[1:]
-		if seen[fp] {
-			continue
-		}
-		seen[fp] = true
-		visit(fp)
-		for _, e := range g.Succs(fp) {
-			queue = append(queue, e.To)
+	seen := make([]bool, g.Size())
+	queue := []explore.StateID{start}
+	seen[start] = true
+	for head := 0; head < len(queue); head++ {
+		id := queue[head]
+		visit(id)
+		for _, e := range g.Succs(id) {
+			if !seen[e.To] {
+				seen[e.To] = true
+				queue = append(queue, e.To)
+			}
 		}
 	}
 }
@@ -166,15 +173,15 @@ func TestParallelWitnessPathsReplay(t *testing.T) {
 	}
 	g := c.Graph
 	checked := 0
-	walkGraph(t, g, c.Roots[c.BivalentIndex], func(fp string) {
-		path := g.WitnessPath(fp)
+	walkGraph(t, g, c.Roots[c.BivalentIndex], func(id explore.StateID) {
+		path := g.WitnessPath(id)
 		for _, root := range g.Roots() {
-			if replays(g, root, path, fp) {
+			if replays(g, root, path, id) {
 				checked++
 				return
 			}
 		}
-		t.Fatalf("witness path of %.24q... (len %d) replays from no root", fp, len(path))
+		t.Fatalf("witness path of %d (len %d) replays from no root", id, len(path))
 	})
 	if checked < 10 {
 		t.Fatalf("suspiciously few vertices checked: %d", checked)
@@ -182,7 +189,7 @@ func TestParallelWitnessPathsReplay(t *testing.T) {
 }
 
 // replays walks path from start via Succ and reports whether it ends at want.
-func replays(g *explore.Graph, start string, path []explore.Edge, want string) bool {
+func replays(g *explore.Graph, start explore.StateID, path []explore.Edge, want explore.StateID) bool {
 	cur := start
 	for _, e := range path {
 		edge, ok := g.Succ(cur, e.Task)

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"github.com/ioa-lab/boosting/internal/intern"
 	"github.com/ioa-lab/boosting/internal/ioa"
 	"github.com/ioa-lab/boosting/internal/system"
 )
@@ -207,8 +208,8 @@ func Refute(sys *system.System, claimed int, opt RefuteOptions) (*Report, error)
 			return report, nil
 		}
 		if hs.Hook != nil {
-			for _, fp := range []string{hs.Hook.Alpha0, hs.Hook.Alpha1} {
-				if st, ok := inits.Graph.State(fp); ok {
+			for _, id := range []StateID{hs.Hook.Alpha0, hs.Hook.Alpha1} {
+				if st, ok := inits.Graph.State(id); ok {
 					hookStates = append(hookStates, st)
 				}
 			}
@@ -285,14 +286,18 @@ func safetySweep(sys *system.System, inputs map[int]string, opt BuildOptions) (*
 	for _, v := range inputs {
 		validValues[v] = true
 	}
-	// Deterministic iteration order for reproducible witnesses.
-	fps := make([]string, 0, g.Size())
-	for fp := range g.states {
-		fps = append(fps, fp)
+	// Iterate vertices in lexicographic fingerprint order — the historical
+	// witness-selection order, kept so reports stay byte-identical across
+	// the ID refactor.
+	order := make([]StateID, g.Size())
+	for i := range order {
+		order[i] = StateID(i)
 	}
-	sort.Strings(fps)
-	for _, fp := range fps {
-		st := g.states[fp]
+	sort.Slice(order, func(i, j int) bool {
+		return g.Fingerprint(order[i]) < g.Fingerprint(order[j])
+	})
+	for _, id := range order {
+		st := g.states[id]
 		dec := sys.Decisions(st)
 		var values []string
 		for _, v := range dec {
@@ -303,7 +308,7 @@ func safetySweep(sys *system.System, inputs map[int]string, opt BuildOptions) (*
 			if !validValues[v] {
 				return &Certificate{
 					Kind:        KindValidity,
-					Description: fmt.Sprintf("decision %q is not any process's input (reachable in %d steps)", v, len(g.WitnessPath(fp))),
+					Description: fmt.Sprintf("decision %q is not any process's input (reachable in %d steps)", v, len(g.WitnessPath(id))),
 					Inputs:      inputs,
 					Decisions:   dec,
 				}, nil
@@ -312,7 +317,7 @@ func safetySweep(sys *system.System, inputs map[int]string, opt BuildOptions) (*
 		if len(values) > 1 && values[0] != values[len(values)-1] {
 			return &Certificate{
 				Kind:        KindAgreement,
-				Description: fmt.Sprintf("processes decided %v in one failure-free execution (reachable in %d steps)", dec, len(g.WitnessPath(fp))),
+				Description: fmt.Sprintf("processes decided %v in one failure-free execution (reachable in %d steps)", dec, len(g.WitnessPath(id))),
 				Inputs:      inputs,
 				Decisions:   dec,
 			}, nil
@@ -420,18 +425,18 @@ func RoundRobinFrom(sys *system.System, st system.State, inputs map[int]string, 
 	}
 	var exec ioa.Execution
 	res := RunResult{}
-	seen := map[string]bool{}
+	seen := intern.NewTable(64)
+	var buf []byte
 	for round := 0; round < maxRounds; round++ {
 		if terminated(sys, st, inputs) {
 			res.Done = true
 			break
 		}
-		fp := sys.Fingerprint(st)
-		if seen[fp] {
+		buf = sys.AppendFingerprint(buf[:0], st)
+		if _, fresh := seen.InternBytes(buf); !fresh {
 			res.Diverged = true
 			break
 		}
-		seen[fp] = true
 		for _, task := range sys.Tasks() {
 			if !sys.Applicable(st, task) {
 				continue

@@ -13,6 +13,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"github.com/ioa-lab/boosting/internal/intern"
 	"github.com/ioa-lab/boosting/internal/ioa"
 	"github.com/ioa-lab/boosting/internal/system"
 )
@@ -96,7 +97,8 @@ func RoundRobin(sys *system.System, cfg RunConfig) (RunResult, error) {
 		sort.Ints(procs)
 	}
 
-	seen := map[string]bool{}
+	seen := intern.NewTable(64)
+	var buf []byte
 	res := RunResult{}
 	for round := 0; round < maxRounds; round++ {
 		for _, p := range failuresByRound[round] {
@@ -114,12 +116,11 @@ func RoundRobin(sys *system.System, cfg RunConfig) (RunResult, error) {
 		// Divergence detection is only sound once all failures are injected
 		// (the schedule is deterministic from here on).
 		if round >= maxFailureRound(failuresByRound) {
-			fp := sys.Fingerprint(st)
-			if seen[fp] {
+			buf = sys.AppendFingerprint(buf[:0], st)
+			if _, fresh := seen.InternBytes(buf); !fresh {
 				res.Diverged = true
 				break
 			}
-			seen[fp] = true
 		}
 		for _, task := range sys.Tasks() {
 			if !sys.Applicable(st, task) {

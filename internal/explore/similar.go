@@ -1,6 +1,8 @@
 package explore
 
 import (
+	"bytes"
+
 	"github.com/ioa-lab/boosting/internal/ioa"
 	"github.com/ioa-lab/boosting/internal/servicetype"
 	"github.com/ioa-lab/boosting/internal/system"
@@ -22,7 +24,7 @@ func JSimilar(sys *system.System, s0, s1 system.State, j int, opt SimilarityOpti
 		if i == j {
 			continue
 		}
-		if s0.Procs[i].Fingerprint() != s1.Procs[i].Fingerprint() {
+		if sys.ProcState(s0, i).Fingerprint() != sys.ProcState(s1, i).Fingerprint() {
 			return false
 		}
 	}
@@ -31,7 +33,7 @@ func JSimilar(sys *system.System, s0, s1 system.State, j int, opt SimilarityOpti
 		if opt.IgnoreGeneralServices && sv.Type().Class == servicetype.General {
 			continue
 		}
-		st0, st1 := s0.Svcs[c], s1.Svcs[c]
+		st0, st1 := sys.SvcState(s0, c), sys.SvcState(s1, c)
 		if st0.Val != st1.Val {
 			return false
 		}
@@ -53,7 +55,7 @@ func JSimilar(sys *system.System, s0, s1 system.State, j int, opt SimilarityOpti
 // unconstrained.
 func KSimilar(sys *system.System, s0, s1 system.State, k string, opt SimilarityOptions) bool {
 	for _, i := range sys.ProcessIDs() {
-		if s0.Procs[i].Fingerprint() != s1.Procs[i].Fingerprint() {
+		if sys.ProcState(s0, i).Fingerprint() != sys.ProcState(s1, i).Fingerprint() {
 			return false
 		}
 	}
@@ -65,7 +67,7 @@ func KSimilar(sys *system.System, s0, s1 system.State, k string, opt SimilarityO
 		if opt.IgnoreGeneralServices && sv.Type().Class == servicetype.General {
 			continue
 		}
-		if s0.Svcs[c].Fingerprint() != s1.Svcs[c].Fingerprint() {
+		if sys.SvcState(s0, c).Fingerprint() != sys.SvcState(s1, c).Fingerprint() {
 			return false
 		}
 	}
@@ -115,7 +117,9 @@ func TasksCommute(sys *system.System, st system.State, e, ePrime ioa.Task) bool 
 	if err4 != nil {
 		return false
 	}
-	return sys.Fingerprint(a2) == sys.Fingerprint(b2)
+	fa := sys.AppendFingerprint(nil, a2)
+	fb := sys.AppendFingerprint(nil, b2)
+	return bytes.Equal(fa, fb)
 }
 
 // ParticipantsDisjoint reports whether the participant sets of the actions

@@ -46,15 +46,17 @@ func TestWitnessPathReplaysToVertex(t *testing.T) {
 	}
 	g := c.Graph
 	// Pick some non-root vertex and replay its witness path from its root.
-	var target string
+	var target explore.StateID
+	found := false
 	for _, root := range c.Roots {
 		for _, e := range g.Succs(root) {
 			for _, e2 := range g.Succs(e.To) {
 				target = e2.To
+				found = true
 			}
 		}
 	}
-	if target == "" {
+	if !found {
 		t.Fatal("no deep vertex found")
 	}
 	path := g.WitnessPath(target)
@@ -77,7 +79,7 @@ func TestWitnessPathReplaysToVertex(t *testing.T) {
 			}
 			cur = next
 		}
-		if ok && sys.Fingerprint(cur) == target {
+		if ok && sys.Fingerprint(cur) == g.Fingerprint(target) {
 			replayed = true
 			break
 		}

@@ -1,0 +1,76 @@
+package intern
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestInternAssignsDenseIDs(t *testing.T) {
+	tab := NewTable(4)
+	keys := []string{"alpha", "beta", "gamma"}
+	for i, k := range keys {
+		id, fresh := tab.Intern(k)
+		if !fresh || id != StateID(i) {
+			t.Fatalf("Intern(%q) = %d, fresh=%v; want %d, true", k, id, fresh, i)
+		}
+	}
+	if tab.Len() != len(keys) {
+		t.Fatalf("Len = %d, want %d", tab.Len(), len(keys))
+	}
+	// Re-interning returns the original IDs without growth.
+	for i, k := range keys {
+		id, fresh := tab.Intern(k)
+		if fresh || id != StateID(i) {
+			t.Fatalf("re-Intern(%q) = %d, fresh=%v", k, id, fresh)
+		}
+	}
+	for i, k := range keys {
+		if got := tab.Key(StateID(i)); got != k {
+			t.Fatalf("Key(%d) = %q, want %q", i, got, k)
+		}
+		id, ok := tab.Lookup(k)
+		if !ok || id != StateID(i) {
+			t.Fatalf("Lookup(%q) = %d, %v", k, id, ok)
+		}
+	}
+	if _, ok := tab.Lookup("missing"); ok {
+		t.Fatal("Lookup of a never-interned key succeeded")
+	}
+}
+
+func TestInternBytesMatchesString(t *testing.T) {
+	tab := NewTable(0)
+	id1, fresh := tab.InternBytes([]byte("state-1"))
+	if !fresh || id1 != 0 {
+		t.Fatalf("InternBytes: %d, %v", id1, fresh)
+	}
+	if id, ok := tab.LookupBytes([]byte("state-1")); !ok || id != id1 {
+		t.Fatalf("LookupBytes: %d, %v", id, ok)
+	}
+	if id, fresh := tab.Intern("state-1"); fresh || id != id1 {
+		t.Fatalf("Intern after InternBytes: %d, %v", id, fresh)
+	}
+	// The stored key must be an owned copy, immune to buffer reuse.
+	buf := []byte("state-2")
+	id2, _ := tab.InternBytes(buf)
+	copy(buf, "CLOBBER")
+	if got := tab.Key(id2); got != "state-2" {
+		t.Fatalf("Key(%d) = %q after clobbering the input buffer", id2, got)
+	}
+}
+
+func TestLookupBytesDoesNotAllocate(t *testing.T) {
+	tab := NewTable(1024)
+	for i := 0; i < 1024; i++ {
+		tab.Intern("key-" + strconv.Itoa(i))
+	}
+	probe := []byte("key-512")
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, ok := tab.LookupBytes(probe); !ok {
+			t.Fatal("probe missing")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("LookupBytes allocated %.1f times per run", allocs)
+	}
+}

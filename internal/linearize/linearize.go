@@ -63,8 +63,10 @@ type History struct {
 // Extract projects the history of one service out of an execution.
 func Extract(exec ioa.Execution, service string) History {
 	h := History{Service: service}
-	// Pending invocation op-indices per endpoint, FIFO.
+	// Pending invocation op-indices per endpoint: a FIFO advanced by a head
+	// index, so dequeuing never re-slices the backing array.
 	pending := map[int][]int{}
+	heads := map[int]int{}
 	for idx, step := range exec.Steps {
 		a := step.Action
 		if a.Service != service {
@@ -75,12 +77,12 @@ func Extract(exec ioa.Execution, service string) History {
 			h.Ops = append(h.Ops, Op{Proc: a.Proc, Inv: a.Payload, InvAt: idx})
 			pending[a.Proc] = append(pending[a.Proc], len(h.Ops)-1)
 		case ioa.ActRespond:
-			queue := pending[a.Proc]
-			if len(queue) == 0 {
+			queue, head := pending[a.Proc], heads[a.Proc]
+			if head >= len(queue) {
 				continue // response with no matching invocation: ignore
 			}
-			opIdx := queue[0]
-			pending[a.Proc] = queue[1:]
+			opIdx := queue[head]
+			heads[a.Proc] = head + 1
 			h.Ops[opIdx].Resp = a.Payload
 			h.Ops[opIdx].HasResp = true
 			h.Ops[opIdx].RespAt = idx

@@ -46,8 +46,13 @@ type Outgoing struct {
 	Payload string // invocation string, or decide value
 }
 
-func (o Outgoing) fingerprint() string {
-	return codec.List([]string{strconv.Itoa(int(o.Kind)), o.Service, o.Payload})
+func (o Outgoing) appendFingerprint(dst []byte) []byte {
+	// Same bytes as codec.List([Itoa(Kind), Service, Payload]).
+	dst = append(dst, '[')
+	dst = codec.AppendInt(dst, int(o.Kind))
+	dst = codec.AppendAtom(dst, o.Service)
+	dst = codec.AppendAtom(dst, o.Payload)
+	return append(dst, ']')
 }
 
 // State is a process automaton state: the program's named variables, the
@@ -68,26 +73,54 @@ type State struct {
 
 // Fingerprint returns the canonical encoding of the state.
 func (st State) Fingerprint() string {
-	outbox := make([]string, len(st.Outbox))
-	for i, o := range st.Outbox {
-		outbox[i] = o.fingerprint()
-	}
-	flags := ""
+	return string(st.AppendFingerprint(nil))
+}
+
+// flagStrings indexes the canonical flag encoding by the bit combination
+// HasDec | DecideQueued<<1 | Failed<<2, so flag rendering never allocates.
+var flagStrings = [8]string{"", "d", "q", "dq", "f", "df", "qf", "dqf"}
+
+func (st State) flags() string {
+	i := 0
 	if st.HasDec {
-		flags += "d"
+		i |= 1
 	}
 	if st.DecideQueued {
-		flags += "q"
+		i |= 2
 	}
 	if st.Failed {
-		flags += "f"
+		i |= 4
 	}
-	return codec.List([]string{
-		codec.Map(st.Vars),
-		codec.List(outbox),
-		codec.Atom(st.Decided),
-		codec.Atom(flags),
+	return flagStrings[i]
+}
+
+// AppendFingerprint appends the canonical encoding of the state to dst,
+// byte-identical to Fingerprint. It is the hot-path form: exploration
+// engines reuse one buffer across states and intern the result, so encoding
+// a state allocates nothing beyond the variable-map key sort.
+func (st State) AppendFingerprint(dst []byte) []byte {
+	dst = append(dst, '[')
+	dst = codec.AppendWrapped(dst, func(d []byte) []byte {
+		return codec.AppendMap(d, st.Vars)
 	})
+	dst = codec.AppendWrapped(dst, st.appendOutbox)
+	// The decision and flag atoms are encoded and then list-wrapped again,
+	// matching codec.List over pre-encoded atom items.
+	dst = codec.AppendWrapped(dst, func(d []byte) []byte {
+		return codec.AppendAtom(d, st.Decided)
+	})
+	dst = codec.AppendWrapped(dst, func(d []byte) []byte {
+		return codec.AppendAtom(d, st.flags())
+	})
+	return append(dst, ']')
+}
+
+func (st State) appendOutbox(dst []byte) []byte {
+	dst = append(dst, '[')
+	for _, o := range st.Outbox {
+		dst = codec.AppendWrapped(dst, o.appendFingerprint)
+	}
+	return append(dst, ']')
 }
 
 // Get returns the value of a variable ("" if unset).

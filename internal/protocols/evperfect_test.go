@@ -59,10 +59,10 @@ func TestEventuallyPerfectFDStabilizesInSystem(t *testing.T) {
 	}
 	want := codec.NewIntSet(2)
 	for _, i := range []int{0, 1} {
-		if res.Final.Procs[i].Get("sawAnything") != "1" {
+		if sys.ProcState(res.Final, i).Get("sawAnything") != "1" {
 			t.Fatalf("P%d received no reports", i)
 		}
-		got, perr := codec.ParseIntSet(res.Final.Procs[i].Get("latest"))
+		got, perr := codec.ParseIntSet(sys.ProcState(res.Final, i).Get("latest"))
 		if perr != nil {
 			t.Fatal(perr)
 		}

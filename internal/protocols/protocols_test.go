@@ -208,7 +208,7 @@ func TestSuspectCollectorAccuracyAndCompleteness(t *testing.T) {
 	}
 	want := codec.NewIntSet(J...)
 	for _, i := range []int{0, 2} {
-		got, perr := codec.ParseIntSet(res.Final.Procs[i].Get(protocols.VarSuspects))
+		got, perr := codec.ParseIntSet(sys.ProcState(res.Final, i).Get(protocols.VarSuspects))
 		if perr != nil {
 			t.Fatalf("P%d suspects: %v", i, perr)
 		}

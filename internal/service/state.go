@@ -36,23 +36,64 @@ func (s *Service) InitialState() State {
 
 // Fingerprint returns the canonical encoding of the state.
 func (st State) Fingerprint() string {
-	return codec.List([]string{
-		codec.Atom(st.Val),
-		fingerprintBuffers(st.Inv),
-		fingerprintBuffers(st.Resp),
-		st.Failed.Fingerprint(),
-	})
+	return string(st.AppendFingerprint(nil))
 }
 
-func fingerprintBuffers(buf map[int][]string) string {
-	m := make(map[string]string, len(buf))
+// AppendFingerprint appends the canonical encoding of the state to dst,
+// byte-identical to Fingerprint. Exploration engines reuse one buffer across
+// states, so the hot-path cost is the encoding itself, not allocation.
+func (st State) AppendFingerprint(dst []byte) []byte {
+	dst = append(dst, '[')
+	dst = codec.AppendWrapped(dst, func(d []byte) []byte {
+		return codec.AppendAtom(d, st.Val)
+	})
+	dst = codec.AppendWrapped(dst, func(d []byte) []byte {
+		return appendBuffers(d, st.Inv)
+	})
+	dst = codec.AppendWrapped(dst, func(d []byte) []byte {
+		return appendBuffers(d, st.Resp)
+	})
+	dst = codec.AppendWrapped(dst, st.Failed.AppendFingerprint)
+	return append(dst, ']')
+}
+
+// appendBuffers appends the canonical map encoding of the non-empty buffers:
+// entries keyed by the endpoint's decimal string, ordered lexicographically
+// (the order codec.Map imposes), each value the list encoding of the queue.
+func appendBuffers(dst []byte, buf map[int][]string) []byte {
+	var scratch [16]int
+	ids := scratch[:0]
 	for i, items := range buf {
 		if len(items) == 0 {
 			continue
 		}
-		m[strconv.Itoa(i)] = codec.List(items)
+		ids = append(ids, i)
 	}
-	return codec.Map(m)
+	// Insertion sort in decimal-string order; endpoint counts are tiny.
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && decimalLess(ids[j], ids[j-1]); j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	dst = append(dst, '<')
+	for _, i := range ids {
+		items := buf[i]
+		dst = append(dst, '(')
+		dst = codec.AppendInt(dst, i)
+		dst = codec.AppendWrapped(dst, func(d []byte) []byte {
+			return codec.AppendList(d, items)
+		})
+		dst = append(dst, ')')
+	}
+	return append(dst, '>')
+}
+
+// decimalLess orders integers by their decimal encodings ("10" < "2").
+func decimalLess(a, b int) bool {
+	var ba, bb [24]byte
+	sa := strconv.AppendInt(ba[:0], int64(a), 10)
+	sb := strconv.AppendInt(bb[:0], int64(b), 10)
+	return string(sa) < string(sb)
 }
 
 // shallowWith returns a copy of the state with the given buffer map entry

@@ -19,7 +19,6 @@ import (
 	"errors"
 	"fmt"
 	"sort"
-	"strings"
 
 	"github.com/ioa-lab/boosting/internal/codec"
 	"github.com/ioa-lab/boosting/internal/ioa"
@@ -38,11 +37,17 @@ var (
 
 // System is the (immutable) structure of a complete system C: its processes
 // and services and the derived task list. All mutable data lives in State.
+//
+// Component order is fixed at composition: processes in ascending id order,
+// services in sorted index order. States store one component state per slot
+// of that order, and procIdx/svcIdx translate external ids to slots.
 type System struct {
 	procs   map[int]*process.Process
 	procIDs []int
+	procIdx map[int]int
 	svcs    map[string]*service.Service
 	svcIDs  []string
+	svcIdx  map[string]int
 	tasks   []ioa.Task
 }
 
@@ -74,6 +79,14 @@ func New(procs []*process.Process, svcs []*service.Service) (*System, error) {
 		s.svcIDs = append(s.svcIDs, sv.Index())
 	}
 	sort.Strings(s.svcIDs)
+	s.procIdx = make(map[int]int, len(s.procIDs))
+	for i, id := range s.procIDs {
+		s.procIdx[id] = i
+	}
+	s.svcIdx = make(map[string]int, len(s.svcIDs))
+	for i, k := range s.svcIDs {
+		s.svcIdx[k] = i
+	}
 
 	// Fixed task enumeration: process tasks in id order, then service tasks
 	// in index order. This is the round-robin order used by the Fig. 3 hook
@@ -106,58 +119,89 @@ func (s *System) Process(i int) *process.Process { return s.procs[i] }
 func (s *System) Tasks() []ioa.Task { return s.tasks }
 
 // State is a state of the composed system: one component state per process
-// and per service.
+// and per service, index-addressed over the system's fixed component order
+// (processes by ascending id, services by sorted index). The flat layout
+// keeps states a pair of slice headers — cheap to snapshot during
+// exploration — and lets fingerprinting walk components without map lookups.
+// States are immutable by convention: transitions return fresh states whose
+// slices are copied, while untouched component states are shared.
 type State struct {
-	Procs map[int]process.State
-	Svcs  map[string]service.State
+	procs []process.State
+	svcs  []service.State
 }
 
 // InitialState returns the start state of C.
 func (s *System) InitialState() State {
 	st := State{
-		Procs: make(map[int]process.State, len(s.procs)),
-		Svcs:  make(map[string]service.State, len(s.svcs)),
+		procs: make([]process.State, len(s.procIDs)),
+		svcs:  make([]service.State, len(s.svcIDs)),
 	}
-	for id, p := range s.procs {
-		st.Procs[id] = p.InitialState()
+	for i, id := range s.procIDs {
+		st.procs[i] = s.procs[id].InitialState()
 	}
-	for k, sv := range s.svcs {
-		st.Svcs[k] = sv.InitialState()
+	for i, k := range s.svcIDs {
+		st.svcs[i] = s.svcs[k].InitialState()
 	}
 	return st
+}
+
+// ProcState returns the component state of process id, or the zero state if
+// id is not a process of the system (mirroring map indexing on the old
+// map-keyed layout).
+func (s *System) ProcState(st State, id int) process.State {
+	idx, ok := s.procIdx[id]
+	if !ok {
+		return process.State{}
+	}
+	return st.procs[idx]
+}
+
+// SvcState returns the component state of service k, or the zero state if k
+// is not a service of the system.
+func (s *System) SvcState(st State, k string) service.State {
+	idx, ok := s.svcIdx[k]
+	if !ok {
+		return service.State{}
+	}
+	return st.svcs[idx]
 }
 
 // Fingerprint returns the canonical encoding of the system state, composed
 // from the component fingerprints in fixed component order.
 func (s *System) Fingerprint(st State) string {
-	var b strings.Builder
-	for _, id := range s.procIDs {
-		b.WriteString(st.Procs[id].Fingerprint())
+	return string(s.AppendFingerprint(nil, st))
+}
+
+// AppendFingerprint appends the canonical encoding of st to dst and returns
+// the extended buffer — byte-identical to Fingerprint. This is the hot path
+// of graph exploration: callers reuse one buffer per goroutine
+// (buf = sys.AppendFingerprint(buf[:0], st)) and intern the bytes, so
+// fingerprinting a state costs no allocation beyond map-key sorting inside
+// component encodings.
+func (s *System) AppendFingerprint(dst []byte, st State) []byte {
+	for i := range st.procs {
+		dst = st.procs[i].AppendFingerprint(dst)
 	}
-	for _, k := range s.svcIDs {
-		b.WriteString(st.Svcs[k].Fingerprint())
+	for i := range st.svcs {
+		dst = st.svcs[i].AppendFingerprint(dst)
 	}
-	return b.String()
+	return dst
 }
 
 // withProc returns st with process i's state replaced (copy-on-write).
-func (st State) withProc(i int, ps process.State) State {
-	procs := make(map[int]process.State, len(st.Procs))
-	for k, v := range st.Procs {
-		procs[k] = v
-	}
-	procs[i] = ps
-	return State{Procs: procs, Svcs: st.Svcs}
+func (s *System) withProc(st State, i int, ps process.State) State {
+	procs := make([]process.State, len(st.procs))
+	copy(procs, st.procs)
+	procs[s.procIdx[i]] = ps
+	return State{procs: procs, svcs: st.svcs}
 }
 
 // withSvc returns st with service k's state replaced.
-func (st State) withSvc(k string, ss service.State) State {
-	svcs := make(map[string]service.State, len(st.Svcs))
-	for k2, v := range st.Svcs {
-		svcs[k2] = v
-	}
-	svcs[k] = ss
-	return State{Procs: st.Procs, Svcs: svcs}
+func (s *System) withSvc(st State, k string, ss service.State) State {
+	svcs := make([]service.State, len(st.svcs))
+	copy(svcs, st.svcs)
+	svcs[s.svcIdx[k]] = ss
+	return State{procs: st.procs, svcs: svcs}
 }
 
 // Init delivers the external input init(v)_i.
@@ -166,7 +210,7 @@ func (s *System) Init(st State, i int, v string) (State, ioa.Action, error) {
 	if !ok {
 		return st, ioa.Action{}, fmt.Errorf("%w: %d", ErrUnknownProcess, i)
 	}
-	next := st.withProc(i, p.OnInit(st.Procs[i], v))
+	next := s.withProc(st, i, p.OnInit(s.ProcState(st, i), v))
 	return next, ioa.Action{Type: ioa.ActInit, Proc: i, Payload: v}, nil
 }
 
@@ -177,17 +221,15 @@ func (s *System) Fail(st State, i int) (State, ioa.Action, error) {
 	if !ok {
 		return st, ioa.Action{}, fmt.Errorf("%w: %d", ErrUnknownProcess, i)
 	}
-	next := st.withProc(i, p.Fail(st.Procs[i]))
-	svcs := make(map[string]service.State, len(next.Svcs))
-	for k, v := range next.Svcs {
-		svcs[k] = v
-	}
-	for k, sv := range s.svcs {
-		if sv.HasEndpoint(i) {
-			svcs[k] = sv.Fail(svcs[k], i)
+	next := s.withProc(st, i, p.Fail(s.ProcState(st, i)))
+	svcs := make([]service.State, len(next.svcs))
+	copy(svcs, next.svcs)
+	for idx, k := range s.svcIDs {
+		if sv := s.svcs[k]; sv.HasEndpoint(i) {
+			svcs[idx] = sv.Fail(svcs[idx], i)
 		}
 	}
-	next = State{Procs: next.Procs, Svcs: svcs}
+	next = State{procs: next.procs, svcs: svcs}
 	return next, ioa.Action{Type: ioa.ActFail, Proc: i}, nil
 }
 
@@ -201,13 +243,13 @@ func (s *System) Enabled(st State, task ioa.Task) (ioa.Action, bool) {
 			return ioa.Action{}, false
 		}
 		// The process task is always applicable (dummy step at worst).
-		return p.Enabled(st.Procs[task.Proc]), true
+		return p.Enabled(s.ProcState(st, task.Proc)), true
 	case ioa.TaskPerform, ioa.TaskOutput, ioa.TaskCompute:
 		sv, ok := s.svcs[task.Service]
 		if !ok {
 			return ioa.Action{}, false
 		}
-		return sv.Enabled(st.Svcs[task.Service], task)
+		return sv.Enabled(s.SvcState(st, task.Service), task)
 	default:
 		return ioa.Action{}, false
 	}
@@ -231,11 +273,11 @@ func (s *System) Apply(st State, task ioa.Task) (State, ioa.Action, error) {
 		if !ok {
 			return st, ioa.Action{}, fmt.Errorf("%w: %s", ErrUnknownService, task.Service)
 		}
-		ss, act, err := sv.Apply(st.Svcs[task.Service], task)
+		ss, act, err := sv.Apply(s.SvcState(st, task.Service), task)
 		if err != nil {
 			return st, ioa.Action{}, err
 		}
-		return st.withSvc(task.Service, ss), act, nil
+		return s.withSvc(st, task.Service, ss), act, nil
 	case ioa.TaskOutput:
 		return s.applyOutput(st, task)
 	default:
@@ -250,18 +292,18 @@ func (s *System) applyProcess(st State, task ioa.Task) (State, ioa.Action, error
 	if !ok {
 		return st, ioa.Action{}, fmt.Errorf("%w: %d", ErrUnknownProcess, task.Proc)
 	}
-	ps, act := p.Step(st.Procs[task.Proc])
-	next := st.withProc(task.Proc, ps)
+	ps, act := p.Step(s.ProcState(st, task.Proc))
+	next := s.withProc(st, task.Proc, ps)
 	if act.Type == ioa.ActInvoke {
 		sv, ok := s.svcs[act.Service]
 		if !ok {
 			return st, ioa.Action{}, fmt.Errorf("%w: %s (invoked by P%d)", ErrUnknownService, act.Service, task.Proc)
 		}
-		ss, err := sv.Invoke(next.Svcs[act.Service], task.Proc, act.Payload)
+		ss, err := sv.Invoke(s.SvcState(next, act.Service), task.Proc, act.Payload)
 		if err != nil {
 			return st, ioa.Action{}, fmt.Errorf("P%d invoking %s: %w", task.Proc, act.Service, err)
 		}
-		next = next.withSvc(act.Service, ss)
+		next = s.withSvc(next, act.Service, ss)
 	}
 	return next, act, nil
 }
@@ -274,17 +316,17 @@ func (s *System) applyOutput(st State, task ioa.Task) (State, ioa.Action, error)
 	if !ok {
 		return st, ioa.Action{}, fmt.Errorf("%w: %s", ErrUnknownService, task.Service)
 	}
-	ss, act, err := sv.Apply(st.Svcs[task.Service], task)
+	ss, act, err := sv.Apply(s.SvcState(st, task.Service), task)
 	if err != nil {
 		return st, ioa.Action{}, err
 	}
-	next := st.withSvc(task.Service, ss)
+	next := s.withSvc(st, task.Service, ss)
 	if act.Type == ioa.ActRespond {
 		p, ok := s.procs[act.Proc]
 		if !ok {
 			return st, ioa.Action{}, fmt.Errorf("%w: %d", ErrUnknownProcess, act.Proc)
 		}
-		next = next.withProc(act.Proc, p.OnResponse(next.Procs[act.Proc], task.Service, act.Payload))
+		next = s.withProc(next, act.Proc, p.OnResponse(s.ProcState(next, act.Proc), task.Service, act.Payload))
 	}
 	return next, act, nil
 }
@@ -318,8 +360,8 @@ func procName(i int) string { return fmt.Sprintf("P%d", i) }
 // one, keyed by process id.
 func (s *System) Decisions(st State) map[int]string {
 	out := map[int]string{}
-	for _, id := range s.procIDs {
-		if ps := st.Procs[id]; ps.HasDec {
+	for i, id := range s.procIDs {
+		if ps := st.procs[i]; ps.HasDec {
 			out[id] = ps.Decided
 		}
 	}
@@ -329,8 +371,8 @@ func (s *System) Decisions(st State) map[int]string {
 // FailedProcesses returns the ids of failed processes, ascending.
 func (s *System) FailedProcesses(st State) []int {
 	var out []int
-	for _, id := range s.procIDs {
-		if st.Procs[id].Failed {
+	for i, id := range s.procIDs {
+		if st.procs[i].Failed {
 			out = append(out, id)
 		}
 	}
@@ -340,8 +382,8 @@ func (s *System) FailedProcesses(st State) []int {
 // LiveProcesses returns the ids of non-failed processes, ascending.
 func (s *System) LiveProcesses(st State) []int {
 	out := make([]int, 0, len(s.procIDs))
-	for _, id := range s.procIDs {
-		if !st.Procs[id].Failed {
+	for i, id := range s.procIDs {
+		if !st.procs[i].Failed {
 			out = append(out, id)
 		}
 	}

@@ -136,7 +136,7 @@ func TestInvokeDeliveredToService(t *testing.T) {
 	if act.Type != ioa.ActInvoke || act.Service != "k0" {
 		t.Fatalf("action: %v", act)
 	}
-	if got := st2.Svcs["k0"].PendingInvocations(0); len(got) != 1 || got[0] != seqtype.Init("1") {
+	if got := sys.SvcState(st2, "k0").PendingInvocations(0); len(got) != 1 || got[0] != seqtype.Init("1") {
 		t.Errorf("service inv-buffer: %v", got)
 	}
 }
@@ -152,8 +152,8 @@ func TestResponseDeliveredToProcess(t *testing.T) {
 		t.Fatalf("respond: %v %v", act, err)
 	}
 	// The process reacted by queueing decide (recorded only at emission).
-	if !st.Procs[0].DecideQueued || st.Procs[0].HasDec {
-		t.Fatalf("process state after response: %+v", st.Procs[0])
+	if ps := sys.ProcState(st, 0); !ps.DecideQueued || ps.HasDec {
+		t.Fatalf("process state after response: %+v", ps)
 	}
 	st, act, err = sys.Apply(st, ioa.ProcessTask(0))
 	if err != nil || act.Type != ioa.ActDecide || act.Payload != "1" {
@@ -171,11 +171,11 @@ func TestFailPropagatesToServices(t *testing.T) {
 	if err != nil || act.Type != ioa.ActFail {
 		t.Fatal(err)
 	}
-	if !st.Procs[1].Failed {
+	if !sys.ProcState(st, 1).Failed {
 		t.Error("process not failed")
 	}
 	for _, k := range sys.ServiceIDs() {
-		if !st.Svcs[k].Failed.Has(1) {
+		if !sys.SvcState(st, k).Failed.Has(1) {
 			t.Errorf("service %s did not record failure", k)
 		}
 	}
