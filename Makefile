@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-allocs lint vet fmt-check fmt
+.PHONY: all build test race bench bench-allocs lint vet fmt-check fmt vuln apidiff-baseline apidiff
 
 all: build lint test
 
@@ -22,12 +22,13 @@ bench:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' ./...
 
 # Allocation accounting for the exploration stack: the E22–E24 engine
-# comparisons plus the E25 fingerprint-encoder comparison, with -benchmem.
-# B/op and allocs/op are stable at low iteration counts, so a short fixed
-# benchtime keeps this cheap enough to run per-PR; CI uploads the output as
-# an artifact (bench-allocs.txt) to make allocation regressions visible.
+# comparisons, the E25 fingerprint-encoder comparison and the E26 state
+# store comparison (dense vs hash compaction), with -benchmem. B/op and
+# allocs/op are stable at low iteration counts, so a short fixed benchtime
+# keeps this cheap enough to run per-PR; CI uploads the output as an
+# artifact (bench-allocs.txt) to make allocation regressions visible.
 bench-allocs:
-	@$(GO) test -bench 'BenchmarkBuildGraphWorkers|BenchmarkRefuteWorkers|BenchmarkRunBatchWorkers|BenchmarkFingerprint' \
+	@$(GO) test -bench 'BenchmarkBuildGraphWorkers|BenchmarkRefuteWorkers|BenchmarkRunBatchWorkers|BenchmarkFingerprint|BenchmarkStoreBackends' \
 		-benchmem -benchtime=2x -run '^$$' . > bench-allocs.txt; \
 		status=$$?; cat bench-allocs.txt; exit $$status
 
@@ -43,3 +44,28 @@ fmt-check:
 
 fmt:
 	gofmt -w .
+
+# Known-vulnerability scan over the module and its (std-only) dependency
+# graph. Requires network to fetch the tool + vuln DB, so it runs in CI;
+# locally it degrades to a skip message ONLY when the tool itself cannot be
+# fetched — a scan that runs and finds vulnerabilities fails the target.
+vuln:
+	@if $(GO) run golang.org/x/vuln/cmd/govulncheck@latest -version >/dev/null 2>&1; then \
+		$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...; \
+	else \
+		echo "govulncheck unavailable (offline?) — skipped"; \
+	fi
+
+# API-compatibility gate for the public boosting package: snapshot the
+# baseline export data (apidiff-baseline, run on the base revision), then
+# diff the working tree against it. Any incompatible change fails.
+APIDIFF = $(GO) run golang.org/x/exp/cmd/apidiff@latest
+
+apidiff-baseline:
+	$(APIDIFF) -w boosting.baseline.export github.com/ioa-lab/boosting
+
+apidiff:
+	@out="$$($(APIDIFF) -incompatible boosting.baseline.export github.com/ioa-lab/boosting)"; \
+	if [ -n "$$out" ]; then \
+		echo "incompatible API changes in package boosting:"; echo "$$out"; exit 1; \
+	else echo "boosting API compatible with baseline"; fi

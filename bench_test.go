@@ -10,6 +10,7 @@ import (
 	"runtime"
 	"testing"
 
+	"github.com/ioa-lab/boosting"
 	"github.com/ioa-lab/boosting/internal/check"
 	"github.com/ioa-lab/boosting/internal/codec"
 	"github.com/ioa-lab/boosting/internal/explore"
@@ -552,5 +553,55 @@ func BenchmarkFairnessAudit(b *testing.B) {
 		if err := explore.AuditFairness(sys, res.Exec, 0); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkStoreBackends (E26) compares the StateStore backends on the
+// forward n=4 exhaustive build (2486-vertex G(C)): the dense interned-string
+// store against 64- and 128-bit hash compaction. The timed loop measures
+// build time and per-build allocation churn (-benchmem); retainedB/state is
+// the live heap the finished graph keeps per vertex — the metric hash
+// compaction exists to shrink (no interned canonical strings).
+func BenchmarkStoreBackends(b *testing.B) {
+	backends := []struct {
+		name  string
+		store boosting.Store
+	}{
+		{"dense", boosting.DenseStore},
+		{"hash64", boosting.HashStore64},
+		{"hash128", boosting.HashStore128},
+	}
+	for _, sc := range backends {
+		b.Run(sc.name, func(b *testing.B) {
+			chk, err := boosting.New("forward", 4, 0,
+				boosting.WithWorkers(1), boosting.WithStore(sc.store))
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Retained-memory probe: live heap before vs after one build,
+			// with the graph kept alive across the second reading.
+			runtime.GC()
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			probe, err := chk.ClassifyInits()
+			if err != nil {
+				b.Fatal(err)
+			}
+			runtime.GC()
+			runtime.ReadMemStats(&after)
+			retained := float64(after.HeapAlloc) - float64(before.HeapAlloc)
+			states := probe.Graph.Size()
+			runtime.KeepAlive(probe)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c, err := chk.ClassifyInits()
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(c.Graph.Size()), "states")
+			}
+			b.ReportMetric(retained/float64(states), "retainedB/state")
+		})
 	}
 }

@@ -1,0 +1,99 @@
+package boosting
+
+import (
+	"github.com/ioa-lab/boosting/internal/explore"
+)
+
+// Checker is the façade over the paper's pipeline on one candidate system:
+// build the failure-free execution graph G(C) (Section 3.3), classify
+// initializations by valence (Lemma 4), run the Fig. 3 hook construction
+// (Lemma 5), and refute boosting claims by extracting concrete
+// counterexample executions (Theorems 2, 9 and 10). A Checker is cheap; it
+// holds the immutable system and the resolved options, and every method is
+// safe for concurrent use.
+type Checker struct {
+	sys       *System
+	cfg       config
+	skipGraph bool
+}
+
+// System returns the composed system under analysis.
+func (c *Checker) System() *System { return c.sys }
+
+// Explore builds (a finite fragment of) G(C) from the initialization given
+// by inputs: the failure-free closure of the initialized state under all
+// applicable tasks, with valences computed. Honors the Checker's workers,
+// state budget, store backend, progress and context options.
+func (c *Checker) Explore(inputs map[int]string) (*Graph, error) {
+	root, err := explore.ApplyInputs(c.sys, inputs)
+	if err != nil {
+		return nil, err
+	}
+	return explore.BuildGraph(c.sys, []State{root}, c.cfg.buildOptions())
+}
+
+// ClassifyInits performs the Lemma 4 sweep: build G(C) from all n+1
+// monotone initializations and classify each root by valence.
+func (c *Checker) ClassifyInits() (*InitClassification, error) {
+	return explore.ClassifyInits(c.sys, c.cfg.buildOptions())
+}
+
+// FindHook runs the Fig. 3 round-robin construction from a bivalent vertex
+// of g (typically a bivalent root from ClassifyInits), yielding a hook or a
+// divergence certificate.
+func (c *Checker) FindHook(g *Graph, root StateID) (HookSearchResult, error) {
+	return explore.FindHookWorkers(g, root, c.cfg.workers)
+}
+
+// Refute analyses the candidate's claim to tolerate the given number of
+// process failures: the exhaustive failure-free safety sweep, the Lemma 4
+// classification, the Fig. 3 hook search, and the failure scenarios of the
+// impossibility proofs. For registry families with infinite failure-free
+// graphs the graph phases are skipped automatically.
+func (c *Checker) Refute(claimed int) (*Report, error) {
+	return explore.Refute(c.sys, claimed, c.refuteOptions())
+}
+
+// RefuteKSet is the k-set-consensus refuter: at most k distinct decisions
+// instead of full agreement (Section 4's boundary).
+func (c *Checker) RefuteKSet(k, claimed int) (*Report, error) {
+	return explore.RefuteKSet(c.sys, k, claimed, c.refuteOptions())
+}
+
+func (c *Checker) refuteOptions() explore.RefuteOptions {
+	return explore.RefuteOptions{
+		Build:             c.cfg.buildOptions(),
+		MaxRounds:         c.cfg.maxRounds,
+		SkipGraphAnalysis: c.skipGraph,
+	}
+}
+
+// Run executes the system under the canonical fair round-robin schedule:
+// inputs first, then rounds in which every task gets one turn. The run
+// stops at modified termination, at a provable divergence, or at
+// RunConfig.MaxRounds.
+func (c *Checker) Run(cfg RunConfig) (RunResult, error) {
+	return explore.RoundRobin(c.sys, cfg)
+}
+
+// RunFrom continues the canonical fair schedule from an arbitrary state
+// (inputs and failures already delivered); the inputs map only feeds the
+// termination condition. The Checker's WithMaxRounds bounds the run.
+func (c *Checker) RunFrom(st State, inputs map[int]string) (RunResult, error) {
+	return explore.RoundRobinFrom(c.sys, st, inputs, c.cfg.maxRounds)
+}
+
+// RunRandom executes the system under a seeded random schedule for at most
+// the given number of steps. Random schedules are not fair in any finite
+// prefix; use them for property bashing, not liveness verdicts.
+func (c *Checker) RunRandom(cfg RunConfig, seed int64, steps int) (RunResult, error) {
+	return explore.Random(c.sys, cfg, seed, steps)
+}
+
+// RunBatch executes every configuration under the canonical fair schedule
+// across the Checker's workers, honoring its context; results come back in
+// input order and are identical to one-by-one runs. Per-step execution
+// traces are dropped — use Run when the trace is needed.
+func (c *Checker) RunBatch(cfgs []RunConfig) ([]RunResult, error) {
+	return explore.RunBatchCtx(c.cfg.ctx, c.sys, cfgs, c.cfg.workers)
+}

@@ -9,7 +9,8 @@
 //	boostcheck -candidate floodset-p -n 3 -f 0 -claim 1
 //	boostcheck -candidate fdboost -n 3 -claim 2
 //
-// Candidates:
+// Candidates are the registry families of the boosting package (see
+// `boosting.Protocols`), most prominently:
 //
 //	forward     n processes forwarding to one f-resilient consensus object
 //	            (Theorem 2 family)
@@ -25,68 +26,63 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
-	"github.com/ioa-lab/boosting/internal/explore"
-	"github.com/ioa-lab/boosting/internal/protocols"
-	"github.com/ioa-lab/boosting/internal/service"
-	"github.com/ioa-lab/boosting/internal/system"
+	"github.com/ioa-lab/boosting"
+	"github.com/ioa-lab/boosting/internal/cliflags"
 )
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "boostcheck:", err)
+		fmt.Fprintln(os.Stderr, "boostcheck:", cliflags.Describe(err))
 		os.Exit(1)
 	}
+}
+
+// candidateUsage lists the registry names in the -candidate usage string.
+func candidateUsage() string {
+	var names []string
+	for _, p := range boosting.Protocols() {
+		names = append(names, p.Name)
+	}
+	return "candidate family: " + strings.Join(names, " | ")
 }
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("boostcheck", flag.ContinueOnError)
 	var (
-		candidate = fs.String("candidate", "forward", "candidate family: forward | tob | floodset-p | fdboost")
+		candidate = fs.String("candidate", "forward", candidateUsage())
 		n         = fs.Int("n", 2, "number of processes")
 		f         = fs.Int("f", 0, "service resilience")
 		claim     = fs.Int("claim", 1, "claimed tolerated failures")
 		benign    = fs.Bool("benign", false, "benign silence policy (services never exercise their right to fall silent)")
-		workers   = fs.Int("workers", 0, "exploration workers (0 = one per CPU, 1 = serial)")
 	)
+	common := cliflags.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	policy := service.Adversarial
+	policy := boosting.Adversarial
 	if *benign {
-		policy = service.Benign
+		policy = boosting.Benign
 	}
-
-	var (
-		sys       *system.System
-		err       error
-		skipGraph bool
-	)
-	switch *candidate {
-	case "forward":
-		sys, err = protocols.BuildForward(*n, *f, policy)
-	case "tob":
-		sys, err = protocols.BuildTOBConsensus(*n, *f, policy)
-	case "floodset-p":
-		sys, err = protocols.BuildFloodSetWithP(*n, *f, *claim+1, policy)
-		skipGraph = true
-	case "fdboost":
-		sys, err = protocols.BuildFDBoost(*n, *n)
-		skipGraph = true
-	default:
-		return fmt.Errorf("unknown candidate %q", *candidate)
+	opts, err := common.Options()
+	if err != nil {
+		return err
 	}
+	opts = append(opts, boosting.WithSilencePolicy(policy), boosting.WithMaxRounds(2000))
+	if *candidate == "floodset-p" {
+		// The Theorem 10 shape: one more flooding round than the detector's
+		// resilience can cover at the claimed tolerance.
+		opts = append(opts, boosting.WithRounds(*claim+1))
+	}
+	chk, err := boosting.New(*candidate, *n, *f, opts...)
 	if err != nil {
 		return err
 	}
 
 	fmt.Printf("candidate: %s (n=%d, f=%d, policy=%s), claiming %d-failure tolerance\n\n",
 		*candidate, *n, *f, policy, *claim)
-	report, err := explore.Refute(sys, *claim, explore.RefuteOptions{
-		Build:             explore.BuildOptions{Workers: *workers},
-		SkipGraphAnalysis: skipGraph,
-		MaxRounds:         2000,
-	})
+	report, err := chk.Refute(*claim)
 	if err != nil {
 		return err
 	}

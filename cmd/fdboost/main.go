@@ -13,14 +13,13 @@ import (
 	"fmt"
 	"os"
 
-	"github.com/ioa-lab/boosting/internal/check"
-	"github.com/ioa-lab/boosting/internal/explore"
-	"github.com/ioa-lab/boosting/internal/protocols"
+	"github.com/ioa-lab/boosting"
+	"github.com/ioa-lab/boosting/internal/cliflags"
 )
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "fdboost:", err)
+		fmt.Fprintln(os.Stderr, "fdboost:", cliflags.Describe(err))
 		os.Exit(1)
 	}
 }
@@ -28,11 +27,15 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("fdboost", flag.ContinueOnError)
 	n := fs.Int("n", 3, "number of processes")
-	workers := fs.Int("workers", 0, "verification workers (0 = one per CPU, 1 = serial)")
+	common := cliflags.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	sys, err := protocols.BuildFDBoost(*n, *n)
+	opts, err := common.Options()
+	if err != nil {
+		return err
+	}
+	chk, err := boosting.New("fdboost", *n, 0, opts...)
 	if err != nil {
 		return err
 	}
@@ -48,7 +51,7 @@ func run(args []string) error {
 		}
 	}
 	var sets [][]int
-	var cfgs []explore.RunConfig
+	var cfgs []boosting.RunConfig
 	for bits := 0; bits < 1<<(*n); bits++ {
 		var J []int
 		for idx := 0; idx < *n; idx++ {
@@ -59,20 +62,20 @@ func run(args []string) error {
 		if len(J) == *n {
 			continue
 		}
-		failures := make([]explore.FailureEvent, len(J))
+		failures := make([]boosting.FailureEvent, len(J))
 		for i, p := range J {
-			failures[i] = explore.FailureEvent{Round: 0, Proc: p}
+			failures[i] = boosting.FailureEvent{Round: 0, Proc: p}
 		}
 		sets = append(sets, J)
-		cfgs = append(cfgs, explore.RunConfig{Inputs: inputs, Failures: failures})
+		cfgs = append(cfgs, boosting.RunConfig{Inputs: inputs, Failures: failures})
 	}
-	results, err := explore.RunBatch(sys, cfgs, *workers)
+	results, err := chk.RunBatch(cfgs)
 	if err != nil {
 		return err
 	}
 	for i, res := range results {
-		run := check.ConsensusRun{Inputs: inputs, Failed: sets[i], Decisions: res.Decisions, Done: res.Done}
-		if err := check.Consensus(run); err != nil {
+		run := boosting.ConsensusRun{Inputs: inputs, Failed: sets[i], Decisions: res.Decisions, Done: res.Done}
+		if err := boosting.CheckConsensus(run); err != nil {
 			return fmt.Errorf("failure set %v: %w", sets[i], err)
 		}
 		fmt.Printf("  failed %-10v → decisions %v\n", sets[i], res.Decisions)

@@ -13,14 +13,13 @@ import (
 	"fmt"
 	"os"
 
-	"github.com/ioa-lab/boosting/internal/explore"
-	"github.com/ioa-lab/boosting/internal/protocols"
-	"github.com/ioa-lab/boosting/internal/service"
+	"github.com/ioa-lab/boosting"
+	"github.com/ioa-lab/boosting/internal/cliflags"
 )
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "hookfind:", err)
+		fmt.Fprintln(os.Stderr, "hookfind:", cliflags.Describe(err))
 		os.Exit(1)
 	}
 }
@@ -28,20 +27,24 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("hookfind", flag.ContinueOnError)
 	var (
-		n       = fs.Int("n", 2, "number of processes")
-		f       = fs.Int("f", 0, "consensus object resilience")
-		workers = fs.Int("workers", 0, "exploration workers (0 = one per CPU, 1 = serial)")
+		n = fs.Int("n", 2, "number of processes")
+		f = fs.Int("f", 0, "consensus object resilience")
 	)
+	common := cliflags.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	sys, err := protocols.BuildForward(*n, *f, service.Adversarial)
+	opts, err := common.Options()
+	if err != nil {
+		return err
+	}
+	chk, err := boosting.New("forward", *n, *f, opts...)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("system: %d processes forwarding to a %d-resilient consensus object\n\n", *n, *f)
 
-	inits, err := explore.ClassifyInits(sys, explore.BuildOptions{Workers: *workers})
+	inits, err := chk.ClassifyInits()
 	if err != nil {
 		return err
 	}
@@ -51,7 +54,7 @@ func run(args []string) error {
 		return nil
 	}
 
-	res, err := explore.FindHookWorkers(inits.Graph, inits.Roots[inits.BivalentIndex], *workers)
+	res, err := chk.FindHook(inits.Graph, inits.Roots[inits.BivalentIndex])
 	if err != nil {
 		return err
 	}
@@ -67,7 +70,7 @@ func run(args []string) error {
 		fmt.Printf("  α1 = e(e'(α))  : %v\n", inits.Graph.Valence(h.Alpha1))
 		s0, _ := inits.Graph.State(h.Alpha0)
 		s1, _ := inits.Graph.State(h.Alpha1)
-		if who, ok := explore.SomeSimilarity(sys, s0, s1, explore.SimilarityOptions{}); ok {
+		if who, ok := boosting.SomeSimilarity(chk.System(), s0, s1, boosting.SimilarityOptions{}); ok {
 			fmt.Printf("\nhook ends are similar at %s — the configuration Lemma 8 forbids\n", who)
 			fmt.Println("for correct systems; failing processes to silence that component")
 			fmt.Println("turns the hook into a concrete non-termination counterexample.")

@@ -12,14 +12,13 @@ import (
 	"fmt"
 	"os"
 
-	"github.com/ioa-lab/boosting/internal/check"
-	"github.com/ioa-lab/boosting/internal/explore"
-	"github.com/ioa-lab/boosting/internal/protocols"
+	"github.com/ioa-lab/boosting"
+	"github.com/ioa-lab/boosting/internal/cliflags"
 )
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "setboost:", err)
+		fmt.Fprintln(os.Stderr, "setboost:", cliflags.Describe(err))
 		os.Exit(1)
 	}
 }
@@ -27,12 +26,16 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("setboost", flag.ContinueOnError)
 	group := fs.Int("group", 2, "group size n (total processes = 2n)")
-	workers := fs.Int("workers", 0, "verification workers (0 = one per CPU, 1 = serial)")
+	common := cliflags.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	opts, err := common.Options()
+	if err != nil {
+		return err
+	}
 	n := *group
-	sys, err := protocols.BuildSetBoost(n)
+	chk, err := boosting.New("setboost", n, 0, opts...)
 	if err != nil {
 		return err
 	}
@@ -49,7 +52,7 @@ func run(args []string) error {
 		}
 	}
 	var sets [][]int
-	var cfgs []explore.RunConfig
+	var cfgs []boosting.RunConfig
 	for bits := 0; bits < 1<<total; bits++ {
 		var J []int
 		for idx := 0; idx < total; idx++ {
@@ -60,20 +63,20 @@ func run(args []string) error {
 		if len(J) == total {
 			continue
 		}
-		failures := make([]explore.FailureEvent, len(J))
+		failures := make([]boosting.FailureEvent, len(J))
 		for i, p := range J {
-			failures[i] = explore.FailureEvent{Round: 0, Proc: p}
+			failures[i] = boosting.FailureEvent{Round: 0, Proc: p}
 		}
 		sets = append(sets, J)
-		cfgs = append(cfgs, explore.RunConfig{Inputs: inputs, Failures: failures})
+		cfgs = append(cfgs, boosting.RunConfig{Inputs: inputs, Failures: failures})
 	}
-	results, err := explore.RunBatch(sys, cfgs, *workers)
+	results, err := chk.RunBatch(cfgs)
 	if err != nil {
 		return err
 	}
 	for i, res := range results {
-		run := check.ConsensusRun{Inputs: inputs, Failed: sets[i], Decisions: res.Decisions, Done: res.Done}
-		if err := check.KSetConsensus(run, 2); err != nil {
+		run := boosting.ConsensusRun{Inputs: inputs, Failed: sets[i], Decisions: res.Decisions, Done: res.Done}
+		if err := boosting.CheckKSetConsensus(run, 2); err != nil {
 			return fmt.Errorf("failure set %v: %w", sets[i], err)
 		}
 	}

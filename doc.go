@@ -13,6 +13,14 @@
 // consensus boost and the Section 6.3 failure-detector boost) are
 // implemented and verified as well.
 //
+// This package is the public API: a protocol registry (Protocols, New), a
+// Checker façade over the pipeline (Explore, ClassifyInits, FindHook,
+// Refute, RefuteKSet, Run) configured by functional options (WithWorkers,
+// WithMaxStates, WithStore, WithProgress, WithContext, …), pluggable
+// StateStore backends (dense interning vs audited hash compaction), and
+// the engine's result types re-exported under stable names. The runnable
+// Example functions in example_test.go show the core loops.
+//
 // See README.md for an overview, DESIGN.md for the system inventory, and
 // EXPERIMENTS.md for the reproduced results.
 package boosting

@@ -5,17 +5,15 @@
 // Theorem 10 forbids boosting when every failure-aware service is connected
 // to all processes; with pairwise detectors the connection pattern is
 // sparse, and boosting works. This example runs the FloodSet construction
-// for n = 3 under every failure pattern and also audits detector accuracy
-// on the generated executions.
+// for n = 3 under every failure pattern through the public boosting façade
+// and also audits detector accuracy on the generated executions.
 package main
 
 import (
 	"fmt"
 	"os"
 
-	"github.com/ioa-lab/boosting/internal/check"
-	"github.com/ioa-lab/boosting/internal/explore"
-	"github.com/ioa-lab/boosting/internal/protocols"
+	"github.com/ioa-lab/boosting"
 )
 
 func main() {
@@ -27,7 +25,7 @@ func main() {
 
 func run() error {
 	const n = 3
-	sys, err := protocols.BuildFDBoost(n, n)
+	chk, err := boosting.New("fdboost", n, 0)
 	if err != nil {
 		return err
 	}
@@ -45,21 +43,21 @@ func run() error {
 		if len(J) == n {
 			continue // everyone failed: nothing to decide
 		}
-		failures := make([]explore.FailureEvent, len(J))
+		failures := make([]boosting.FailureEvent, len(J))
 		for i, p := range J {
-			failures[i] = explore.FailureEvent{Round: 0, Proc: p}
+			failures[i] = boosting.FailureEvent{Round: 0, Proc: p}
 		}
-		res, err := explore.RoundRobin(sys, explore.RunConfig{Inputs: inputs, Failures: failures})
+		res, err := chk.Run(boosting.RunConfig{Inputs: inputs, Failures: failures})
 		if err != nil {
 			return err
 		}
-		run := check.ConsensusRun{Inputs: inputs, Failed: J, Decisions: res.Decisions, Done: res.Done}
-		if err := check.Consensus(run); err != nil {
+		run := boosting.ConsensusRun{Inputs: inputs, Failed: J, Decisions: res.Decisions, Done: res.Done}
+		if err := boosting.CheckConsensus(run); err != nil {
 			return fmt.Errorf("failure set %v: %w", J, err)
 		}
 		// The perfect detectors never suspected a live process anywhere in
 		// the execution.
-		if err := check.FDAccuracy(res.Exec); err != nil {
+		if err := boosting.CheckFDAccuracy(res.Exec); err != nil {
 			return fmt.Errorf("failure set %v: %w", J, err)
 		}
 		fmt.Printf("failed %-7v → decisions %v (accuracy ✓)\n", J, res.Decisions)

@@ -1,5 +1,5 @@
 // Impossibility walkthrough: the proof of Theorem 2, replayed step by step
-// on a concrete system.
+// on a concrete system through the public boosting façade.
 //
 // The candidate is the natural boosting attempt — two processes forwarding
 // their inputs through a 0-resilient consensus object, claiming 1-resilient
@@ -19,10 +19,7 @@ import (
 	"fmt"
 	"os"
 
-	"github.com/ioa-lab/boosting/internal/explore"
-	"github.com/ioa-lab/boosting/internal/protocols"
-	"github.com/ioa-lab/boosting/internal/service"
-	"github.com/ioa-lab/boosting/internal/system"
+	"github.com/ioa-lab/boosting"
 )
 
 func main() {
@@ -33,7 +30,7 @@ func main() {
 }
 
 func run() error {
-	sys, err := protocols.BuildForward(2, 0, service.Adversarial)
+	chk, err := boosting.New("forward", 2, 0)
 	if err != nil {
 		return err
 	}
@@ -42,7 +39,7 @@ func run() error {
 
 	// Act 1: Lemma 4.
 	fmt.Println("\n— Act 1 (Lemma 4): initializations —")
-	inits, err := explore.ClassifyInits(sys, explore.BuildOptions{})
+	inits, err := chk.ClassifyInits()
 	if err != nil {
 		return err
 	}
@@ -53,7 +50,7 @@ func run() error {
 
 	// Act 2: Lemma 5 / Fig. 3.
 	fmt.Println("\n— Act 2 (Lemma 5): the hook —")
-	hs, err := explore.FindHook(inits.Graph, inits.Roots[inits.BivalentIndex])
+	hs, err := chk.FindHook(inits.Graph, inits.Roots[inits.BivalentIndex])
 	if err != nil {
 		return err
 	}
@@ -66,7 +63,7 @@ func run() error {
 	fmt.Println("\n— Act 3 (Lemma 8): similarity of the hook ends —")
 	s0, _ := inits.Graph.State(hs.Hook.Alpha0)
 	s1, _ := inits.Graph.State(hs.Hook.Alpha1)
-	who, similar := explore.SomeSimilarity(sys, s0, s1, explore.SimilarityOptions{})
+	who, similar := boosting.SomeSimilarity(chk.System(), s0, s1, boosting.SimilarityOptions{})
 	if !similar {
 		return fmt.Errorf("hook ends not similar")
 	}
@@ -76,12 +73,12 @@ func run() error {
 
 	// Act 4: Lemma 7's failure construction.
 	fmt.Println("\n— Act 4 (Lemma 7): fail f+1 processes, silence the object —")
-	for idx, st := range []system.State{s0, s1} {
-		cur, _, failErr := sys.Fail(st, 0)
+	for idx, st := range []boosting.State{s0, s1} {
+		cur, _, failErr := chk.System().Fail(st, 0)
 		if failErr != nil {
 			return failErr
 		}
-		res, runErr := explore.RoundRobinFrom(sys, cur, inits.Assignments[inits.BivalentIndex], 0)
+		res, runErr := chk.RunFrom(cur, inits.Assignments[inits.BivalentIndex])
 		if runErr != nil {
 			return runErr
 		}

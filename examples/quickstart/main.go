@@ -1,18 +1,14 @@
 // Quickstart: build a small distributed system in the paper's model — two
 // processes, a wait-free binary consensus object, a reliable register — run
 // it under the fair round-robin schedule, and print the external trace and
-// decisions.
+// decisions. Everything goes through the public boosting façade.
 package main
 
 import (
 	"fmt"
 	"os"
 
-	"github.com/ioa-lab/boosting/internal/check"
-	"github.com/ioa-lab/boosting/internal/explore"
-	"github.com/ioa-lab/boosting/internal/ioa"
-	"github.com/ioa-lab/boosting/internal/protocols"
-	"github.com/ioa-lab/boosting/internal/service"
+	"github.com/ioa-lab/boosting"
 )
 
 func main() {
@@ -25,17 +21,19 @@ func main() {
 func run() error {
 	// A system C in the paper's sense: processes P0, P1 forward their
 	// inputs to the canonical wait-free consensus object k0 (plus the
-	// reliable register r0 the model always allows).
-	sys, err := protocols.BuildForward(2, 1, service.Adversarial)
+	// reliable register r0 the model always allows). "forward" is a
+	// registry protocol; boosting.Protocols() lists the rest.
+	chk, err := boosting.New("forward", 2, 1)
 	if err != nil {
 		return err
 	}
+	sys := chk.System()
 	fmt.Println("system: P0, P1 + wait-free consensus object k0 + register r0")
 	fmt.Println("tasks :", sys.Tasks())
 
 	// Input-first execution: P0 proposes 0, P1 proposes 1; then run fairly.
 	inputs := map[int]string{0: "0", 1: "1"}
-	res, err := explore.RoundRobin(sys, explore.RunConfig{Inputs: inputs})
+	res, err := chk.Run(boosting.RunConfig{Inputs: inputs})
 	if err != nil {
 		return err
 	}
@@ -47,7 +45,7 @@ func run() error {
 	fmt.Println("\ndecisions:", res.Decisions)
 
 	// Verify the consensus conditions of Section 2.2.4.
-	verdict := check.Consensus(check.ConsensusRun{
+	verdict := boosting.CheckConsensus(boosting.ConsensusRun{
 		Inputs: inputs, Decisions: res.Decisions, Done: res.Done,
 	})
 	if verdict != nil {
@@ -57,19 +55,19 @@ func run() error {
 
 	// Now the same run with P1 failing at the start: the wait-free object
 	// still serves the survivor.
-	res, err = explore.RoundRobin(sys, explore.RunConfig{
+	res, err = chk.Run(boosting.RunConfig{
 		Inputs:   inputs,
-		Failures: []explore.FailureEvent{{Round: 0, Proc: 1}},
+		Failures: []boosting.FailureEvent{{Round: 0, Proc: 1}},
 	})
 	if err != nil {
 		return err
 	}
 	fmt.Printf("\nwith fail_1 injected: survivor P0 decides %q after %d fair rounds\n",
 		res.Decisions[0], res.Rounds)
-	var failTrace []ioa.Action
+	var failTrace []boosting.Action
 	for _, act := range res.Exec.Trace() {
 		failTrace = append(failTrace, act)
 	}
-	fmt.Println("trace:", ioa.FormatTrace(failTrace))
+	fmt.Println("trace:", boosting.FormatTrace(failTrace))
 	return nil
 }

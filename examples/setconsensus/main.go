@@ -4,16 +4,15 @@
 // Consensus resilience cannot be boosted (Theorem 2), but 2-set consensus
 // escapes: this example runs the construction for n = 2 (4 processes) under
 // a selection of failure patterns, including patterns that silence one
-// whole group, and checks k-agreement, validity and termination.
+// whole group, and checks k-agreement, validity and termination — all
+// through the public boosting façade.
 package main
 
 import (
 	"fmt"
 	"os"
 
-	"github.com/ioa-lab/boosting/internal/check"
-	"github.com/ioa-lab/boosting/internal/explore"
-	"github.com/ioa-lab/boosting/internal/protocols"
+	"github.com/ioa-lab/boosting"
 )
 
 func main() {
@@ -25,7 +24,7 @@ func main() {
 
 func run() error {
 	const groupSize = 2
-	sys, err := protocols.BuildSetBoost(groupSize)
+	chk, err := boosting.New("setboost", groupSize, 0)
 	if err != nil {
 		return err
 	}
@@ -42,16 +41,16 @@ func run() error {
 		{1, 2, 3}, // 2n−1 failures: wait-freedom
 	}
 	for _, J := range scenarios {
-		failures := make([]explore.FailureEvent, len(J))
+		failures := make([]boosting.FailureEvent, len(J))
 		for i, p := range J {
-			failures[i] = explore.FailureEvent{Round: 0, Proc: p}
+			failures[i] = boosting.FailureEvent{Round: 0, Proc: p}
 		}
-		res, err := explore.RoundRobin(sys, explore.RunConfig{Inputs: inputs, Failures: failures})
+		res, err := chk.Run(boosting.RunConfig{Inputs: inputs, Failures: failures})
 		if err != nil {
 			return err
 		}
-		run := check.ConsensusRun{Inputs: inputs, Failed: J, Decisions: res.Decisions, Done: res.Done}
-		if err := check.KSetConsensus(run, 2); err != nil {
+		run := boosting.ConsensusRun{Inputs: inputs, Failed: J, Decisions: res.Decisions, Done: res.Done}
+		if err := boosting.CheckKSetConsensus(run, 2); err != nil {
 			return fmt.Errorf("failure set %v: %w", J, err)
 		}
 		fmt.Printf("failed %-9v → decisions %v (≤ 2 distinct ✓)\n", J, res.Decisions)

@@ -4,7 +4,9 @@
 // Three processes broadcast updates; the service totally orders them and
 // delivers the same sequence to every endpoint. The example prints each
 // replica's log and checks the total-order property, with and without
-// failures.
+// failures. The system is assembled from custom parts (program + service
+// wiring) and handed to the façade via boosting.NewFromSystem — the route
+// for protocols outside the registry.
 package main
 
 import (
@@ -12,8 +14,7 @@ import (
 	"os"
 	"strconv"
 
-	"github.com/ioa-lab/boosting/internal/check"
-	"github.com/ioa-lab/boosting/internal/explore"
+	"github.com/ioa-lab/boosting"
 	"github.com/ioa-lab/boosting/internal/process"
 	"github.com/ioa-lab/boosting/internal/service"
 	"github.com/ioa-lab/boosting/internal/servicetype"
@@ -75,9 +76,10 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	chk := boosting.NewFromSystem(sys)
 
 	inputs := map[int]string{0: "a", 1: "b", 2: "c"}
-	res, err := explore.RoundRobin(sys, explore.RunConfig{Inputs: inputs})
+	res, err := chk.Run(boosting.RunConfig{Inputs: inputs})
 	if err != nil {
 		return err
 	}
@@ -85,15 +87,15 @@ func run() error {
 	for i := 0; i < n; i++ {
 		fmt.Printf("  P%d: %s\n", i, sys.ProcState(res.Final, i).Get("log"))
 	}
-	if err := check.TotalOrder(check.TOBDeliveries(res.Exec, "b0")); err != nil {
+	if err := boosting.CheckTotalOrder(boosting.TOBDeliveries(res.Exec, "b0")); err != nil {
 		return err
 	}
 	fmt.Println("total order ✓ (every replica saw the same sequence)")
 
 	// With one failure (f = |J|−1 tolerated): survivors still converge.
-	res, err = explore.RoundRobin(sys, explore.RunConfig{
+	res, err = chk.Run(boosting.RunConfig{
 		Inputs:    inputs,
-		Failures:  []explore.FailureEvent{{Round: 1, Proc: 2}},
+		Failures:  []boosting.FailureEvent{{Round: 1, Proc: 2}},
 		MaxRounds: 200,
 	})
 	if err != nil {
@@ -103,7 +105,7 @@ func run() error {
 	for i := 0; i < 2; i++ {
 		fmt.Printf("  P%d: %s\n", i, sys.ProcState(res.Final, i).Get("log"))
 	}
-	if err := check.TotalOrder(check.TOBDeliveries(res.Exec, "b0")); err != nil {
+	if err := boosting.CheckTotalOrder(boosting.TOBDeliveries(res.Exec, "b0")); err != nil {
 		return err
 	}
 	fmt.Println("total order ✓ under failure")

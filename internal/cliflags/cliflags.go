@@ -1,0 +1,68 @@
+// Package cliflags is the shared flag block of the cmd/* binaries: every
+// tool takes the same exploration knobs (-workers, -maxstates, -store), and
+// every tool surfaces partial exploration counts when a state budget
+// overflows. Before the boosting façade each binary carried its own copy of
+// this block; now there is one.
+package cliflags
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+
+	"github.com/ioa-lab/boosting"
+)
+
+// Common holds the flag values shared by all binaries.
+type Common struct {
+	Workers   int
+	MaxStates int
+	Store     string
+}
+
+// Register installs the shared flags on a flag set and returns the value
+// holder to read after parsing.
+func Register(fs *flag.FlagSet) *Common {
+	c := &Common{}
+	fs.IntVar(&c.Workers, "workers", 0, "exploration workers (0 = one per CPU, 1 = serial)")
+	fs.IntVar(&c.MaxStates, "maxstates", 0, "explored-state budget per graph build (0 = engine default)")
+	fs.StringVar(&c.Store, "store", "dense", "state store backend: dense | hash64 | hash128")
+	return c
+}
+
+// ParseStore resolves a -store flag value.
+func ParseStore(name string) (boosting.Store, error) {
+	switch name {
+	case "", "dense":
+		return boosting.DenseStore, nil
+	case "hash64":
+		return boosting.HashStore64, nil
+	case "hash128":
+		return boosting.HashStore128, nil
+	default:
+		return boosting.DenseStore, fmt.Errorf("unknown store backend %q (have: dense, hash64, hash128)", name)
+	}
+}
+
+// Options lowers the parsed flags to façade options.
+func (c *Common) Options() ([]boosting.Option, error) {
+	store, err := ParseStore(c.Store)
+	if err != nil {
+		return nil, err
+	}
+	return []boosting.Option{
+		boosting.WithWorkers(c.Workers),
+		boosting.WithMaxStates(c.MaxStates),
+		boosting.WithStore(store),
+	}, nil
+}
+
+// Describe renders an error for CLI display, surfacing the partial
+// exploration count when a graph build overflowed its state budget.
+func Describe(err error) string {
+	var le *boosting.LimitError
+	if errors.As(err, &le) {
+		return fmt.Sprintf("%v (explored %d states before the limit; raise -maxstates)", err, le.Explored)
+	}
+	return err.Error()
+}

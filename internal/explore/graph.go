@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/ioa-lab/boosting/internal/intern"
@@ -10,10 +11,10 @@ import (
 
 // StateID is the dense index of a vertex of G(C): the i-th distinct state
 // discovered (in BFS order) gets ID i. Both exploration engines assign IDs
-// identically for any worker count, so IDs are stable coordinates of the
-// graph, not artifacts of scheduling. The canonical string fingerprint
-// remains available per vertex via Graph.Fingerprint, as the stable external
-// format for reports and witness output.
+// identically for any worker count and any store backend, so IDs are stable
+// coordinates of the graph, not artifacts of scheduling. The canonical
+// string fingerprint remains available per vertex via Graph.Fingerprint, as
+// the stable external format for reports and witness output.
 type StateID = intern.StateID
 
 // Valence classifies a finite failure-free input-first execution by the
@@ -89,19 +90,35 @@ type pred struct {
 // processes and services are deterministic, each vertex has at most one
 // outgoing edge per task.
 //
-// Everything is slice-backed and indexed by StateID; the interner is the
-// only string-keyed table, holding each canonical fingerprint exactly once.
+// Vertex storage — the dedup index, representative states, adjacency and
+// predecessor links — lives behind the StateStore seam; the graph itself
+// keeps only the roots and the valence masks.
 type Graph struct {
-	sys    *system.System
-	tab    *intern.Table
-	states []system.State
-	succs  [][]Edge
-	preds  []pred
-	roots  []StateID
-	masks  []uint8
+	sys   *system.System
+	store StateStore
+	roots []StateID
+	edges int
+	masks []uint8
 }
 
-// BuildOptions bounds graph construction.
+// Progress is one streaming exploration report, emitted after each BFS
+// level completes: States and Edges are cumulative totals, Frontier is the
+// number of newly discovered vertices awaiting expansion in the next level.
+// Both engines emit identical sequences for the same build.
+type Progress struct {
+	Level    int
+	States   int
+	Edges    int
+	Frontier int
+}
+
+// ProgressFunc receives streaming Progress reports during graph
+// construction. Calls are serialized (made from the coordinating
+// goroutine); a callback that needs to stop the build should cancel the
+// build's context rather than block.
+type ProgressFunc func(Progress)
+
+// BuildOptions bounds and instruments graph construction.
 type BuildOptions struct {
 	// MaxStates caps the number of distinct vertices (0 = default 200000).
 	MaxStates int
@@ -110,24 +127,29 @@ type BuildOptions struct {
 	// 1 forces the serial engine. The produced graph is identical either
 	// way — same StateIDs, edges, predecessors and valences.
 	Workers int
+	// Store selects the vertex storage backend (default StoreDense). Every
+	// backend produces the identical graph; they differ in memory per
+	// vertex and dedup cost.
+	Store StoreKind
+	// Progress, when non-nil, receives one report per completed BFS level.
+	Progress ProgressFunc
+	// Ctx, when non-nil, cancels the build: exploration checks it
+	// mid-level and returns ctx.Err() promptly.
+	Ctx context.Context
 }
 
 const defaultMaxStates = 200_000
 
-func newGraph(sys *system.System) *Graph {
-	return &Graph{sys: sys, tab: intern.NewTable(1024)}
+// ctxErr returns the context's error, tolerating a nil context.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
-// addState interns a new vertex: fp must not be present in the table yet.
-func (g *Graph) addState(fp string, st system.State, p pred) StateID {
-	id, fresh := g.tab.Intern(fp)
-	if !fresh {
-		panic("explore: addState on an interned fingerprint")
-	}
-	g.states = append(g.states, st)
-	g.succs = append(g.succs, nil)
-	g.preds = append(g.preds, p)
-	return id
+func newGraph(sys *system.System, kind StoreKind) *Graph {
+	return &Graph{sys: sys, store: newStore(kind, sys.AppendFingerprint)}
 }
 
 // internRoots seeds the graph with the root states. Roots are exempt from
@@ -135,10 +157,7 @@ func (g *Graph) addState(fp string, st system.State, p pred) StateID {
 func (g *Graph) internRoots(roots []system.State, buf []byte) []byte {
 	for _, r := range roots {
 		buf = g.sys.AppendFingerprint(buf[:0], r)
-		id, ok := g.tab.LookupBytes(buf)
-		if !ok {
-			id = g.addState(string(buf), r, pred{})
-		}
+		id, _ := g.store.Intern(string(buf), r, pred{})
 		g.roots = append(g.roots, id)
 	}
 	return buf
@@ -154,15 +173,24 @@ func BuildGraph(sys *system.System, roots []system.State, opt BuildOptions) (*Gr
 		maxStates = defaultMaxStates
 	}
 	if workers := effectiveWorkers(opt.Workers); workers > 1 {
-		return buildGraphParallel(sys, roots, maxStates, workers)
+		return buildGraphParallel(sys, roots, maxStates, workers, opt)
 	}
-	g := newGraph(sys)
+	g := newGraph(sys, opt.Store)
 	buf := g.internRoots(roots, nil)
 	// IDs are dense in discovery order, so the BFS queue is implicit: the
 	// next vertex to expand is simply the next ID. Nothing is pinned or
-	// copied as the frontier advances.
-	for next := 0; next < len(g.states); next++ {
-		st := g.states[next]
+	// copied as the frontier advances. Level boundaries are tracked only
+	// for progress reporting: the current level ends where the store stood
+	// when it began.
+	level := 0
+	levelEnd := g.store.Len()
+	for next := 0; next < g.store.Len(); next++ {
+		if next&63 == 0 {
+			if err := ctxErr(opt.Ctx); err != nil {
+				return nil, err
+			}
+		}
+		st, _ := g.store.State(StateID(next))
 		var edges []Edge
 		for _, task := range sys.Tasks() {
 			if !sys.Applicable(st, task) {
@@ -173,16 +201,27 @@ func BuildGraph(sys *system.System, roots []system.State, opt BuildOptions) (*Gr
 				return nil, fmt.Errorf("explore: apply %v: %w", task, err)
 			}
 			buf = sys.AppendFingerprint(buf[:0], succ)
-			id, ok := g.tab.LookupBytes(buf)
+			id, ok := g.store.Lookup(buf)
 			if !ok {
-				if len(g.states) >= maxStates {
-					return nil, fmt.Errorf("%w: > %d states", ErrStateExplosion, maxStates)
+				if g.store.Len() >= maxStates {
+					return nil, &LimitError{Limit: maxStates, Explored: g.store.Len()}
 				}
-				id = g.addState(string(buf), succ, pred{from: StateID(next), task: task, act: act, has: true})
+				id, _ = g.store.Intern(string(buf), succ, pred{from: StateID(next), task: task, act: act, has: true})
 			}
 			edges = append(edges, Edge{Task: task, Action: act, To: id})
 		}
-		g.succs[next] = edges
+		g.store.SetSuccs(StateID(next), edges)
+		g.edges += len(edges)
+		if next+1 == levelEnd {
+			if opt.Progress != nil {
+				opt.Progress(Progress{Level: level, States: g.store.Len(), Edges: g.edges, Frontier: g.store.Len() - levelEnd})
+			}
+			level++
+			levelEnd = g.store.Len()
+		}
+	}
+	if err := ctxErr(opt.Ctx); err != nil {
+		return nil, err
 	}
 	g.computeMasks()
 	return g, nil
@@ -192,18 +231,20 @@ func BuildGraph(sys *system.System, roots []system.State, opt BuildOptions) (*Gr
 // mask(s) = decided(s) ∪ ⋃_{s→t} mask(t).
 func (g *Graph) computeMasks() {
 	// Seed with each state's own recorded decisions.
-	g.masks = make([]uint8, len(g.states))
-	for i := range g.states {
-		g.masks[i] = ownMask(g.sys, g.states[i])
+	n := g.store.Len()
+	g.masks = make([]uint8, n)
+	for i := 0; i < n; i++ {
+		st, _ := g.store.State(StateID(i))
+		g.masks[i] = ownMask(g.sys, st)
 	}
 	// Chaotic iteration to fixpoint. The mask lattice has height 2, so this
 	// terminates quickly even without a topological order.
 	changed := true
 	for changed {
 		changed = false
-		for i, edges := range g.succs {
+		for i := 0; i < n; i++ {
 			m := g.masks[i]
-			for _, e := range edges {
+			for _, e := range g.store.Succs(StateID(i)) {
 				m |= g.masks[e.To]
 			}
 			if m != g.masks[i] {
@@ -228,33 +269,33 @@ func ownMask(sys *system.System, st system.State) uint8 {
 }
 
 // Size returns the number of vertices. Valid StateIDs are 0 … Size()−1.
-func (g *Graph) Size() int { return len(g.states) }
+func (g *Graph) Size() int { return g.store.Len() }
+
+// Edges returns the total number of edges of the explored graph.
+func (g *Graph) Edges() int { return g.edges }
 
 // Roots returns the root vertices in insertion order.
 func (g *Graph) Roots() []StateID { return g.roots }
 
+// Store returns the vertex storage backend of the graph.
+func (g *Graph) Store() StateStore { return g.store }
+
 // State returns the representative state of a vertex.
 func (g *Graph) State(id StateID) (system.State, bool) {
-	if int(id) >= len(g.states) {
-		return system.State{}, false
-	}
-	return g.states[id], true
+	return g.store.State(id)
 }
 
 // Fingerprint returns the canonical string encoding of a vertex — the
 // stable external format for reports and witness output.
-func (g *Graph) Fingerprint(id StateID) string { return g.tab.Key(id) }
+func (g *Graph) Fingerprint(id StateID) string { return g.store.Fingerprint(id) }
 
 // Lookup resolves a canonical fingerprint to its vertex, if the state was
 // discovered.
-func (g *Graph) Lookup(fp string) (StateID, bool) { return g.tab.Lookup(fp) }
+func (g *Graph) Lookup(fp string) (StateID, bool) { return g.store.LookupString(fp) }
 
 // Succs returns the outgoing edges of a vertex.
 func (g *Graph) Succs(id StateID) []Edge {
-	if int(id) >= len(g.succs) {
-		return nil
-	}
-	return g.succs[id]
+	return g.store.Succs(id)
 }
 
 // Succ returns the e-successor of a vertex, if task e is applicable there.
@@ -280,8 +321,11 @@ func (g *Graph) Valence(id StateID) Valence {
 func (g *Graph) WitnessPath(id StateID) []Edge {
 	var rev []Edge
 	cur := id
-	for int(cur) < len(g.preds) && g.preds[cur].has {
-		p := g.preds[cur]
+	for int(cur) < g.store.Len() {
+		p := g.store.Pred(cur)
+		if !p.has {
+			break
+		}
 		rev = append(rev, Edge{Task: p.task, Action: p.act, To: cur})
 		cur = p.from
 	}
@@ -341,7 +385,7 @@ func (t *bfsTree) path(g *Graph, start, v StateID) []Edge {
 	var rev []Edge
 	for v != start {
 		from := t.parent[v]
-		rev = append(rev, g.succs[from][t.pedge[v]])
+		rev = append(rev, g.store.Succs(from)[t.pedge[v]])
 		v = from
 	}
 	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
@@ -355,7 +399,7 @@ func (t *bfsTree) path(g *Graph, start, v StateID) []Edge {
 // (nil filter = all edges). The returned path is the sequence of edges from
 // start to the found vertex.
 func (g *Graph) FindState(start StateID, allow func(Edge) bool, want func(system.State) bool) (StateID, []Edge, bool) {
-	tree := newBFSTree(len(g.states))
+	tree := newBFSTree(g.store.Len())
 	tree.begin(start)
 	queue := []StateID{start}
 	for head := 0; head < len(queue); head++ {
@@ -363,7 +407,7 @@ func (g *Graph) FindState(start StateID, allow func(Edge) bool, want func(system
 		if st, ok := g.State(id); ok && want(st) {
 			return id, tree.path(g, start, id), true
 		}
-		for i, e := range g.succs[id] {
+		for i, e := range g.store.Succs(id) {
 			if allow != nil && !allow(e) {
 				continue
 			}

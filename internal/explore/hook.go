@@ -79,7 +79,7 @@ func FindHookWorkers(g *Graph, root StateID, workers int) (HookSearchResult, err
 	tasks := g.sys.Tasks()
 	// One BFS tree reused across every construction step: begin() bumps an
 	// epoch instead of reallocating graph-size arrays per step.
-	tree := newBFSTree(len(g.states))
+	tree := newBFSTree(g.store.Len())
 	alpha := root
 	rr := 0
 	pathLen := 0
@@ -162,7 +162,7 @@ func (g *Graph) findBivalentExtension(alpha StateID, e ioa.Task, workers int, tr
 		}
 		var next []StateID
 		for _, id := range level {
-			for j, edge := range g.succs[id] {
+			for j, edge := range g.store.Succs(id) {
 				if edge.Task == e || tree.seen(edge.To) {
 					continue
 				}
@@ -252,15 +252,16 @@ func (g *Graph) locateHook(alpha StateID, e ioa.Task) (*Hook, error) {
 // state records a decision matching wantMask. Like FindState, it stores one
 // predecessor link per visited vertex and reconstructs the path once.
 func (g *Graph) findDecidingPath(start StateID, wantMask uint8) ([]Edge, error) {
-	tree := newBFSTree(len(g.states))
+	tree := newBFSTree(g.store.Len())
 	tree.begin(start)
 	queue := []StateID{start}
 	for head := 0; head < len(queue); head++ {
 		id := queue[head]
-		if ownMask(g.sys, g.states[id])&wantMask != 0 {
+		st, _ := g.store.State(id)
+		if ownMask(g.sys, st)&wantMask != 0 {
 			return tree.path(g, start, id), nil
 		}
-		for i, edge := range g.succs[id] {
+		for i, edge := range g.store.Succs(id) {
 			if tree.seen(edge.To) {
 				continue
 			}

@@ -37,6 +37,13 @@ func MonotoneAssignment(sys *system.System, i int) map[int]string {
 	return out
 }
 
+// ApplyInputs delivers an input assignment to a fresh initial state (an
+// initialization in the paper's sense: exactly one init per process, no
+// other actions), yielding the root the input-first executions grow from.
+func ApplyInputs(sys *system.System, inputs map[int]string) (system.State, error) {
+	return applyInputs(sys, inputs)
+}
+
 // applyInputs delivers an input assignment to a fresh initial state
 // (an initialization in the paper's sense: exactly one init per process,
 // no other actions).

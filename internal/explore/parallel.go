@@ -82,7 +82,7 @@ func parallelForBuf(workers, n int, f func(i int, buf []byte) []byte) {
 }
 
 // fresh is a successor discovered during frontier expansion that was not in
-// the intern table when its level started: the fingerprint (an owned copy),
+// the state store when its level started: the fingerprint (an owned copy),
 // the state, and the index of the edge whose target awaits its ID.
 type fresh struct {
 	edgeIdx int
@@ -98,11 +98,11 @@ type expansion struct {
 }
 
 // expandFrontier applies every applicable task to st, resolving successor
-// IDs through the frozen intern table. Successors not yet interned are
+// IDs through the frozen state store. Successors not yet stored are
 // returned as fresh candidates with their edge targets left at
 // intern.NoState, to be patched at the level barrier. buf is the calling
 // worker's fingerprint scratch, returned (possibly grown) for reuse.
-func expandFrontier(sys *system.System, tab *intern.Table, st system.State, buf []byte) (expansion, []byte) {
+func expandFrontier(sys *system.System, store StateStore, st system.State, buf []byte) (expansion, []byte) {
 	var out expansion
 	for _, task := range sys.Tasks() {
 		if !sys.Applicable(st, task) {
@@ -114,9 +114,12 @@ func expandFrontier(sys *system.System, tab *intern.Table, st system.State, buf 
 			return out, buf
 		}
 		buf = sys.AppendFingerprint(buf[:0], next)
-		id, ok := tab.LookupBytes(buf)
+		id, ok := store.Lookup(buf)
 		if !ok {
 			id = intern.NoState
+			// The one owned copy of the fingerprint: the store takes
+			// ownership at the barrier, so dense interning retains this
+			// string without copying again.
 			out.fresh = append(out.fresh, fresh{edgeIdx: len(out.edges), fp: string(buf), st: next})
 		}
 		out.edges = append(out.edges, Edge{Task: task, Action: act, To: id})
@@ -126,25 +129,33 @@ func expandFrontier(sys *system.System, tab *intern.Table, st system.State, buf 
 
 // buildGraphParallel is the worker-pool engine behind BuildGraph: a
 // level-synchronous BFS over the interned ID space. Each frontier level is
-// expanded across workers against the *frozen* intern table (concurrent
+// expanded across workers against the *frozen* state store (concurrent
 // lookups, no writes); at the level barrier the coordinator walks the
 // expansions in frontier order and interns the level's discoveries serially.
 // Serial interning at the barrier is what makes the engine deterministic:
 // IDs, edges, predecessors and the overflow point are assigned in exactly
 // the order the serial engine would assign them, for any worker count — the
 // parallel graph is not merely isomorphic to the serial one, it is
-// identical.
-func buildGraphParallel(sys *system.System, roots []system.State, maxStates, workers int) (*Graph, error) {
-	g := newGraph(sys)
+// identical. Progress reports and context cancellation mirror the serial
+// engine: one report per level barrier, cancellation observed mid-level by
+// the expanding workers.
+func buildGraphParallel(sys *system.System, roots []system.State, maxStates, workers int, opt BuildOptions) (*Graph, error) {
+	g := newGraph(sys, opt.Store)
 	g.internRoots(roots, nil)
-	frontier := make([]StateID, len(g.states))
+	frontier := make([]StateID, g.store.Len())
 	for i := range frontier {
 		frontier[i] = StateID(i)
 	}
+	level := 0
 	for len(frontier) > 0 {
 		results := make([]expansion, len(frontier))
 		parallelForBuf(workers, len(frontier), func(i int, buf []byte) []byte {
-			results[i], buf = expandFrontier(sys, g.tab, g.states[frontier[i]], buf)
+			if err := ctxErr(opt.Ctx); err != nil {
+				results[i].err = err
+				return buf
+			}
+			st, _ := g.store.State(frontier[i])
+			results[i], buf = expandFrontier(sys, g.store, st, buf)
 			return buf
 		})
 		// Level barrier: resolve the level's discoveries in frontier order ×
@@ -156,20 +167,28 @@ func buildGraphParallel(sys *system.System, roots []system.State, maxStates, wor
 				return nil, res.err
 			}
 			for _, f := range res.fresh {
-				id, ok := g.tab.Lookup(f.fp)
+				id, ok := g.store.LookupString(f.fp)
 				if !ok {
-					if len(g.states) >= maxStates {
-						return nil, fmt.Errorf("%w: > %d states", ErrStateExplosion, maxStates)
+					if g.store.Len() >= maxStates {
+						return nil, &LimitError{Limit: maxStates, Explored: g.store.Len()}
 					}
 					e := res.edges[f.edgeIdx]
-					id = g.addState(f.fp, f.st, pred{from: frontier[i], task: e.Task, act: e.Action, has: true})
+					id, _ = g.store.Intern(f.fp, f.st, pred{from: frontier[i], task: e.Task, act: e.Action, has: true})
 					next = append(next, id)
 				}
 				res.edges[f.edgeIdx].To = id
 			}
-			g.succs[frontier[i]] = res.edges
+			g.store.SetSuccs(frontier[i], res.edges)
+			g.edges += len(res.edges)
 		}
+		if opt.Progress != nil {
+			opt.Progress(Progress{Level: level, States: g.store.Len(), Edges: g.edges, Frontier: len(next)})
+		}
+		level++
 		frontier = next
+	}
+	if err := ctxErr(opt.Ctx); err != nil {
+		return nil, err
 	}
 	g.computeMasksParallel(workers)
 	return g, nil
@@ -177,22 +196,23 @@ func buildGraphParallel(sys *system.System, roots []system.State, maxStates, wor
 
 // computeMasksParallel is the parallel counterpart of computeMasks: the same
 // backward fixpoint mask(s) = decided(s) ∪ ⋃_{s→t} mask(t), computed as a
-// chaotic iteration directly over the slice-backed adjacency. Masks only grow
+// chaotic iteration directly over the store-backed adjacency. Masks only grow
 // under ∪, so concurrent sweeps converge to the same least fixpoint as the
 // serial iteration; each vertex is written by exactly one worker per sweep
 // and successor masks are read atomically.
 func (g *Graph) computeMasksParallel(workers int) {
-	n := len(g.states)
+	n := g.store.Len()
 	masks := make([]uint32, n)
 	parallelFor(workers, n, func(i int) {
-		masks[i] = uint32(ownMask(g.sys, g.states[i]))
+		st, _ := g.store.State(StateID(i))
+		masks[i] = uint32(ownMask(g.sys, st))
 	})
 	for {
 		var changed atomic.Bool
 		parallelFor(workers, n, func(i int) {
 			m := atomic.LoadUint32(&masks[i])
 			next := m
-			for _, e := range g.succs[i] {
+			for _, e := range g.store.Succs(StateID(i)) {
 				next |= atomic.LoadUint32(&masks[e.To])
 			}
 			if next != m {

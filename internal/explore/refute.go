@@ -144,6 +144,9 @@ type RefuteOptions struct {
 //     silencing fair schedule with cycle detection.
 func Refute(sys *system.System, claimed int, opt RefuteOptions) (*Report, error) {
 	report := &Report{Claimed: claimed}
+	if err := ctxErr(opt.Build.Ctx); err != nil {
+		return nil, err
+	}
 
 	// Phase 1: exhaustive failure-free safety sweep. The 2^n assignments are
 	// independent, so they are swept across the configured workers, with the
@@ -238,6 +241,9 @@ func refuteScenarios(sys *system.System, report *Report, hookInputs map[int]stri
 	}
 	workers := effectiveWorkers(opt.Build.Workers)
 	for _, J := range failureSets(sys.ProcessIDs(), report.Claimed) {
+		if err := ctxErr(opt.Build.Ctx); err != nil {
+			return nil, err
+		}
 		scenarios := make([]func() (*Certificate, error), 0, len(assignments)+len(hookStates))
 		for _, inputs := range assignments {
 			scenarios = append(scenarios, func() (*Certificate, error) {
@@ -288,16 +294,20 @@ func safetySweep(sys *system.System, inputs map[int]string, opt BuildOptions) (*
 	}
 	// Iterate vertices in lexicographic fingerprint order — the historical
 	// witness-selection order, kept so reports stay byte-identical across
-	// the ID refactor.
+	// the ID refactor. Fingerprints are materialized once up front: hash
+	// stores reconstruct them by re-encoding, which would otherwise run
+	// O(n log n) times inside the comparator.
+	fps := make([]string, g.Size())
 	order := make([]StateID, g.Size())
 	for i := range order {
+		fps[i] = g.Fingerprint(StateID(i))
 		order[i] = StateID(i)
 	}
 	sort.Slice(order, func(i, j int) bool {
-		return g.Fingerprint(order[i]) < g.Fingerprint(order[j])
+		return fps[order[i]] < fps[order[j]]
 	})
 	for _, id := range order {
-		st := g.states[id]
+		st, _ := g.State(id)
 		dec := sys.Decisions(st)
 		var values []string
 		for _, v := range dec {
@@ -500,6 +510,9 @@ func RefuteKSet(sys *system.System, k, claimed int, opt RefuteOptions) (*Report,
 	}
 	workers := effectiveWorkers(opt.Build.Workers)
 	for _, J := range failureSets(sys.ProcessIDs(), claimed) {
+		if err := ctxErr(opt.Build.Ctx); err != nil {
+			return nil, err
+		}
 		certs := make([]*Certificate, len(assignments))
 		errs := make([]error, len(assignments))
 		parallelFor(workers, len(assignments), func(i int) {

@@ -8,6 +8,7 @@
 package explore
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -24,6 +25,26 @@ var (
 	ErrNotBivalent    = errors.New("explore: root execution is not bivalent")
 	ErrNoDecision     = errors.New("explore: no decision reachable")
 )
+
+// LimitError reports that graph construction hit its vertex budget. It
+// wraps ErrStateExplosion, so errors.Is(err, ErrStateExplosion) keeps
+// working; errors.As gives callers the partial exploration count for
+// surfacing ("explored N states before the limit").
+type LimitError struct {
+	// Limit is the MaxStates budget that was exceeded.
+	Limit int
+	// Explored is the number of distinct states stored when construction
+	// stopped.
+	Explored int
+}
+
+// Error keeps the historical sentinel-wrapped message.
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("%v: > %d states", ErrStateExplosion, e.Limit)
+}
+
+// Unwrap ties the typed error to the ErrStateExplosion sentinel.
+func (e *LimitError) Unwrap() error { return ErrStateExplosion }
 
 // FailureEvent schedules the fail_i input before the given round-robin
 // round of a run (round 0 = immediately after the initializations).
@@ -253,9 +274,21 @@ func Random(sys *system.System, cfg RunConfig, seed int64, steps int) (RunResult
 // every trace in memory at once). Run RoundRobin directly when Exec is
 // needed.
 func RunBatch(sys *system.System, cfgs []RunConfig, workers int) ([]RunResult, error) {
+	return RunBatchCtx(nil, sys, cfgs, workers)
+}
+
+// RunBatchCtx is RunBatch with cancellation: each worker checks the context
+// before starting its next configuration, so a cancelled batch returns
+// ctx.Err() promptly instead of draining the remaining runs. A nil context
+// never cancels.
+func RunBatchCtx(ctx context.Context, sys *system.System, cfgs []RunConfig, workers int) ([]RunResult, error) {
 	results := make([]RunResult, len(cfgs))
 	errs := make([]error, len(cfgs))
 	parallelFor(effectiveWorkers(workers), len(cfgs), func(i int) {
+		if err := ctxErr(ctx); err != nil {
+			errs[i] = err
+			return
+		}
 		results[i], errs[i] = RoundRobin(sys, cfgs[i])
 		results[i].Exec = ioa.Execution{}
 	})

@@ -1,0 +1,332 @@
+package explore
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/ioa-lab/boosting/internal/intern"
+	"github.com/ioa-lab/boosting/internal/system"
+)
+
+// StoreKind selects the StateStore backend used to hold the vertices of
+// G(C) during exploration.
+type StoreKind int
+
+// Store backends.
+const (
+	// StoreDense is the default backend: every canonical fingerprint is
+	// interned exactly once (intern.Table) and kept for the lifetime of the
+	// graph. Exact, and Fingerprint is a free slice lookup.
+	StoreDense StoreKind = iota
+	// StoreHash64 keys the dedup index by a 64-bit hash of the canonical
+	// fingerprint instead of the fingerprint itself (the SPIN/TLC
+	// hash-compaction move). Candidate matches are verified against the
+	// stored representative state, so — unlike bitstate hashing — results
+	// remain exact; hash collisions are audited (counted and resolved by
+	// verification) rather than silently merging distinct states.
+	StoreHash64
+	// StoreHash128 is StoreHash64 with a second independent 64-bit hash per
+	// vertex. The wider filter makes verification misses (true collisions)
+	// vanishingly rare at large state counts, at +8 bytes per vertex.
+	StoreHash128
+)
+
+// String renders the store kind.
+func (k StoreKind) String() string {
+	switch k {
+	case StoreDense:
+		return "dense"
+	case StoreHash64:
+		return "hash64"
+	case StoreHash128:
+		return "hash128"
+	default:
+		return fmt.Sprintf("store(%d)", int(k))
+	}
+}
+
+// StateStore is the storage seam of G(C): it owns the vertex set — the
+// dedup index from canonical fingerprints to dense StateIDs, the
+// representative states, the adjacency, and the BFS-tree predecessor links.
+// Graph and both exploration engines talk to storage only through this
+// interface, so backends can trade memory for lookup cost (dense interned
+// strings vs hash compaction) or, later, spill to disk.
+//
+// Concurrency contract (inherited from intern.Table): any number of
+// goroutines may call Lookup/State/Succs/Fingerprint/Len concurrently as
+// long as no Intern/SetSuccs call overlaps them. The level-synchronous
+// parallel engine satisfies this by freezing the store while a frontier
+// level expands and mutating it only at the level barrier.
+//
+// IDs are assigned densely in interning order: the i-th distinct state gets
+// ID i, so a BFS that interns states in discovery order gets BFS-numbered
+// vertices for free. Both bundled implementations live in this package; the
+// interface deliberately uses the unexported pred type, so external
+// implementations go through their own StoreKind here.
+type StateStore interface {
+	// Len returns the number of stored vertices; valid IDs are 0 … Len()−1.
+	Len() int
+	// Lookup resolves a canonical fingerprint to its vertex, if stored.
+	Lookup(fp []byte) (StateID, bool)
+	// LookupString is Lookup for an already-owned string key.
+	LookupString(fp string) (StateID, bool)
+	// Intern stores a vertex under its canonical fingerprint, assigning the
+	// next dense ID if the fingerprint is new; fresh reports a new
+	// assignment (the predecessor link is recorded only then). The store
+	// takes ownership of fp — callers hand over their one owned copy, so
+	// backends that retain the encoding (dense) do not copy again.
+	Intern(fp string, st system.State, p pred) (id StateID, fresh bool)
+	// State returns the representative state of a vertex.
+	State(id StateID) (system.State, bool)
+	// Fingerprint returns the canonical string encoding of a vertex.
+	Fingerprint(id StateID) string
+	// Succs returns the outgoing edges of a vertex.
+	Succs(id StateID) []Edge
+	// SetSuccs records the outgoing edges of a vertex.
+	SetSuccs(id StateID, edges []Edge)
+	// Pred returns the BFS-tree predecessor link of a vertex (has == false
+	// for roots).
+	Pred(id StateID) pred
+}
+
+// newStore builds the backend for a kind. The encoder is the system's
+// canonical fingerprint appender; hash backends use it to re-encode stored
+// states when verifying candidate matches.
+func newStore(kind StoreKind, enc func([]byte, system.State) []byte) StateStore {
+	switch kind {
+	case StoreHash64:
+		return newHashStore(enc, false)
+	case StoreHash128:
+		return newHashStore(enc, true)
+	default:
+		return newDenseStore()
+	}
+}
+
+// denseStore is the interned-string backend: the intern.Table maps each
+// canonical fingerprint (kept once, in full) to its dense ID, and states,
+// adjacency and predecessor links are slices indexed by that ID.
+type denseStore struct {
+	tab    *intern.Table
+	states []system.State
+	succs  [][]Edge
+	preds  []pred
+}
+
+func newDenseStore() *denseStore {
+	return &denseStore{tab: intern.NewTable(1024)}
+}
+
+func (s *denseStore) Len() int { return s.tab.Len() }
+
+func (s *denseStore) Lookup(fp []byte) (StateID, bool) { return s.tab.LookupBytes(fp) }
+
+func (s *denseStore) LookupString(fp string) (StateID, bool) { return s.tab.Lookup(fp) }
+
+func (s *denseStore) Intern(fp string, st system.State, p pred) (StateID, bool) {
+	id, fresh := s.tab.Intern(fp)
+	if fresh {
+		s.states = append(s.states, st)
+		s.succs = append(s.succs, nil)
+		s.preds = append(s.preds, p)
+	}
+	return id, fresh
+}
+
+func (s *denseStore) State(id StateID) (system.State, bool) {
+	if int(id) >= len(s.states) {
+		return system.State{}, false
+	}
+	return s.states[id], true
+}
+
+func (s *denseStore) Fingerprint(id StateID) string { return s.tab.Key(id) }
+
+func (s *denseStore) Succs(id StateID) []Edge {
+	if int(id) >= len(s.succs) {
+		return nil
+	}
+	return s.succs[id]
+}
+
+func (s *denseStore) SetSuccs(id StateID, edges []Edge) { s.succs[id] = edges }
+
+func (s *denseStore) Pred(id StateID) pred { return s.preds[id] }
+
+// fpHash returns two independent 64-bit FNV-1a–style hashes of a canonical
+// fingerprint, computed in one pass. Deterministic across runs (unlike
+// maphash), so collision counts are reproducible. Generic over the two key
+// forms so neither call path converts (and copies) its key.
+func fpHash[T ~string | ~[]byte](fp T) (h1, h2 uint64) {
+	const (
+		offset1 = 14695981039346656037 // FNV-1a offset basis
+		prime1  = 1099511628211        // FNV-1a prime
+		offset2 = 0x9e3779b97f4a7c15   // golden-ratio offset for the second stream
+		prime2  = 0x100000001b5        // shifted FNV prime
+	)
+	h1, h2 = offset1, offset2
+	for i := 0; i < len(fp); i++ {
+		h1 = (h1 ^ uint64(fp[i])) * prime1
+		h2 = (h2 ^ uint64(fp[i])) * prime2
+	}
+	// Finalize the second stream so it is not a linear shadow of the first.
+	h2 ^= h2 >> 29
+	h2 *= 0xbf58476d1ce4e5b9
+	h2 ^= h2 >> 32
+	return h1, h2
+}
+
+// hashStore is the hash-compaction backend: the dedup index is keyed by a
+// 64-bit fingerprint hash (optionally filtered by a second 64-bit hash),
+// and the canonical string itself is never stored — per vertex it keeps
+// only the representative state, adjacency, predecessor link and 8–16 hash
+// bytes. Candidate matches are verified exactly by re-encoding the stored
+// representative state, so distinct states that collide in the hash are
+// kept apart (and counted), never merged: the produced graph is identical
+// to the dense backend's.
+type hashStore struct {
+	enc  func([]byte, system.State) []byte
+	wide bool
+	// hash/hashS are fpHash's two instantiations, replaceable (together)
+	// in tests to force collisions and exercise the verification path.
+	hash    func([]byte) (uint64, uint64)
+	hashS   func(string) (uint64, uint64)
+	buckets map[uint64][]StateID
+	hash2   []uint64 // second hash per vertex (wide only)
+	states  []system.State
+	succs   [][]Edge
+	preds   []pred
+	// collisions counts verification misses: bucket candidates whose
+	// fingerprint turned out to differ (atomic — Lookup runs concurrently
+	// during frozen-store frontier expansion).
+	collisions atomic.Int64
+	bufs       sync.Pool
+}
+
+func newHashStore(enc func([]byte, system.State) []byte, wide bool) *hashStore {
+	return &hashStore{
+		enc:     enc,
+		wide:    wide,
+		hash:    fpHash[[]byte],
+		hashS:   fpHash[string],
+		buckets: make(map[uint64][]StateID, 1024),
+		bufs:    sync.Pool{New: func() any { b := make([]byte, 0, 256); return &b }},
+	}
+}
+
+func (s *hashStore) Len() int { return len(s.states) }
+
+// matches verifies a candidate exactly: the stored representative state is
+// re-encoded and compared byte-for-byte against the probe fingerprint.
+func (s *hashStore) matches(id StateID, fp []byte) bool {
+	bufp := s.bufs.Get().(*[]byte)
+	buf := s.enc((*bufp)[:0], s.states[id])
+	eq := bytes.Equal(buf, fp)
+	*bufp = buf
+	s.bufs.Put(bufp)
+	return eq
+}
+
+// matchesString is matches for a string probe; the byte-slice → string
+// conversion inside the comparison does not allocate.
+func (s *hashStore) matchesString(id StateID, fp string) bool {
+	bufp := s.bufs.Get().(*[]byte)
+	buf := s.enc((*bufp)[:0], s.states[id])
+	eq := string(buf) == fp
+	*bufp = buf
+	s.bufs.Put(bufp)
+	return eq
+}
+
+func (s *hashStore) lookupHashed(fp []byte, h1, h2 uint64) (StateID, bool) {
+	for _, id := range s.buckets[h1] {
+		if s.wide && s.hash2[id] != h2 {
+			continue
+		}
+		if s.matches(id, fp) {
+			return id, true
+		}
+		s.collisions.Add(1)
+	}
+	return 0, false
+}
+
+func (s *hashStore) lookupHashedString(fp string, h1, h2 uint64) (StateID, bool) {
+	for _, id := range s.buckets[h1] {
+		if s.wide && s.hash2[id] != h2 {
+			continue
+		}
+		if s.matchesString(id, fp) {
+			return id, true
+		}
+		s.collisions.Add(1)
+	}
+	return 0, false
+}
+
+func (s *hashStore) Lookup(fp []byte) (StateID, bool) {
+	h1, h2 := s.hash(fp)
+	return s.lookupHashed(fp, h1, h2)
+}
+
+func (s *hashStore) LookupString(fp string) (StateID, bool) {
+	h1, h2 := s.hashS(fp)
+	return s.lookupHashedString(fp, h1, h2)
+}
+
+func (s *hashStore) Intern(fp string, st system.State, p pred) (StateID, bool) {
+	h1, h2 := s.hashS(fp)
+	if id, ok := s.lookupHashedString(fp, h1, h2); ok {
+		return id, false
+	}
+	id := StateID(len(s.states))
+	s.buckets[h1] = append(s.buckets[h1], id)
+	if s.wide {
+		s.hash2 = append(s.hash2, h2)
+	}
+	s.states = append(s.states, st)
+	s.succs = append(s.succs, nil)
+	s.preds = append(s.preds, p)
+	return id, true
+}
+
+func (s *hashStore) State(id StateID) (system.State, bool) {
+	if int(id) >= len(s.states) {
+		return system.State{}, false
+	}
+	return s.states[id], true
+}
+
+// Fingerprint re-encodes the representative state: hash compaction does not
+// keep canonical strings, it reconstructs them on demand.
+func (s *hashStore) Fingerprint(id StateID) string {
+	return string(s.enc(nil, s.states[id]))
+}
+
+func (s *hashStore) Succs(id StateID) []Edge {
+	if int(id) >= len(s.succs) {
+		return nil
+	}
+	return s.succs[id]
+}
+
+func (s *hashStore) SetSuccs(id StateID, edges []Edge) { s.succs[id] = edges }
+
+func (s *hashStore) Pred(id StateID) pred { return s.preds[id] }
+
+// Collisions reports how many hash collisions (distinct canonical
+// fingerprints sharing a bucket) verification resolved — the collision
+// audit of the compaction scheme. Zero on the dense backend by
+// construction.
+func (s *hashStore) Collisions() int { return int(s.collisions.Load()) }
+
+// StoreCollisions reports the audited hash-collision count of a graph's
+// backend (0 for backends that do not hash).
+func StoreCollisions(g *Graph) int {
+	if hs, ok := g.store.(*hashStore); ok {
+		return hs.Collisions()
+	}
+	return 0
+}

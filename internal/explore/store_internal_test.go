@@ -1,0 +1,96 @@
+package explore
+
+// In-package tests for the StateStore seam: the hash-compaction backend's
+// collision audit (forced via a degenerate hash function) and the
+// equivalence of all backends at the store level. The public behaviour —
+// identical graphs, valences and reports — is covered by the external
+// store/progress/cancellation tests and the root-level parity suite.
+
+import (
+	"testing"
+
+	"github.com/ioa-lab/boosting/internal/protocols"
+	"github.com/ioa-lab/boosting/internal/service"
+	"github.com/ioa-lab/boosting/internal/system"
+)
+
+// TestHashStoreCollisionAudit drives a hash store whose hash function maps
+// every fingerprint to the same bucket: every distinct state is a hash
+// collision, and the store must still assign the exact same dense IDs as
+// the dense backend, resolving each collision by verification and counting
+// it.
+func TestHashStoreCollisionAudit(t *testing.T) {
+	sys, err := protocols.BuildForward(2, 0, service.Adversarial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := BuildGraph(sys, []systemState{stateAfterInputs(t, sys)}, BuildOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := newHashStore(sys.AppendFingerprint, false)
+	hs.hash = func([]byte) (uint64, uint64) { return 0, 0 }
+	hs.hashS = func(string) (uint64, uint64) { return 0, 0 }
+	var buf []byte
+	for id := 0; id < dense.Size(); id++ {
+		st, _ := dense.State(StateID(id))
+		buf = sys.AppendFingerprint(buf[:0], st)
+		got, fresh := hs.Intern(string(buf), st, pred{})
+		if !fresh || got != StateID(id) {
+			t.Fatalf("degenerate hash store assigned id %d (fresh=%v), want fresh id %d", got, fresh, id)
+		}
+	}
+	// Every re-lookup must resolve through the single shared bucket.
+	for id := 0; id < dense.Size(); id++ {
+		st, _ := dense.State(StateID(id))
+		buf = sys.AppendFingerprint(buf[:0], st)
+		got, ok := hs.Lookup(buf)
+		if !ok || got != StateID(id) {
+			t.Fatalf("lookup of state %d under total collision: got %d, ok=%v", id, got, ok)
+		}
+	}
+	if hs.Collisions() == 0 {
+		t.Error("total-collision store audited zero collisions")
+	}
+	if n := hs.Len(); n != dense.Size() {
+		t.Errorf("store length %d, want %d", n, dense.Size())
+	}
+}
+
+// TestRealHashNoFalseMerges interns every state of a real graph into a
+// normally-hashed store and checks IDs survive a round trip.
+func TestRealHashNoFalseMerges(t *testing.T) {
+	sys, err := protocols.BuildForward(2, 0, service.Adversarial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, wide := range []bool{false, true} {
+		dense, err := BuildGraph(sys, []systemState{stateAfterInputs(t, sys)}, BuildOptions{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs := newHashStore(sys.AppendFingerprint, wide)
+		var buf []byte
+		for id := 0; id < dense.Size(); id++ {
+			st, _ := dense.State(StateID(id))
+			buf = sys.AppendFingerprint(buf[:0], st)
+			if got, fresh := hs.Intern(string(buf), st, pred{}); !fresh || got != StateID(id) {
+				t.Fatalf("wide=%v: intern state %d: got %d fresh=%v", wide, id, got, fresh)
+			}
+		}
+		if fp0, fp1 := dense.Fingerprint(0), hs.Fingerprint(0); fp0 != fp1 {
+			t.Errorf("wide=%v: reconstructed fingerprint mismatch:\n%q\n%q", wide, fp0, fp1)
+		}
+	}
+}
+
+type systemState = system.State
+
+func stateAfterInputs(t *testing.T, sys *system.System) system.State {
+	t.Helper()
+	st, err := applyInputs(sys, MonotoneAssignment(sys, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}

@@ -67,6 +67,40 @@ func BuildFloodSetWithP(n, fFD, rounds int, policy service.SilencePolicy) (*syst
 	return system.New(procs, svcs)
 }
 
+// BuildFloodSetWithEvP assembles FloodSet over registers guided by a single
+// wait-free n-process *eventually* perfect failure detector (Figs. 10–11).
+// FloodSet's round advancement relies on accuracy — a suspected process is
+// skipped as crashed — so ◇P's arbitrary pre-stabilization suspicions break
+// the synchronous-round simulation even though the detector never falls
+// silent: the candidate illustrates that Section 6.3's boost needs P, not
+// just any failure detector. Like every detector-bearing system, its
+// failure-free reachable graph is infinite (suspicion responses are pushed
+// unconditionally), so graph analyses must be bounded or skipped.
+func BuildFloodSetWithEvP(n, rounds int) (*system.System, error) {
+	if n < 1 || rounds < 1 {
+		return nil, fmt.Errorf("protocols: bad FloodSet shape n=%d rounds=%d", n, rounds)
+	}
+	procIDs := make([]int, n)
+	for i := range procIDs {
+		procIDs[i] = i
+	}
+	prog := FloodSet{Procs: procIDs, Rounds: rounds}
+	procs := make([]*process.Process, n)
+	for i := 0; i < n; i++ {
+		procs[i] = process.New(i, prog)
+	}
+	svcs, err := floodRegisters(procIDs, rounds, BinaryProposals)
+	if err != nil {
+		return nil, err
+	}
+	fd, err := service.NewWaitFree("P", servicetype.EventuallyPerfectFD(procIDs), procIDs, service.Adversarial)
+	if err != nil {
+		return nil, err
+	}
+	svcs = append(svcs, fd)
+	return system.New(procs, svcs)
+}
+
 // BuildFDBoost assembles the Section 6.3 positive construction: FloodSet
 // over registers with a 1-resilient (hence wait-free) 2-process perfect
 // failure detector on every pair of processes. Because the detectors'

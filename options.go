@@ -1,0 +1,86 @@
+package boosting
+
+import (
+	"context"
+
+	"github.com/ioa-lab/boosting/internal/explore"
+	"github.com/ioa-lab/boosting/internal/service"
+)
+
+// config is the resolved option set of a Checker.
+type config struct {
+	workers   int
+	maxStates int
+	store     Store
+	progress  ProgressFunc
+	ctx       context.Context
+	policy    service.SilencePolicy
+	rounds    int
+	maxRounds int
+	skipGraph bool
+}
+
+func defaultConfig() config {
+	return config{policy: service.Adversarial}
+}
+
+// Option configures a Checker.
+type Option func(*config)
+
+// WithWorkers sets the exploration worker count: 0 (the default) means one
+// per CPU, 1 forces the serial engines. Results are identical for any
+// worker count.
+func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
+
+// WithMaxStates caps the number of distinct states explored per graph
+// build (0 = the engine default, 200000). Exceeding the cap returns a
+// *LimitError.
+func WithMaxStates(n int) Option { return func(c *config) { c.maxStates = n } }
+
+// WithStore selects the vertex storage backend for graph builds:
+// DenseStore (default), HashStore64 or HashStore128. All backends produce
+// identical graphs and reports.
+func WithStore(s Store) Option { return func(c *config) { c.store = s } }
+
+// WithProgress streams per-level exploration reports (states, edges,
+// frontier) to fn during every graph build the Checker performs.
+func WithProgress(fn ProgressFunc) Option { return func(c *config) { c.progress = fn } }
+
+// WithContext attaches a cancellation context: long-running exploration,
+// refutation and batch runs check it mid-level and return ctx.Err()
+// promptly once cancelled.
+func WithContext(ctx context.Context) Option { return func(c *config) { c.ctx = ctx } }
+
+// WithSilencePolicy sets whether services past their resilience bound
+// exercise the right to fall silent (default Adversarial). Protocols whose
+// builders take no policy ignore it.
+func WithSilencePolicy(p SilencePolicy) Option { return func(c *config) { c.policy = p } }
+
+// WithRounds sets the round parameter of round-structured protocols
+// (floodset-p, fdboost, evperfect): the number of flooding rounds. 0 (the
+// default) picks the protocol's natural value (see Protocols).
+func WithRounds(r int) Option { return func(c *config) { c.rounds = r } }
+
+// WithMaxRounds caps fair scheduled runs inside Refute/RefuteKSet (0 = the
+// engine default, 10000 rounds). Runs started directly via Run take their
+// cap from RunConfig.MaxRounds instead.
+func WithMaxRounds(r int) Option { return func(c *config) { c.maxRounds = r } }
+
+// WithoutGraphAnalysis makes Refute skip the failure-free graph phases
+// (safety sweep, Lemma 4, hook search) and go straight to the failure
+// scenarios. Required for custom systems (NewFromSystem) whose failure
+// detectors push suspicion responses unconditionally: their failure-free
+// reachable graph is infinite. Registry families that need this are marked
+// SkipsGraphAnalysis and get it automatically.
+func WithoutGraphAnalysis() Option { return func(c *config) { c.skipGraph = true } }
+
+// buildOptions lowers the config to engine build options.
+func (c *config) buildOptions() explore.BuildOptions {
+	return explore.BuildOptions{
+		Workers:   c.workers,
+		MaxStates: c.maxStates,
+		Store:     c.store,
+		Progress:  c.progress,
+		Ctx:       c.ctx,
+	}
+}
