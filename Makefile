@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-allocs lint vet fmt-check fmt vuln apidiff-baseline apidiff
+.PHONY: all build test race bench bench-allocs bench-symmetry lint vet fmt-check fmt vuln apidiff-baseline apidiff
 
 all: build lint test
 
@@ -22,15 +22,21 @@ bench:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' ./...
 
 # Allocation accounting for the exploration stack: the E22–E24 engine
-# comparisons, the E25 fingerprint-encoder comparison and the E26 state
-# store comparison (dense vs hash compaction), with -benchmem. B/op and
+# comparisons, the E25 fingerprint-encoder comparison, the E26 state
+# store comparison (dense vs hash compaction) and the E27 symmetry
+# reduction (quotient vs full graph), with -benchmem. B/op and
 # allocs/op are stable at low iteration counts, so a short fixed benchtime
 # keeps this cheap enough to run per-PR; CI uploads the output as an
 # artifact (bench-allocs.txt) to make allocation regressions visible.
 bench-allocs:
-	@$(GO) test -bench 'BenchmarkBuildGraphWorkers|BenchmarkRefuteWorkers|BenchmarkRunBatchWorkers|BenchmarkFingerprint|BenchmarkStoreBackends' \
+	@$(GO) test -bench 'BenchmarkBuildGraphWorkers|BenchmarkRefuteWorkers|BenchmarkRunBatchWorkers|BenchmarkFingerprint|BenchmarkStoreBackends|BenchmarkSymmetry$$' \
 		-benchmem -benchtime=2x -run '^$$' . > bench-allocs.txt; \
 		status=$$?; cat bench-allocs.txt; exit $$status
+
+# The E27 row on its own: reduced vs unreduced build time, state count and
+# retained bytes for the forward n=4 exhaustive analysis.
+bench-symmetry:
+	$(GO) test -bench 'BenchmarkSymmetry$$' -benchmem -benchtime=2x -run '^$$' .
 
 lint: vet fmt-check
 

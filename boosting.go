@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"github.com/ioa-lab/boosting/internal/protocols"
+	"github.com/ioa-lab/boosting/internal/symmetry"
 	"github.com/ioa-lab/boosting/internal/system"
 )
 
@@ -22,9 +23,13 @@ type ProtocolInfo struct {
 
 // protocolSpec couples registry metadata with a builder. The builder
 // receives the resolved option config for the policy and rounds knobs.
+// sym, when non-nil, declares the family's process-renaming symmetry for
+// WithSymmetry; families whose states embed process ids beyond the
+// declared renaming rules leave it nil and always explore unreduced.
 type protocolSpec struct {
 	info  ProtocolInfo
 	build func(n, f int, c *config) (*system.System, error)
+	sym   func(n, f int) symmetry.Spec
 }
 
 // roundsOr resolves the rounds knob: an explicit WithRounds wins, otherwise
@@ -46,6 +51,7 @@ var registry = []protocolSpec{
 		build: func(n, f int, c *config) (*system.System, error) {
 			return protocols.BuildForward(n, f, c.policy)
 		},
+		sym: func(n, _ int) symmetry.Spec { return protocols.ForwardSymmetry(n) },
 	},
 	{
 		info: ProtocolInfo{
@@ -55,6 +61,7 @@ var registry = []protocolSpec{
 		build: func(n, f int, c *config) (*system.System, error) {
 			return protocols.BuildTOBConsensus(n, f, c.policy)
 		},
+		sym: func(n, _ int) symmetry.Spec { return protocols.TOBSymmetry(n) },
 	},
 	{
 		info: ProtocolInfo{
@@ -64,6 +71,7 @@ var registry = []protocolSpec{
 		build: func(n, _ int, _ *config) (*system.System, error) {
 			return protocols.BuildRegisterVote(n)
 		},
+		sym: func(n, _ int) symmetry.Spec { return protocols.RegisterVoteSymmetry(n) },
 	},
 	{
 		info: ProtocolInfo{
@@ -73,6 +81,7 @@ var registry = []protocolSpec{
 		build: func(n, _ int, _ *config) (*system.System, error) {
 			return protocols.BuildSetBoost(n)
 		},
+		sym: func(n, _ int) symmetry.Spec { return protocols.SetBoostSymmetry(n) },
 	},
 	{
 		info: ProtocolInfo{
@@ -158,6 +167,13 @@ func New(name string, n, f int, opts ...Option) (*Checker, error) {
 	sys, err := spec.build(n, f, &cfg)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.symmetry && spec.sym != nil {
+		canon, err := symmetry.New(sys, spec.sym(n, f))
+		if err != nil {
+			return nil, fmt.Errorf("boosting: %s symmetry: %w", name, err)
+		}
+		cfg.canon = canon
 	}
 	return &Checker{sys: sys, cfg: cfg, skipGraph: spec.info.SkipsGraphAnalysis || cfg.skipGraph}, nil
 }

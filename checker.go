@@ -40,9 +40,10 @@ func (c *Checker) ClassifyInits() (*InitClassification, error) {
 
 // FindHook runs the Fig. 3 round-robin construction from a bivalent vertex
 // of g (typically a bivalent root from ClassifyInits), yielding a hook or a
-// divergence certificate.
+// divergence certificate. It honors the Checker's WithContext: a cancelled
+// context stops the construction mid-scan.
 func (c *Checker) FindHook(g *Graph, root StateID) (HookSearchResult, error) {
-	return explore.FindHookWorkers(g, root, c.cfg.workers)
+	return explore.FindHookCtx(c.cfg.ctx, g, root, c.cfg.workers)
 }
 
 // Refute analyses the candidate's claim to tolerate the given number of

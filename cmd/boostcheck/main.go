@@ -5,6 +5,7 @@
 // Usage:
 //
 //	boostcheck -candidate forward -n 2 -f 0 -claim 1
+//	boostcheck -candidate forward -n 4 -f 0 -claim 1 -symmetry
 //	boostcheck -candidate tob -n 2 -f 0 -claim 1
 //	boostcheck -candidate floodset-p -n 3 -f 0 -claim 1
 //	boostcheck -candidate fdboost -n 3 -claim 2

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	hookfind -n 2 -f 0
+//	hookfind -n 4 -f 0 -symmetry   # quotient graph modulo process renaming
 package main
 
 import (

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	setboost -group 2
+//	setboost -group 2 -symmetry   # quotient exploration within each group
 package main
 
 import (

@@ -16,7 +16,8 @@
 // This package is the public API: a protocol registry (Protocols, New), a
 // Checker façade over the pipeline (Explore, ClassifyInits, FindHook,
 // Refute, RefuteKSet, Run) configured by functional options (WithWorkers,
-// WithMaxStates, WithStore, WithProgress, WithContext, …), pluggable
+// WithMaxStates, WithStore, WithSymmetry, WithProgress, WithContext, …),
+// pluggable
 // StateStore backends (dense interning vs audited hash compaction), and
 // the engine's result types re-exported under stable names. The runnable
 // Example functions in example_test.go show the core loops.

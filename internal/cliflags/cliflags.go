@@ -1,7 +1,7 @@
 // Package cliflags is the shared flag block of the cmd/* binaries: every
-// tool takes the same exploration knobs (-workers, -maxstates, -store), and
-// every tool surfaces partial exploration counts when a state budget
-// overflows. Before the boosting façade each binary carried its own copy of
+// tool takes the same exploration knobs (-workers, -maxstates, -store,
+// -symmetry), and every tool surfaces partial exploration counts when a
+// state budget overflows. Before the boosting façade each binary carried its own copy of
 // this block; now there is one.
 package cliflags
 
@@ -18,6 +18,7 @@ type Common struct {
 	Workers   int
 	MaxStates int
 	Store     string
+	Symmetry  bool
 }
 
 // Register installs the shared flags on a flag set and returns the value
@@ -27,6 +28,7 @@ func Register(fs *flag.FlagSet) *Common {
 	fs.IntVar(&c.Workers, "workers", 0, "exploration workers (0 = one per CPU, 1 = serial)")
 	fs.IntVar(&c.MaxStates, "maxstates", 0, "explored-state budget per graph build (0 = engine default)")
 	fs.StringVar(&c.Store, "store", "dense", "state store backend: dense | hash64 | hash128")
+	fs.BoolVar(&c.Symmetry, "symmetry", false, "canonicalize states modulo process renaming (quotient graph; symmetric families only)")
 	return c
 }
 
@@ -50,11 +52,15 @@ func (c *Common) Options() ([]boosting.Option, error) {
 	if err != nil {
 		return nil, err
 	}
-	return []boosting.Option{
+	opts := []boosting.Option{
 		boosting.WithWorkers(c.Workers),
 		boosting.WithMaxStates(c.MaxStates),
 		boosting.WithStore(store),
-	}, nil
+	}
+	if c.Symmetry {
+		opts = append(opts, boosting.WithSymmetry())
+	}
+	return opts, nil
 }
 
 // Describe renders an error for CLI display, surfacing the partial

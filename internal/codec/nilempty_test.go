@@ -1,0 +1,37 @@
+package codec
+
+import "testing"
+
+// Nil-vs-empty regression pins for the container encoders: a nil slice,
+// an empty slice, a nil map and an empty map must produce the identical
+// canonical encoding on both the string and append faces, and the zero
+// IntSet must encode like a freshly built empty one. Distinct interned
+// state IDs for states differing only in nil-vs-empty containers would
+// silently split graph vertices.
+func TestNilVsEmptyEncodings(t *testing.T) {
+	if List(nil) != List([]string{}) {
+		t.Errorf("List: nil %q vs empty %q", List(nil), List([]string{}))
+	}
+	if Set(nil) != Set([]string{}) {
+		t.Errorf("Set: nil %q vs empty %q", Set(nil), Set([]string{}))
+	}
+	if Map(nil) != Map(map[string]string{}) {
+		t.Errorf("Map: nil %q vs empty %q", Map(nil), Map(map[string]string{}))
+	}
+	if got, want := string(AppendList(nil, nil)), List(nil); got != want {
+		t.Errorf("AppendList(nil): %q, want %q", got, want)
+	}
+	if got, want := string(AppendSet(nil, []string{})), Set(nil); got != want {
+		t.Errorf("AppendSet(empty): %q, want %q", got, want)
+	}
+	if got, want := string(AppendMap(nil, nil)), Map(nil); got != want {
+		t.Errorf("AppendMap(nil): %q, want %q", got, want)
+	}
+	var zero IntSet
+	if zero.Fingerprint() != NewIntSet().Fingerprint() {
+		t.Errorf("IntSet: zero %q vs fresh %q", zero.Fingerprint(), NewIntSet().Fingerprint())
+	}
+	if got, want := string(zero.AppendFingerprint(nil)), NewIntSet().Fingerprint(); got != want {
+		t.Errorf("IntSet append: zero %q, want %q", got, want)
+	}
+}

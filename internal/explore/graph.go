@@ -118,6 +118,13 @@ type Progress struct {
 // build's context rather than block.
 type ProgressFunc func(Progress)
 
+// Canonicalizer maps states to canonical orbit representatives under the
+// system's declared process-renaming symmetry (see internal/symmetry). It
+// must be a pure function, constant on orbits and safe for concurrent use.
+type Canonicalizer interface {
+	Canonical(st system.State) system.State
+}
+
 // BuildOptions bounds and instruments graph construction.
 type BuildOptions struct {
 	// MaxStates caps the number of distinct vertices (0 = default 200000).
@@ -131,6 +138,12 @@ type BuildOptions struct {
 	// backend produces the identical graph; they differ in memory per
 	// vertex and dedup cost.
 	Store StoreKind
+	// Symmetry, when non-nil, canonicalizes every state — roots and
+	// discovered successors — before the fingerprint/intern step at the
+	// StateStore boundary, so the engines build the quotient graph modulo
+	// process renaming. Both engines and every store backend apply it at
+	// the same point and stay graph-identical to each other.
+	Symmetry Canonicalizer
 	// Progress, when non-nil, receives one report per completed BFS level.
 	Progress ProgressFunc
 	// Ctx, when non-nil, cancels the build: exploration checks it
@@ -152,10 +165,21 @@ func newGraph(sys *system.System, kind StoreKind) *Graph {
 	return &Graph{sys: sys, store: newStore(kind, sys.AppendFingerprint)}
 }
 
-// internRoots seeds the graph with the root states. Roots are exempt from
-// the vertex budget and always get the smallest IDs, in input order.
-func (g *Graph) internRoots(roots []system.State, buf []byte) []byte {
+// canonical resolves the optional symmetry reduction: the identity when no
+// Canonicalizer is configured.
+func canonical(canon Canonicalizer, st system.State) system.State {
+	if canon == nil {
+		return st
+	}
+	return canon.Canonical(st)
+}
+
+// internRoots seeds the graph with the root states (canonicalized when
+// symmetry reduction is on). Roots are exempt from the vertex budget and
+// always get the smallest IDs, in input order.
+func (g *Graph) internRoots(roots []system.State, canon Canonicalizer, buf []byte) []byte {
 	for _, r := range roots {
+		r = canonical(canon, r)
 		buf = g.sys.AppendFingerprint(buf[:0], r)
 		id, _ := g.store.Intern(string(buf), r, pred{})
 		g.roots = append(g.roots, id)
@@ -176,7 +200,7 @@ func BuildGraph(sys *system.System, roots []system.State, opt BuildOptions) (*Gr
 		return buildGraphParallel(sys, roots, maxStates, workers, opt)
 	}
 	g := newGraph(sys, opt.Store)
-	buf := g.internRoots(roots, nil)
+	buf := g.internRoots(roots, opt.Symmetry, nil)
 	// IDs are dense in discovery order, so the BFS queue is implicit: the
 	// next vertex to expand is simply the next ID. Nothing is pinned or
 	// copied as the frontier advances. Level boundaries are tracked only
@@ -200,6 +224,7 @@ func BuildGraph(sys *system.System, roots []system.State, opt BuildOptions) (*Gr
 			if err != nil {
 				return nil, fmt.Errorf("explore: apply %v: %w", task, err)
 			}
+			succ = canonical(opt.Symmetry, succ)
 			buf = sys.AppendFingerprint(buf[:0], succ)
 			id, ok := g.store.Lookup(buf)
 			if !ok {

@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/ioa-lab/boosting/internal/ioa"
@@ -64,7 +65,7 @@ type HookSearchResult struct {
 // analysis). If the construction revisits a configuration, the system
 // diverges: an infinite fair bivalent path exists.
 func FindHook(g *Graph, root StateID) (HookSearchResult, error) {
-	return FindHookWorkers(g, root, 1)
+	return FindHookCtx(nil, g, root, 1)
 }
 
 // FindHookWorkers is FindHook with a concurrency knob: the bivalent-extension
@@ -72,6 +73,14 @@ func FindHook(g *Graph, root StateID) (HookSearchResult, error) {
 // number of workers (0 = runtime.NumCPU(), 1 = serial). The outcome is
 // identical to the serial search.
 func FindHookWorkers(g *Graph, root StateID, workers int) (HookSearchResult, error) {
+	return FindHookCtx(nil, g, root, workers)
+}
+
+// FindHookCtx is FindHookWorkers with cancellation: the construction checks
+// ctx at every step and inside every per-step BFS (each scanned level), so
+// a cancelled context stops a long hook search mid-scan with ctx.Err().
+// A nil context never cancels.
+func FindHookCtx(ctx context.Context, g *Graph, root StateID, workers int) (HookSearchResult, error) {
 	if g.Valence(root) != Bivalent {
 		return HookSearchResult{}, fmt.Errorf("%w: %s", ErrNotBivalent, g.Valence(root))
 	}
@@ -89,6 +98,9 @@ func FindHookWorkers(g *Graph, root StateID, workers int) (HookSearchResult, err
 	}
 	seen := map[cfg]bool{}
 	for {
+		if err := ctxErr(ctx); err != nil {
+			return HookSearchResult{}, err
+		}
 		if seen[cfg{alpha, rr}] {
 			return HookSearchResult{
 				Divergence: &Divergence{CycleVertex: alpha, Steps: pathLen},
@@ -116,11 +128,14 @@ func FindHookWorkers(g *Graph, root StateID, workers int) (HookSearchResult, err
 
 		// Search for α′ reachable from alpha without e-edges such that
 		// e(α′) is bivalent.
-		target, path, ok := g.findBivalentExtension(alpha, e, workers, tree)
+		target, path, ok, err := g.findBivalentExtension(ctx, alpha, e, workers, tree)
+		if err != nil {
+			return HookSearchResult{}, err
+		}
 		if !ok {
 			// Construction terminates: for every α′ reachable without e,
 			// e(α′) is univalent. Locate the hook.
-			h, err := g.locateHook(alpha, e)
+			h, err := g.locateHook(ctx, alpha, e)
 			if err != nil {
 				return HookSearchResult{}, err
 			}
@@ -136,8 +151,9 @@ func FindHookWorkers(g *Graph, root StateID, workers int) (HookSearchResult, err
 // edges) for a vertex α′ with e(α′) bivalent, returning α′ and the path to
 // it. The per-level predicate checks run across the given number of workers;
 // levels are expanded in queue order, so the vertex found is the first one in
-// serial BFS order regardless of the worker count.
-func (g *Graph) findBivalentExtension(alpha StateID, e ioa.Task, workers int, tree *bfsTree) (StateID, []Edge, bool) {
+// serial BFS order regardless of the worker count. The context is checked at
+// every level boundary.
+func (g *Graph) findBivalentExtension(ctx context.Context, alpha StateID, e ioa.Task, workers int, tree *bfsTree) (StateID, []Edge, bool, error) {
 	tree.begin(alpha)
 	level := []StateID{alpha}
 	// The per-vertex predicate is a few slice lookups, so fanning a level out
@@ -145,6 +161,9 @@ func (g *Graph) findBivalentExtension(alpha StateID, e ioa.Task, workers int, tr
 	// goroutine spawn would cost more than the scan.
 	const minParallelLevel = 256
 	for len(level) > 0 {
+		if err := ctxErr(ctx); err != nil {
+			return 0, nil, false, err
+		}
 		w := workers
 		if len(level) < minParallelLevel {
 			w = 1
@@ -157,7 +176,7 @@ func (g *Graph) findBivalentExtension(alpha StateID, e ioa.Task, workers int, tr
 		})
 		for i, id := range level {
 			if hits[i] {
-				return id, tree.path(g, alpha, id), true
+				return id, tree.path(g, alpha, id), true, nil
 			}
 		}
 		var next []StateID
@@ -172,14 +191,14 @@ func (g *Graph) findBivalentExtension(alpha StateID, e ioa.Task, workers int, tr
 		}
 		level = next
 	}
-	return 0, nil, false
+	return 0, nil, false, nil
 }
 
 // locateHook implements the case analysis at the end of Lemma 5's proof:
 // alpha is bivalent, e(alpha) is univalent (say v-valent), and e(α′) is
 // univalent for every α′ reachable from alpha without e-edges. Walk a path
 // from alpha towards a vertex deciding the opposite value and find the flip.
-func (g *Graph) locateHook(alpha StateID, e ioa.Task) (*Hook, error) {
+func (g *Graph) locateHook(ctx context.Context, alpha StateID, e ioa.Task) (*Hook, error) {
 	first, ok := g.Succ(alpha, e)
 	if !ok {
 		return nil, fmt.Errorf("explore: task %v not applicable at hook base", e)
@@ -196,7 +215,7 @@ func (g *Graph) locateHook(alpha StateID, e ioa.Task) (*Hook, error) {
 	}
 	// Find a descendant of alpha in which some process decides the opposite
 	// value (it exists: alpha is bivalent).
-	decPath, err := g.findDecidingPath(alpha, oppositeMask)
+	decPath, err := g.findDecidingPath(ctx, alpha, oppositeMask)
 	if err != nil {
 		return nil, err
 	}
@@ -250,12 +269,18 @@ func (g *Graph) locateHook(alpha StateID, e ioa.Task) (*Hook, error) {
 
 // findDecidingPath returns a path (BFS tree) from start to a vertex whose
 // state records a decision matching wantMask. Like FindState, it stores one
-// predecessor link per visited vertex and reconstructs the path once.
-func (g *Graph) findDecidingPath(start StateID, wantMask uint8) ([]Edge, error) {
+// predecessor link per visited vertex and reconstructs the path once. The
+// context is polled every 64 dequeues, mirroring the serial build loop.
+func (g *Graph) findDecidingPath(ctx context.Context, start StateID, wantMask uint8) ([]Edge, error) {
 	tree := newBFSTree(g.store.Len())
 	tree.begin(start)
 	queue := []StateID{start}
 	for head := 0; head < len(queue); head++ {
+		if head&63 == 0 {
+			if err := ctxErr(ctx); err != nil {
+				return nil, err
+			}
+		}
 		id := queue[head]
 		st, _ := g.store.State(id)
 		if ownMask(g.sys, st)&wantMask != 0 {

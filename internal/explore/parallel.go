@@ -98,11 +98,13 @@ type expansion struct {
 }
 
 // expandFrontier applies every applicable task to st, resolving successor
-// IDs through the frozen state store. Successors not yet stored are
-// returned as fresh candidates with their edge targets left at
-// intern.NoState, to be patched at the level barrier. buf is the calling
-// worker's fingerprint scratch, returned (possibly grown) for reuse.
-func expandFrontier(sys *system.System, store StateStore, st system.State, buf []byte) (expansion, []byte) {
+// IDs through the frozen state store. Successors are canonicalized (when
+// symmetry reduction is on) before the fingerprint lookup, exactly as in
+// the serial engine. Successors not yet stored are returned as fresh
+// candidates with their edge targets left at intern.NoState, to be patched
+// at the level barrier. buf is the calling worker's fingerprint scratch,
+// returned (possibly grown) for reuse.
+func expandFrontier(sys *system.System, store StateStore, canon Canonicalizer, st system.State, buf []byte) (expansion, []byte) {
 	var out expansion
 	for _, task := range sys.Tasks() {
 		if !sys.Applicable(st, task) {
@@ -113,6 +115,7 @@ func expandFrontier(sys *system.System, store StateStore, st system.State, buf [
 			out.err = fmt.Errorf("explore: apply %v: %w", task, err)
 			return out, buf
 		}
+		next = canonical(canon, next)
 		buf = sys.AppendFingerprint(buf[:0], next)
 		id, ok := store.Lookup(buf)
 		if !ok {
@@ -141,7 +144,7 @@ func expandFrontier(sys *system.System, store StateStore, st system.State, buf [
 // the expanding workers.
 func buildGraphParallel(sys *system.System, roots []system.State, maxStates, workers int, opt BuildOptions) (*Graph, error) {
 	g := newGraph(sys, opt.Store)
-	g.internRoots(roots, nil)
+	g.internRoots(roots, opt.Symmetry, nil)
 	frontier := make([]StateID, g.store.Len())
 	for i := range frontier {
 		frontier[i] = StateID(i)
@@ -155,7 +158,7 @@ func buildGraphParallel(sys *system.System, roots []system.State, maxStates, wor
 				return buf
 			}
 			st, _ := g.store.State(frontier[i])
-			results[i], buf = expandFrontier(sys, g.store, st, buf)
+			results[i], buf = expandFrontier(sys, g.store, opt.Symmetry, st, buf)
 			return buf
 		})
 		// Level barrier: resolve the level's discoveries in frontier order ×

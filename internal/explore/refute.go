@@ -194,7 +194,7 @@ func Refute(sys *system.System, claimed int, opt RefuteOptions) (*Report, error)
 	report.Inits = inits
 	if inits.BivalentIndex >= 0 {
 		hookInputs = inits.Assignments[inits.BivalentIndex]
-		hs, err := FindHookWorkers(inits.Graph, inits.Roots[inits.BivalentIndex], opt.Build.Workers)
+		hs, err := FindHookCtx(opt.Build.Ctx, inits.Graph, inits.Roots[inits.BivalentIndex], opt.Build.Workers)
 		if err != nil {
 			return nil, err
 		}

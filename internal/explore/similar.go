@@ -2,11 +2,20 @@ package explore
 
 import (
 	"bytes"
+	"sync"
 
 	"github.com/ioa-lab/boosting/internal/ioa"
 	"github.com/ioa-lab/boosting/internal/servicetype"
 	"github.com/ioa-lab/boosting/internal/system"
 )
+
+// fpPair is a pooled pair of fingerprint scratch buffers: the similarity
+// predicates run inside refutation inner loops (once per process pair per
+// hook candidate), so component comparisons encode into reused buffers
+// instead of materializing a fingerprint string per component per call.
+type fpPair struct{ a, b []byte }
+
+var fpPairs = sync.Pool{New: func() any { return &fpPair{a: make([]byte, 0, 512), b: make([]byte, 0, 512)} }}
 
 // SimilarityOptions configures the similarity notions. The Theorem 10
 // variant ignores general (failure-aware) services entirely: their states
@@ -20,11 +29,15 @@ type SimilarityOptions struct {
 // same value and, for endpoints other than j, the same buffers. Under the
 // Theorem 10 variant, general services are unconstrained.
 func JSimilar(sys *system.System, s0, s1 system.State, j int, opt SimilarityOptions) bool {
+	bufs := fpPairs.Get().(*fpPair)
+	defer fpPairs.Put(bufs)
 	for _, i := range sys.ProcessIDs() {
 		if i == j {
 			continue
 		}
-		if sys.ProcState(s0, i).Fingerprint() != sys.ProcState(s1, i).Fingerprint() {
+		bufs.a = sys.ProcState(s0, i).AppendFingerprint(bufs.a[:0])
+		bufs.b = sys.ProcState(s1, i).AppendFingerprint(bufs.b[:0])
+		if !bytes.Equal(bufs.a, bufs.b) {
 			return false
 		}
 	}
@@ -54,8 +67,12 @@ func JSimilar(sys *system.System, s0, s1 system.State, j int, opt SimilarityOpti
 // same state. Under the Theorem 10 variant, general services are
 // unconstrained.
 func KSimilar(sys *system.System, s0, s1 system.State, k string, opt SimilarityOptions) bool {
+	bufs := fpPairs.Get().(*fpPair)
+	defer fpPairs.Put(bufs)
 	for _, i := range sys.ProcessIDs() {
-		if sys.ProcState(s0, i).Fingerprint() != sys.ProcState(s1, i).Fingerprint() {
+		bufs.a = sys.ProcState(s0, i).AppendFingerprint(bufs.a[:0])
+		bufs.b = sys.ProcState(s1, i).AppendFingerprint(bufs.b[:0])
+		if !bytes.Equal(bufs.a, bufs.b) {
 			return false
 		}
 	}
@@ -67,7 +84,9 @@ func KSimilar(sys *system.System, s0, s1 system.State, k string, opt SimilarityO
 		if opt.IgnoreGeneralServices && sv.Type().Class == servicetype.General {
 			continue
 		}
-		if sys.SvcState(s0, c).Fingerprint() != sys.SvcState(s1, c).Fingerprint() {
+		bufs.a = sys.SvcState(s0, c).AppendFingerprint(bufs.a[:0])
+		bufs.b = sys.SvcState(s1, c).AppendFingerprint(bufs.b[:0])
+		if !bytes.Equal(bufs.a, bufs.b) {
 			return false
 		}
 	}
@@ -117,9 +136,11 @@ func TasksCommute(sys *system.System, st system.State, e, ePrime ioa.Task) bool 
 	if err4 != nil {
 		return false
 	}
-	fa := sys.AppendFingerprint(nil, a2)
-	fb := sys.AppendFingerprint(nil, b2)
-	return bytes.Equal(fa, fb)
+	bufs := fpPairs.Get().(*fpPair)
+	defer fpPairs.Put(bufs)
+	bufs.a = sys.AppendFingerprint(bufs.a[:0], a2)
+	bufs.b = sys.AppendFingerprint(bufs.b[:0], b2)
+	return bytes.Equal(bufs.a, bufs.b)
 }
 
 // ParticipantsDisjoint reports whether the participant sets of the actions

@@ -1,0 +1,76 @@
+package explore_test
+
+// Allocation pins for the similarity predicates: JSimilar/KSimilar run
+// inside refutation inner loops, so they must compare component
+// fingerprints through reused buffers — zero heap allocations per call
+// once the buffer pool is warm.
+
+import (
+	"testing"
+
+	"github.com/ioa-lab/boosting/internal/explore"
+	"github.com/ioa-lab/boosting/internal/protocols"
+	"github.com/ioa-lab/boosting/internal/service"
+	"github.com/ioa-lab/boosting/internal/system"
+)
+
+// similarStates builds a pair of distinct reachable states to compare.
+func similarStates(t testing.TB) (*system.System, system.State, system.State) {
+	t.Helper()
+	sys, err := protocols.BuildForward(3, 1, service.Adversarial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := explore.ClassifyInits(sys, explore.BuildOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, err := explore.FindHook(c.Graph, c.Roots[c.BivalentIndex])
+	if err != nil || hs.Hook == nil {
+		t.Fatalf("hook: %v", err)
+	}
+	s0, _ := c.Graph.State(hs.Hook.Alpha0)
+	s1, _ := c.Graph.State(hs.Hook.Alpha1)
+	return sys, s0, s1
+}
+
+func TestSimilarityZeroAllocs(t *testing.T) {
+	sys, s0, s1 := similarStates(t)
+	opt := explore.SimilarityOptions{}
+	j := sys.ProcessIDs()[0]
+	k := sys.ServiceIDs()[0]
+	// Warm the buffer pool so the measured runs reuse pooled buffers.
+	explore.JSimilar(sys, s0, s1, j, opt)
+	explore.KSimilar(sys, s0, s1, k, opt)
+	if n := testing.AllocsPerRun(100, func() {
+		explore.JSimilar(sys, s0, s1, j, opt)
+	}); n > 0 {
+		t.Errorf("JSimilar allocates %.1f allocs/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		explore.KSimilar(sys, s0, s1, k, opt)
+	}); n > 0 {
+		t.Errorf("KSimilar allocates %.1f allocs/op, want 0", n)
+	}
+}
+
+// BenchmarkSimilarAllocs reports the per-comparison cost of the similarity
+// predicates (the -benchmem columns pin the zero-allocation contract).
+func BenchmarkSimilarAllocs(b *testing.B) {
+	sys, s0, s1 := similarStates(b)
+	opt := explore.SimilarityOptions{}
+	j := sys.ProcessIDs()[0]
+	k := sys.ServiceIDs()[0]
+	b.Run("JSimilar", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			explore.JSimilar(sys, s0, s1, j, opt)
+		}
+	})
+	b.Run("KSimilar", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			explore.KSimilar(sys, s0, s1, k, opt)
+		}
+	})
+}

@@ -1,0 +1,123 @@
+package protocols
+
+import (
+	"fmt"
+	"strconv"
+
+	"github.com/ioa-lab/boosting/internal/codec"
+	"github.com/ioa-lab/boosting/internal/servicetype"
+	"github.com/ioa-lab/boosting/internal/symmetry"
+)
+
+// Symmetry specs of the registry protocols: each declares which process ids
+// are interchangeable in the corresponding Build* system and how the ids
+// embedded in that protocol's state transform under a renaming. The
+// quotient-parity test suite asserts, for every spec, that reduced and
+// unreduced analyses agree on every verdict.
+//
+// The failure-detector families (floodset-p, fdboost, evperfect,
+// suspectcollector) declare no spec: their process states accumulate
+// suspect-id sets and their detector services report id sets, and their
+// failure-free graph phases are skipped by the refuter anyway — no
+// reduction is always sound.
+
+// allProcs returns [0, …, n−1], the id set every registry builder uses.
+func allProcs(n int) []int {
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}
+
+// ForwardSymmetry declares the symmetry of BuildForward: all n processes
+// run the identical Forward program against the shared consensus object k0
+// and register r0, and no payload or value embeds a process id, so the
+// full symmetric group acts by buffer re-keying alone.
+func ForwardSymmetry(n int) symmetry.Spec {
+	return symmetry.Spec{Orbits: [][]int{allProcs(n)}}
+}
+
+// TOBSymmetry declares the symmetry of BuildTOBConsensus: all n processes
+// are interchangeable, but the broadcast service's value is a queue of
+// (message, sender) pairs and its buffered rcv responses name senders, so
+// a renaming must relabel those sender ids.
+func TOBSymmetry(n int) symmetry.Spec {
+	return symmetry.Spec{
+		Orbits: [][]int{allProcs(n)},
+		// The hooks panic on malformed encodings: every value they see is
+		// engine-generated, so a parse failure is a broken invariant, and
+		// permuting the rest of the state while leaving an id in place
+		// would silently corrupt the quotient. Fail loudly instead.
+		RewriteVal: func(svc, val string, perm func(int) int) string {
+			msgs, err := codec.ParseList(val)
+			if err != nil {
+				panic(fmt.Sprintf("protocols: tob symmetry: malformed %s value %q: %v", svc, val, err))
+			}
+			out := make([]string, len(msgs))
+			for i, entry := range msgs {
+				m, sender, perr := codec.ParsePair(entry)
+				if perr != nil {
+					panic(fmt.Sprintf("protocols: tob symmetry: malformed %s queue entry %q: %v", svc, entry, perr))
+				}
+				s, aerr := strconv.Atoi(sender)
+				if aerr != nil {
+					panic(fmt.Sprintf("protocols: tob symmetry: non-integer sender in %q", entry))
+				}
+				out[i] = codec.Pair(m, strconv.Itoa(perm(s)))
+			}
+			return codec.List(out)
+		},
+		RewriteResponse: func(svc, item string, perm func(int) int) string {
+			m, sender, ok := servicetype.RcvParts(item)
+			if !ok {
+				panic(fmt.Sprintf("protocols: tob symmetry: malformed %s response %q", svc, item))
+			}
+			return servicetype.Rcv(m, perm(sender))
+		},
+	}
+}
+
+// RegisterVoteSymmetry declares the symmetry of BuildRegisterVote: the n
+// processes are interchangeable together with their single-writer vote
+// registers, so a renaming maps register V_i to V_π(i) (relabelling the
+// pending invocations in process outboxes along the way — the engine does
+// that through the rename hook). Register values and read/write payloads
+// are vote values, never ids.
+func RegisterVoteSymmetry(n int) symmetry.Spec {
+	return symmetry.Spec{
+		Orbits: [][]int{allProcs(n)},
+		RenameService: func(svc string, perm func(int) int) string {
+			if len(svc) < 2 || svc[0] != 'V' {
+				return svc
+			}
+			i, err := strconv.Atoi(svc[1:])
+			if err != nil {
+				return svc
+			}
+			return voteRegister(perm(i))
+		},
+	}
+}
+
+// GroupedBoostSymmetry declares the symmetry of BuildGroupedBoost: within
+// each group of n processes sharing one consensus service the ids are
+// interchangeable (the group map and service wiring are invariant), while
+// processes of different groups are not — their services differ.
+func GroupedBoostSymmetry(g, n int) symmetry.Spec {
+	orbits := make([][]int, g)
+	for grp := 0; grp < g; grp++ {
+		ids := make([]int, n)
+		for j := 0; j < n; j++ {
+			ids[j] = grp*n + j
+		}
+		orbits[grp] = ids
+	}
+	return symmetry.Spec{Orbits: orbits}
+}
+
+// SetBoostSymmetry is GroupedBoostSymmetry for the two-group Section 4
+// construction built by BuildSetBoost.
+func SetBoostSymmetry(n int) symmetry.Spec {
+	return GroupedBoostSymmetry(2, n)
+}

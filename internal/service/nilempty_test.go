@@ -1,0 +1,63 @@
+package service
+
+// Regression tests for nil-vs-empty buffer handling: a service state with a
+// nil buffer map, an empty buffer map, or a map holding only empty queues
+// must encode — and therefore intern — identically. The buffer transitions
+// (withBuffer deleting emptied queues, appendBuffers skipping empty
+// entries) maintain this; these tests pin it against regressions.
+
+import (
+	"testing"
+
+	"github.com/ioa-lab/boosting/internal/codec"
+	"github.com/ioa-lab/boosting/internal/ioa"
+	"github.com/ioa-lab/boosting/internal/seqtype"
+	"github.com/ioa-lab/boosting/internal/servicetype"
+)
+
+func TestNilVsEmptyBuffersEncodeIdentically(t *testing.T) {
+	variants := []State{
+		{Val: "v"},
+		{Val: "v", Inv: map[int][]string{}, Resp: map[int][]string{}},
+		{Val: "v", Inv: map[int][]string{1: nil}, Resp: map[int][]string{2: {}}},
+		{Val: "v", Inv: map[int][]string{1: {}, 3: nil}, Resp: nil, Failed: codec.NewIntSet()},
+	}
+	want := variants[0].Fingerprint()
+	for i, st := range variants {
+		if got := st.Fingerprint(); got != want {
+			t.Errorf("variant %d encodes %q, want %q", i, got, want)
+		}
+		if got := string(st.AppendFingerprint(nil)); got != want {
+			t.Errorf("variant %d append-encodes %q, want %q", i, got, want)
+		}
+	}
+}
+
+// TestEmptiedBufferMatchesFresh: a buffer that was filled and fully drained
+// encodes identically to one that was never touched.
+func TestEmptiedBufferMatchesFresh(t *testing.T) {
+	rw := servicetype.FromSequential(seqtype.ReadWrite([]string{"", "x"}, ""))
+	svc, err := NewWaitFree("r", rw, []int{0, 1}, Adversarial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := svc.InitialState()
+	st, err := svc.Invoke(fresh, 0, seqtype.Write("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drain: perform the write, then emit the ack.
+	st, _, err = svc.Apply(st, ioa.PerformTask("r", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _, err = svc.Apply(st, ioa.OutputTask("r", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drained := State{Val: st.Val, Inv: st.Inv, Resp: st.Resp, Failed: st.Failed}
+	ref := State{Val: "x", Inv: map[int][]string{}, Resp: map[int][]string{}, Failed: codec.NewIntSet()}
+	if drained.Fingerprint() != ref.Fingerprint() {
+		t.Errorf("drained state %q, fresh-style state %q", drained.Fingerprint(), ref.Fingerprint())
+	}
+}

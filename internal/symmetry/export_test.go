@@ -1,0 +1,21 @@
+package symmetry
+
+import "github.com/ioa-lab/boosting/internal/system"
+
+// PermuteForTest applies the group element given as an id map to st via the
+// spec's state action (white-box hook for the orbit-invariance tests).
+func (c *Canonicalizer) PermuteForTest(st system.State, idMap map[int]int) system.State {
+	p := make([]int, len(c.procIDs))
+	for slot, id := range c.procIDs {
+		img := id
+		if v, ok := idMap[id]; ok {
+			img = v
+		}
+		p[slot] = c.slotOf[img]
+	}
+	svcMap, err := c.serviceMap(p)
+	if err != nil {
+		panic(err)
+	}
+	return c.apply(st, p, svcMap)
+}

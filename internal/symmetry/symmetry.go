@@ -1,0 +1,495 @@
+// Package symmetry reduces exploration modulo process renaming.
+//
+// The seed protocols are symmetric: process identities are interchangeable,
+// so the execution graph G(C) of the paper contains up to n! isomorphic
+// copies of every orbit — the same symmetry the FLP-style bivalence
+// arguments quotient away implicitly. A Canonicalizer maps every system
+// state to a canonical representative of its orbit under a declared
+// permutation group; exploration engines that intern only canonical
+// representatives build the quotient graph, which is smaller by up to the
+// group order while preserving every value-based verdict (valences,
+// refutation outcomes, hook existence) — decisions are compared by value,
+// never by process identity.
+//
+// The group is declared per system as a Spec: disjoint orbits of
+// interchangeable process ids, plus optional hooks describing how service
+// indices and id-bearing payloads transform under a permutation. A
+// permutation π acts on a state by
+//
+//   - moving process component states between slots (P_i's state to slot
+//     π(i)), renaming service indices inside pending outbox invocations;
+//   - moving service component states between slots when service indices
+//     rename (a per-process register V_i becomes V_π(i));
+//   - re-keying every service's per-endpoint invocation and response
+//     buffers (endpoint i's buffers become endpoint π(i)'s), rewriting
+//     id-bearing buffered payloads and service values via the Spec hooks;
+//   - relabelling the service failed sets.
+//
+// Soundness requires π to be an automorphism of the transition system:
+// programs must be identical up to id and the hooks must cover every place
+// a process id is embedded in the state. The quotient-parity test suite
+// asserts this empirically for every registry protocol. Systems whose
+// states embed ids in ways the hooks cannot express (e.g. the
+// failure-detector families, whose graph phases are skipped anyway) simply
+// declare no orbits and get no reduction — which is always sound.
+//
+// Canonicalization is sorted-orbit: per-process invariant keys (the
+// process's component fingerprint plus its per-service buffer slices and
+// failed bit — the process's entire contribution to a pure-spec state) are
+// sorted within each orbit, which pins the canonical slot order outright;
+// key ties are between byte-interchangeable processes, so any stable
+// assignment is canonical (see canonicalSorted). Specs with rename/rewrite
+// hooks make per-process keys id-dependent, so those systems fall back to
+// enumerating the whole (declared) group — exact for the small groups this
+// repository explores.
+package symmetry
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/ioa-lab/boosting/internal/codec"
+	"github.com/ioa-lab/boosting/internal/process"
+	"github.com/ioa-lab/boosting/internal/service"
+	"github.com/ioa-lab/boosting/internal/system"
+)
+
+// MaxGroupOrder bounds the declared permutation group: canonicalization work
+// per state is linear in the number of candidate permutations, and beyond
+// 8! the per-state cost dwarfs the n!-fold state savings.
+const MaxGroupOrder = 40320
+
+// Spec declares the symmetry of a composed system.
+//
+// The zero Spec declares no symmetry (canonicalization is the identity).
+// All hooks receive perm, the process-id permutation π as a function; they
+// must be pure. A nil hook means the corresponding state component carries
+// no process ids and transforms trivially.
+type Spec struct {
+	// Orbits lists disjoint sets of interchangeable process ids. Processes
+	// not listed are fixed by every permutation of the group, which is the
+	// product of the symmetric groups of the orbits.
+	Orbits [][]int
+	// RenameService maps a service index under π (the per-process register
+	// V_i of a renamed process becomes V_π(i)). It must be a bijection of
+	// the system's service index set for every group element. nil = every
+	// service index is fixed.
+	RenameService func(svc string, perm func(int) int) string
+	// RewriteVal rewrites a service value under π (a totally-ordered
+	// broadcast queue of (message, sender) pairs relabels its senders).
+	// nil = values carry no process ids.
+	RewriteVal func(svc, val string, perm func(int) int) string
+	// RewriteResponse rewrites one buffered response under π.
+	// nil = responses carry no process ids. (Buffered *invocations* are
+	// value-only in every declared spec — the seed protocols invoke with
+	// init/write/read/bcast payloads — so there is deliberately no
+	// invocation counterpart; add one alongside a spec that needs it.)
+	RewriteResponse func(svc, item string, perm func(int) int) string
+}
+
+// pure reports whether the spec transforms only component positions —
+// no service renaming, no payload rewriting — so per-process content is
+// id-independent and the sorted-key fast path applies.
+func (sp *Spec) pure() bool {
+	return sp.RenameService == nil && sp.RewriteVal == nil && sp.RewriteResponse == nil
+}
+
+// Canonicalizer maps system states to canonical orbit representatives. It
+// is immutable after New and safe for concurrent use; scratch buffers are
+// pooled per call.
+type Canonicalizer struct {
+	sys     *system.System
+	spec    Spec
+	procIDs []int
+	slotOf  map[int]int
+	svcIDs  []string
+	svcSlot map[string]int
+	// orbits holds the orbit member slots, ascending; slots outside every
+	// orbit are fixed points.
+	orbits [][]int
+	order  int
+	pure   bool
+	// perms is the whole group as slot-level maps (perm[slot] = image
+	// slot), precomputed for the general path. Empty on the pure path.
+	perms [][]int
+	// svcMaps[i] is the service-slot relabelling of perms[i].
+	svcMaps [][]int
+	bufs    sync.Pool
+}
+
+// scratch is the per-call workspace.
+type scratch struct {
+	key    [][]byte // per-slot sort keys (pure path)
+	perm   []int
+	ranked []int // orbit-sort buffer, reused across orbits
+	best   []byte
+	cand   []byte
+}
+
+// New builds a Canonicalizer for sys from a declared symmetry Spec. Orbit
+// members must be process ids of sys, orbits must be disjoint, and the
+// group order (the product of the orbit factorials) must not exceed
+// MaxGroupOrder. Specs with rename/rewrite hooks have the whole group
+// enumerated and the service renaming validated here.
+func New(sys *system.System, spec Spec) (*Canonicalizer, error) {
+	c := &Canonicalizer{
+		sys:     sys,
+		spec:    spec,
+		procIDs: sys.ProcessIDs(),
+		svcIDs:  sys.ServiceIDs(),
+		order:   1,
+		pure:    spec.pure(),
+	}
+	c.slotOf = make(map[int]int, len(c.procIDs))
+	for slot, id := range c.procIDs {
+		c.slotOf[id] = slot
+	}
+	c.svcSlot = make(map[string]int, len(c.svcIDs))
+	for slot, k := range c.svcIDs {
+		c.svcSlot[k] = slot
+	}
+	seen := make(map[int]bool)
+	for _, orbit := range spec.Orbits {
+		var slots []int
+		for _, id := range orbit {
+			slot, ok := c.slotOf[id]
+			if !ok {
+				return nil, fmt.Errorf("symmetry: orbit member %d is not a process of the system", id)
+			}
+			if seen[id] {
+				return nil, fmt.Errorf("symmetry: process %d appears in two orbits", id)
+			}
+			seen[id] = true
+			slots = append(slots, slot)
+		}
+		if len(slots) < 2 {
+			continue // a singleton orbit is a fixed point
+		}
+		sort.Ints(slots)
+		for f := 2; f <= len(slots); f++ {
+			c.order *= f
+			if c.order > MaxGroupOrder {
+				return nil, fmt.Errorf("symmetry: group order exceeds %d; run without symmetry reduction", MaxGroupOrder)
+			}
+		}
+		c.orbits = append(c.orbits, slots)
+	}
+	c.bufs.New = func() any {
+		return &scratch{
+			key:    make([][]byte, len(c.procIDs)),
+			perm:   make([]int, len(c.procIDs)),
+			ranked: make([]int, len(c.procIDs)),
+		}
+	}
+	if !c.pure && c.order > 1 {
+		if err := c.enumerateGroup(); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// Order returns the order of the declared permutation group; 1 means
+// canonicalization is the identity.
+func (c *Canonicalizer) Order() int { return c.order }
+
+// enumerateGroup precomputes every group element as a slot map (identity
+// first) and its induced service-slot relabelling, validating that the
+// spec's service renaming is a bijection of the service index set.
+func (c *Canonicalizer) enumerateGroup() error {
+	identity := make([]int, len(c.procIDs))
+	for i := range identity {
+		identity[i] = i
+	}
+	perms := [][]int{identity}
+	for _, orbit := range c.orbits {
+		var next [][]int
+		images := append([]int{}, orbit...)
+		permute(images, 0, func(img []int) {
+			for _, base := range perms {
+				p := append([]int{}, base...)
+				for j, slot := range orbit {
+					p[slot] = img[j]
+				}
+				next = append(next, p)
+			}
+		})
+		perms = next
+	}
+	// Move the identity to index 0 (permute emits it first only for the
+	// single-orbit case; the product loop preserves that, but be explicit).
+	for i, p := range perms {
+		if isIdentity(p) {
+			perms[0], perms[i] = perms[i], perms[0]
+			break
+		}
+	}
+	c.perms = perms
+	c.svcMaps = make([][]int, len(perms))
+	for i, p := range perms {
+		m, err := c.serviceMap(p)
+		if err != nil {
+			return err
+		}
+		c.svcMaps[i] = m
+	}
+	return nil
+}
+
+// serviceMap resolves the service-slot relabelling induced by a process
+// permutation and checks it is a bijection.
+func (c *Canonicalizer) serviceMap(p []int) ([]int, error) {
+	m := make([]int, len(c.svcIDs))
+	if c.spec.RenameService == nil {
+		for i := range m {
+			m[i] = i
+		}
+		return m, nil
+	}
+	idPerm := c.idPerm(p)
+	hit := make([]bool, len(c.svcIDs))
+	for slot, k := range c.svcIDs {
+		k2 := c.spec.RenameService(k, idPerm)
+		target, ok := c.svcSlot[k2]
+		if !ok {
+			return nil, fmt.Errorf("symmetry: service %q renames to unknown service %q", k, k2)
+		}
+		if hit[target] {
+			return nil, fmt.Errorf("symmetry: service renaming is not a bijection (two services map to %q)", k2)
+		}
+		hit[target] = true
+		m[slot] = target
+	}
+	return m, nil
+}
+
+// permute generates every permutation of items in place, calling f with
+// each arrangement (f must not retain the slice).
+func permute(items []int, k int, f func([]int)) {
+	if k == len(items) {
+		f(items)
+		return
+	}
+	for i := k; i < len(items); i++ {
+		items[k], items[i] = items[i], items[k]
+		permute(items, k+1, f)
+		items[k], items[i] = items[i], items[k]
+	}
+}
+
+func isIdentity(p []int) bool {
+	for i, v := range p {
+		if i != v {
+			return false
+		}
+	}
+	return true
+}
+
+// idPerm lifts a slot-level permutation to a process-id permutation.
+// Ids outside the system map to themselves.
+func (c *Canonicalizer) idPerm(p []int) func(int) int {
+	return func(id int) int {
+		slot, ok := c.slotOf[id]
+		if !ok {
+			return id
+		}
+		return c.procIDs[p[slot]]
+	}
+}
+
+// Canonical returns the canonical representative of st's orbit: the state
+// of the orbit with the lexicographically least canonical fingerprint among
+// the candidates the sorted-orbit analysis leaves open. It is a pure
+// function and constant on orbits, so interning only canonical
+// representatives merges each orbit into one vertex.
+func (c *Canonicalizer) Canonical(st system.State) system.State {
+	if c.order == 1 {
+		return st
+	}
+	sc := c.bufs.Get().(*scratch)
+	defer c.bufs.Put(sc)
+	if c.pure {
+		return c.canonicalSorted(st, sc)
+	}
+	return c.canonicalEnumerated(st, sc)
+}
+
+// canonicalEnumerated scans the precomputed group for the least permuted
+// fingerprint (general path: specs with rename/rewrite hooks).
+func (c *Canonicalizer) canonicalEnumerated(st system.State, sc *scratch) system.State {
+	best := st
+	sc.best = c.sys.AppendFingerprint(sc.best[:0], st)
+	for i := 1; i < len(c.perms); i++ {
+		cand := c.apply(st, c.perms[i], c.svcMaps[i])
+		sc.cand = c.sys.AppendFingerprint(sc.cand[:0], cand)
+		if bytes.Compare(sc.cand, sc.best) < 0 {
+			best = cand
+			sc.best, sc.cand = sc.cand, sc.best
+		}
+	}
+	return best
+}
+
+// canonicalSorted is the pure-spec fast path: sort each orbit by invariant
+// per-process keys and apply the resulting slot assignment outright.
+//
+// Canonicity: keys are equivariant — permuting the state permutes the keys
+// with it — so the multiset of keys and their sorted order are orbit
+// invariants. Key ties need no resolution: under a pure spec the key is a
+// concatenation of self-delimiting encodings covering a process's *entire*
+// contribution to the state (its component fingerprint, its invocation and
+// response buffer in every service, its failed-set membership; service
+// values are untouched by pure actions), so equal-key processes are
+// interchangeable at the byte level and every assignment of a tie block
+// produces the identical state. Any stable assignment is therefore the
+// canonical one. If a pure action ever grows a per-process contribution
+// outside appendKey, that completeness argument — and this shortcut —
+// breaks; extend the key with it.
+func (c *Canonicalizer) canonicalSorted(st system.State, sc *scratch) system.State {
+	procs, svcs := c.sys.ComponentStates(st)
+	for i := range sc.perm {
+		sc.perm[i] = i
+	}
+	identity := true
+	for _, orbit := range c.orbits {
+		// ranked = orbit slots ordered by key; the slot of rank j moves to
+		// canonical position orbit[j].
+		ranked := sc.ranked[:len(orbit)]
+		copy(ranked, orbit)
+		for _, slot := range orbit {
+			sc.key[slot] = c.appendKey(sc.key[slot][:0], slot, procs, svcs)
+		}
+		sort.SliceStable(ranked, func(a, b int) bool {
+			return bytes.Compare(sc.key[ranked[a]], sc.key[ranked[b]]) < 0
+		})
+		for j, slot := range ranked {
+			sc.perm[slot] = orbit[j]
+			if slot != orbit[j] {
+				identity = false
+			}
+		}
+	}
+	if identity {
+		return st
+	}
+	return c.apply(st, sc.perm, nil)
+}
+
+// appendKey appends slot's invariant sort key: the process component
+// fingerprint followed by the process's slice of every service state — its
+// invocation and response buffers and failed-set membership, in fixed
+// service order. For pure specs none of this content depends on process
+// ids, so keys are equivariant under the group action.
+func (c *Canonicalizer) appendKey(dst []byte, slot int, procs []process.State, svcs []service.State) []byte {
+	dst = procs[slot].AppendFingerprint(dst)
+	id := c.procIDs[slot]
+	for i := range svcs {
+		dst = codec.AppendList(dst, svcs[i].Inv[id])
+		dst = codec.AppendList(dst, svcs[i].Resp[id])
+		if svcs[i].Failed.Has(id) {
+			dst = append(dst, 'F')
+		} else {
+			dst = append(dst, '.')
+		}
+	}
+	return dst
+}
+
+// apply builds π(st) for the slot permutation p. svcMap gives the induced
+// service-slot relabelling (nil = all service slots fixed, the pure case).
+func (c *Canonicalizer) apply(st system.State, p []int, svcMap []int) system.State {
+	procs, svcs := c.sys.ComponentStates(st)
+	idPerm := c.idPerm(p)
+	newProcs := make([]process.State, len(procs))
+	for slot := range procs {
+		newProcs[p[slot]] = c.rewriteProc(procs[slot], idPerm)
+	}
+	newSvcs := make([]service.State, len(svcs))
+	for slot := range svcs {
+		target := slot
+		if svcMap != nil {
+			target = svcMap[slot]
+		}
+		newSvcs[target] = c.rewriteSvc(c.svcIDs[slot], svcs[slot], idPerm)
+	}
+	out, err := c.sys.StateOf(newProcs, newSvcs)
+	if err != nil {
+		// Unreachable: the slices are sized from the system's own layout.
+		panic(err)
+	}
+	return out
+}
+
+// rewriteProc relabels service indices inside a process's pending outbox.
+// Variables, the recorded decision and the flags never carry ids under a
+// declared spec, so everything else is shared.
+func (c *Canonicalizer) rewriteProc(ps process.State, idPerm func(int) int) process.State {
+	if c.spec.RenameService == nil || len(ps.Outbox) == 0 {
+		return ps
+	}
+	out := make([]process.Outgoing, len(ps.Outbox))
+	copy(out, ps.Outbox)
+	for i := range out {
+		if out[i].Kind == process.OutInvoke {
+			out[i].Service = c.spec.RenameService(out[i].Service, idPerm)
+		}
+	}
+	ps.Outbox = out
+	return ps
+}
+
+// rewriteSvc relabels a service state under π: the value via the spec hook,
+// the per-endpoint buffers re-keyed (and their items rewritten), and the
+// failed set relabelled. Empty buffer entries are dropped rather than
+// re-keyed, so nil-vs-empty differences can never leak into a canonical
+// representative.
+func (c *Canonicalizer) rewriteSvc(k string, ss service.State, idPerm func(int) int) service.State {
+	out := service.State{Val: ss.Val, Inv: ss.Inv, Resp: ss.Resp, Failed: ss.Failed}
+	if c.spec.RewriteVal != nil {
+		out.Val = c.spec.RewriteVal(k, ss.Val, idPerm)
+	}
+	out.Inv = c.rekeyBuffers(k, ss.Inv, idPerm, nil)
+	out.Resp = c.rekeyBuffers(k, ss.Resp, idPerm, c.spec.RewriteResponse)
+	if ss.Failed.Len() > 0 {
+		members := ss.Failed.Members()
+		mapped := make([]int, len(members))
+		for i, m := range members {
+			mapped[i] = idPerm(m)
+		}
+		out.Failed = codec.NewIntSet(mapped...)
+	}
+	return out
+}
+
+// rekeyBuffers moves endpoint i's buffer to endpoint π(i), rewriting items
+// through the spec hook when present. Buffers without any non-empty entry
+// are shared unchanged (nil and empty maps fingerprint identically).
+func (c *Canonicalizer) rekeyBuffers(k string, buf map[int][]string, idPerm func(int) int, rewrite func(string, string, func(int) int) string) map[int][]string {
+	n := 0
+	for _, items := range buf {
+		if len(items) > 0 {
+			n++
+		}
+	}
+	if n == 0 {
+		return buf
+	}
+	out := make(map[int][]string, n)
+	for i, items := range buf {
+		if len(items) == 0 {
+			continue
+		}
+		if rewrite != nil {
+			rewritten := make([]string, len(items))
+			for j, it := range items {
+				rewritten[j] = rewrite(k, it, idPerm)
+			}
+			items = rewritten
+		}
+		out[idPerm(i)] = items
+	}
+	return out
+}

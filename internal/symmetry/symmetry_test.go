@@ -1,0 +1,300 @@
+package symmetry_test
+
+// Black-box tests of the canonicalizer: spec validation, idempotence, and —
+// the property the quotient construction rests on — equivariance: running a
+// permuted schedule from a permuted initialization lands in the same orbit,
+// so both runs canonicalize to byte-identical representatives.
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/ioa-lab/boosting/internal/ioa"
+	"github.com/ioa-lab/boosting/internal/protocols"
+	"github.com/ioa-lab/boosting/internal/service"
+	"github.com/ioa-lab/boosting/internal/symmetry"
+	"github.com/ioa-lab/boosting/internal/system"
+)
+
+// testCase couples a registry system with its declared spec and a process
+// permutation to exercise (given as an id map).
+type testCase struct {
+	name string
+	sys  *system.System
+	spec symmetry.Spec
+	perm map[int]int
+}
+
+func cases(t *testing.T) []testCase {
+	t.Helper()
+	fw, err := protocols.BuildForward(3, 0, service.Adversarial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tob, err := protocols.BuildTOBConsensus(3, 0, service.Adversarial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rv, err := protocols.BuildRegisterVote(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := protocols.BuildSetBoost(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []testCase{
+		{"forward", fw, protocols.ForwardSymmetry(3), map[int]int{0: 2, 1: 0, 2: 1}},
+		{"tob", tob, protocols.TOBSymmetry(3), map[int]int{0: 1, 1: 2, 2: 0}},
+		{"registervote", rv, protocols.RegisterVoteSymmetry(3), map[int]int{0: 1, 1: 0, 2: 2}},
+		// setboost: a within-group swap in each group of the 4-process system.
+		{"setboost", sb, protocols.SetBoostSymmetry(2), map[int]int{0: 1, 1: 0, 2: 3, 3: 2}},
+	}
+}
+
+func permFunc(m map[int]int) func(int) int {
+	return func(i int) int {
+		if v, ok := m[i]; ok {
+			return v
+		}
+		return i
+	}
+}
+
+// permTask maps a task under the permutation: process and endpoint indices
+// through perm, service indices through the spec's renaming.
+func permTask(task ioa.Task, spec symmetry.Spec, perm func(int) int) ioa.Task {
+	out := task
+	if task.Kind != ioa.TaskCompute {
+		out.Proc = perm(task.Proc)
+	}
+	if task.Service != "" && spec.RenameService != nil {
+		out.Service = spec.RenameService(task.Service, perm)
+	}
+	return out
+}
+
+// runSchedule initializes the system with the inputs and applies up to
+// steps tasks drawn round-robin (skipping inapplicable ones), returning the
+// visited states.
+func runSchedule(t *testing.T, sys *system.System, inputs map[int]string, tasks []ioa.Task) []system.State {
+	t.Helper()
+	st := sys.InitialState()
+	ids := sys.ProcessIDs()
+	for _, id := range ids {
+		if v, ok := inputs[id]; ok {
+			next, _, err := sys.Init(st, id, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st = next
+		}
+	}
+	out := []system.State{st}
+	for _, task := range tasks {
+		if !sys.Applicable(st, task) {
+			continue
+		}
+		next, _, err := sys.Apply(st, task)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st = next
+		out = append(out, st)
+	}
+	return out
+}
+
+// TestCanonicalOrbitInvariance is the property canonicalization must have
+// to be a quotient map: applying any group element to a state leaves its
+// canonical representative unchanged. States are drawn from random
+// schedules of each system.
+func TestCanonicalOrbitInvariance(t *testing.T) {
+	for _, tc := range cases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			canon, err := symmetry.New(tc.sys, tc.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(11))
+			all := tc.sys.Tasks()
+			inputs := map[int]string{}
+			for idx, id := range tc.sys.ProcessIDs() {
+				inputs[id] = string(rune('0' + idx%2))
+			}
+			var sched []ioa.Task
+			for i := 0; i < 80; i++ {
+				sched = append(sched, all[rng.Intn(len(all))])
+			}
+			var fa, fb []byte
+			for i, st := range runSchedule(t, tc.sys, inputs, sched) {
+				permuted := canon.PermuteForTest(st, tc.perm)
+				fa = tc.sys.AppendFingerprint(fa[:0], canon.Canonical(st))
+				fb = tc.sys.AppendFingerprint(fb[:0], canon.Canonical(permuted))
+				if !bytes.Equal(fa, fb) {
+					t.Fatalf("step %d: canonical form not orbit-invariant:\n%q\n%q", i, fa, fb)
+				}
+			}
+		})
+	}
+}
+
+// TestCanonicalEquivariance strengthens the orbit test for the families
+// whose program handlers are themselves id-independent: the state reached
+// by the permuted schedule from the permuted inputs canonicalizes to the
+// same representative as the original. (registervote is excluded: its init
+// handler enqueues its read sweep in ascending-id order, so a permuted
+// *run* produces a differently-ordered outbox than the permuted *state* —
+// initialization happens before canonicalization, so the quotient
+// construction never depends on init-handler equivariance.)
+func TestCanonicalEquivariance(t *testing.T) {
+	for _, tc := range cases(t) {
+		if tc.name == "registervote" {
+			continue
+		}
+		t.Run(tc.name, func(t *testing.T) {
+			canon, err := symmetry.New(tc.sys, tc.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			perm := permFunc(tc.perm)
+			rng := rand.New(rand.NewSource(7))
+			all := tc.sys.Tasks()
+			inputs := map[int]string{}
+			for idx, id := range tc.sys.ProcessIDs() {
+				inputs[id] = string(rune('0' + idx%2))
+			}
+			permInputs := map[int]string{}
+			for id, v := range inputs {
+				permInputs[perm(id)] = v
+			}
+			var sched, permSched []ioa.Task
+			for i := 0; i < 60; i++ {
+				task := all[rng.Intn(len(all))]
+				sched = append(sched, task)
+				permSched = append(permSched, permTask(task, tc.spec, perm))
+			}
+			orig := runSchedule(t, tc.sys, inputs, sched)
+			permuted := runSchedule(t, tc.sys, permInputs, permSched)
+			if len(orig) != len(permuted) {
+				t.Fatalf("schedules diverged: %d vs %d states (permutation is not an automorphism?)",
+					len(orig), len(permuted))
+			}
+			var fa, fb []byte
+			for i := range orig {
+				fa = tc.sys.AppendFingerprint(fa[:0], canon.Canonical(orig[i]))
+				fb = tc.sys.AppendFingerprint(fb[:0], canon.Canonical(permuted[i]))
+				if !bytes.Equal(fa, fb) {
+					t.Fatalf("step %d: canonical representatives differ:\n%q\n%q", i, fa, fb)
+				}
+			}
+		})
+	}
+}
+
+// TestCanonicalIdempotent: canonicalizing a canonical representative is the
+// identity, and canonicalization never changes a state's orbit-invariant
+// observables (decisions by value).
+func TestCanonicalIdempotent(t *testing.T) {
+	for _, tc := range cases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			canon, err := symmetry.New(tc.sys, tc.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(3))
+			all := tc.sys.Tasks()
+			inputs := map[int]string{}
+			for idx, id := range tc.sys.ProcessIDs() {
+				inputs[id] = string(rune('0' + (idx+1)%2))
+			}
+			var sched []ioa.Task
+			for i := 0; i < 80; i++ {
+				sched = append(sched, all[rng.Intn(len(all))])
+			}
+			var f1, f2 []byte
+			for _, st := range runSchedule(t, tc.sys, inputs, sched) {
+				c1 := canon.Canonical(st)
+				f1 = tc.sys.AppendFingerprint(f1[:0], c1)
+				f2 = tc.sys.AppendFingerprint(f2[:0], canon.Canonical(c1))
+				if !bytes.Equal(f1, f2) {
+					t.Fatalf("canonicalization not idempotent:\n%q\n%q", f1, f2)
+				}
+				want := decisionsByValue(tc.sys, st)
+				if got := decisionsByValue(tc.sys, c1); got != want {
+					t.Fatalf("canonicalization changed decided values: %q -> %q", want, got)
+				}
+			}
+		})
+	}
+}
+
+// decisionsByValue renders the multiset of decided values (sorted), the
+// observable every verdict is built from.
+func decisionsByValue(sys *system.System, st system.State) string {
+	var vals []string
+	for _, v := range sys.Decisions(st) {
+		vals = append(vals, v)
+	}
+	for i := 0; i < len(vals); i++ {
+		for j := i + 1; j < len(vals); j++ {
+			if vals[j] < vals[i] {
+				vals[i], vals[j] = vals[j], vals[i]
+			}
+		}
+	}
+	return strings.Join(vals, ",")
+}
+
+// TestSpecValidation: orbit members must be processes, orbits disjoint, the
+// group order bounded, and service renaming a bijection.
+func TestSpecValidation(t *testing.T) {
+	sys, err := protocols.BuildForward(3, 0, service.Adversarial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := symmetry.New(sys, symmetry.Spec{Orbits: [][]int{{0, 9}}}); err == nil {
+		t.Error("want error for unknown orbit member")
+	}
+	if _, err := symmetry.New(sys, symmetry.Spec{Orbits: [][]int{{0, 1}, {1, 2}}}); err == nil {
+		t.Error("want error for overlapping orbits")
+	}
+	big, err := protocols.BuildRegisterVote(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := symmetry.New(big, protocols.RegisterVoteSymmetry(9)); err == nil {
+		t.Error("want error for group order beyond the bound (9! > 8!)")
+	}
+	badRename := symmetry.Spec{
+		Orbits:        [][]int{{0, 1, 2}},
+		RenameService: func(svc string, _ func(int) int) string { return svc + "x" },
+	}
+	if _, err := symmetry.New(sys, badRename); err == nil {
+		t.Error("want error for renaming onto unknown services")
+	}
+
+	canon, err := symmetry.New(sys, symmetry.Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canon.Order() != 1 {
+		t.Errorf("empty spec order %d, want 1", canon.Order())
+	}
+	st := sys.InitialState()
+	var fa, fb []byte
+	fa = sys.AppendFingerprint(fa, canon.Canonical(st))
+	fb = sys.AppendFingerprint(fb, st)
+	if !bytes.Equal(fa, fb) {
+		t.Error("trivial canonicalizer changed the state")
+	}
+	full, err := symmetry.New(sys, protocols.ForwardSymmetry(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Order() != 6 {
+		t.Errorf("S_3 order %d, want 6", full.Order())
+	}
+}

@@ -145,6 +145,26 @@ func (s *System) InitialState() State {
 	return st
 }
 
+// ComponentStates returns the process and service component slices of st in
+// the system's fixed component order (processes by ascending id, services by
+// sorted index). The slices are shared with st — callers must not modify
+// them. This is the read face of StateOf, used by the symmetry layer to
+// permute states without going through per-component accessors.
+func (s *System) ComponentStates(st State) ([]process.State, []service.State) {
+	return st.procs, st.svcs
+}
+
+// StateOf assembles a State from component slices in the system's fixed
+// component order. The slices are retained (not copied); callers hand over
+// ownership. Lengths must match the system's component counts.
+func (s *System) StateOf(procs []process.State, svcs []service.State) (State, error) {
+	if len(procs) != len(s.procIDs) || len(svcs) != len(s.svcIDs) {
+		return State{}, fmt.Errorf("system: StateOf got %d/%d components, want %d/%d",
+			len(procs), len(svcs), len(s.procIDs), len(s.svcIDs))
+	}
+	return State{procs: procs, svcs: svcs}, nil
+}
+
 // ProcState returns the component state of process id, or the zero state if
 // id is not a process of the system (mirroring map indexing on the old
 // map-keyed layout).

@@ -18,6 +18,10 @@ type config struct {
 	rounds    int
 	maxRounds int
 	skipGraph bool
+	symmetry  bool
+	// canon is the resolved canonicalizer: non-nil only when symmetry is
+	// requested and the protocol declares a symmetry spec.
+	canon explore.Canonicalizer
 }
 
 func defaultConfig() config {
@@ -66,6 +70,23 @@ func WithRounds(r int) Option { return func(c *config) { c.rounds = r } }
 // cap from RunConfig.MaxRounds instead.
 func WithMaxRounds(r int) Option { return func(c *config) { c.maxRounds = r } }
 
+// WithSymmetry enables symmetry-reduced exploration: every graph build the
+// Checker performs canonicalizes states modulo process renaming before
+// interning, so isomorphic states — identical up to a permutation of
+// interchangeable process identities — collapse into one vertex. The
+// quotient graph is smaller by up to n! while preserving every verdict:
+// valence classifications, refutation outcomes and hook existence are the
+// same as on the full graph (decisions are compared by value, never by
+// process identity), and all store backends and worker counts still
+// produce identical graphs to each other.
+//
+// The reduction applies to registry protocols that declare a symmetry
+// group (forward, tob, registervote, setboost). Families whose states
+// embed process ids beyond the declared renaming rules — the
+// failure-detector families, whose graph phases the refuter skips anyway —
+// and systems wrapped via NewFromSystem explore unreduced.
+func WithSymmetry() Option { return func(c *config) { c.symmetry = true } }
+
 // WithoutGraphAnalysis makes Refute skip the failure-free graph phases
 // (safety sweep, Lemma 4, hook search) and go straight to the failure
 // scenarios. Required for custom systems (NewFromSystem) whose failure
@@ -80,6 +101,7 @@ func (c *config) buildOptions() explore.BuildOptions {
 		Workers:   c.workers,
 		MaxStates: c.maxStates,
 		Store:     c.store,
+		Symmetry:  c.canon,
 		Progress:  c.progress,
 		Ctx:       c.ctx,
 	}
