@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-allocs bench-symmetry lint vet fmt-check fmt vuln apidiff-baseline apidiff
+.PHONY: all build test race bench bench-allocs bench-symmetry bench-spill test-spill lint vet fmt-check fmt vuln apidiff-baseline apidiff
 
 all: build lint test
 
@@ -23,13 +23,15 @@ bench:
 
 # Allocation accounting for the exploration stack: the E22–E24 engine
 # comparisons, the E25 fingerprint-encoder comparison, the E26 state
-# store comparison (dense vs hash compaction) and the E27 symmetry
-# reduction (quotient vs full graph), with -benchmem. B/op and
-# allocs/op are stable at low iteration counts, so a short fixed benchtime
-# keeps this cheap enough to run per-PR; CI uploads the output as an
-# artifact (bench-allocs.txt) to make allocation regressions visible.
+# store comparison (dense vs hash compaction), the E27 symmetry
+# reduction (quotient vs full graph) and the E28 spill store (disk-backed
+# fingerprint file, incl. the exhaustive forward n=5 build), with
+# -benchmem. B/op and allocs/op are stable at low iteration counts, so a
+# short fixed benchtime keeps this cheap enough to run per-PR; CI uploads
+# the output as an artifact (bench-allocs.txt) to make allocation
+# regressions visible.
 bench-allocs:
-	@$(GO) test -bench 'BenchmarkBuildGraphWorkers|BenchmarkRefuteWorkers|BenchmarkRunBatchWorkers|BenchmarkFingerprint|BenchmarkStoreBackends|BenchmarkSymmetry$$' \
+	@$(GO) test -bench 'BenchmarkBuildGraphWorkers|BenchmarkRefuteWorkers|BenchmarkRunBatchWorkers|BenchmarkFingerprint|BenchmarkStoreBackends|BenchmarkSymmetry$$|BenchmarkSpillStore' \
 		-benchmem -benchtime=2x -run '^$$' . > bench-allocs.txt; \
 		status=$$?; cat bench-allocs.txt; exit $$status
 
@@ -37,6 +39,23 @@ bench-allocs:
 # retained bytes for the forward n=4 exhaustive analysis.
 bench-symmetry:
 	$(GO) test -bench 'BenchmarkSymmetry$$' -benchmem -benchtime=2x -run '^$$' .
+
+# The E28 rows on their own: the disk-spilling store against dense and
+# hash compaction (retained bytes/state, spill-file size, read traffic)
+# plus the exhaustive forward n=5 build.
+bench-spill:
+	$(GO) test -bench 'BenchmarkSpillStore' -benchmem -benchtime=2x -run '^$$' .
+
+# The spill-store slice of the parity suites under a low memory ceiling:
+# graph identity (IDs, edges, valences, reports) of the disk-backed store
+# against dense, serial and parallel, reduced and unreduced, with the Go
+# heap softly capped to prove exploration no longer needs state-sized RAM.
+# -count=1 matters: GOMEMLIMIT is read by the runtime, not the test
+# binary, so it is not part of the test-cache key — without it a warm
+# cache would replay passes that never ran under the ceiling.
+test-spill:
+	GOMEMLIMIT=64MiB $(GO) test -count=1 -run 'TestStoreParity|TestGoldenExploration|TestGoldenInfiniteFamilies|TestRefutationReportParity|TestQuotient|TestSpill' .
+	GOMEMLIMIT=64MiB $(GO) test -count=1 -run 'TestSpillStore|TestStoreBounds' ./internal/explore/
 
 lint: vet fmt-check
 

@@ -22,6 +22,7 @@ var stores = []struct {
 	{"dense", boosting.DenseStore},
 	{"hash64", boosting.HashStore64},
 	{"hash128", boosting.HashStore128},
+	{"spill", boosting.SpillStore},
 }
 
 // TestGoldenExploration pins the exhaustive state/edge counts of the

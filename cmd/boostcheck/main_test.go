@@ -10,6 +10,8 @@ func TestRunAllCandidates(t *testing.T) {
 		{"-candidate", "tob", "-n", "2", "-f", "0", "-claim", "1"},
 		{"-candidate", "floodset-p", "-n", "3", "-f", "0", "-claim", "1"},
 		{"-candidate", "fdboost", "-n", "3", "-claim", "2"},
+		{"-candidate", "forward", "-n", "2", "-f", "0", "-claim", "1", "-store", "spill"},
+		{"-candidate", "forward", "-n", "3", "-f", "0", "-claim", "1", "-store", "spill", "-symmetry", "-workers", "4"},
 	}
 	for _, args := range cases {
 		if err := run(args); err != nil {

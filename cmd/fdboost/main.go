@@ -8,7 +8,7 @@
 //	fdboost -n 3
 //
 // fdboost shares the common exploration flags (-workers, -maxstates,
-// -store, -symmetry); -symmetry is accepted but a no-op here — the
+// -store, -spilldir, -symmetry); -symmetry is accepted but a no-op here — the
 // detector-bearing families declare no symmetry group and the refuter
 // skips their graph phases anyway.
 package main

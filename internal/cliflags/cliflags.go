@@ -1,7 +1,7 @@
 // Package cliflags is the shared flag block of the cmd/* binaries: every
 // tool takes the same exploration knobs (-workers, -maxstates, -store,
-// -symmetry), and every tool surfaces partial exploration counts when a
-// state budget overflows. Before the boosting façade each binary carried its own copy of
+// -spilldir, -symmetry), and every tool surfaces partial exploration counts
+// when a state budget overflows. Before the boosting façade each binary carried its own copy of
 // this block; now there is one.
 package cliflags
 
@@ -18,6 +18,7 @@ type Common struct {
 	Workers   int
 	MaxStates int
 	Store     string
+	SpillDir  string
 	Symmetry  bool
 }
 
@@ -27,7 +28,11 @@ func Register(fs *flag.FlagSet) *Common {
 	c := &Common{}
 	fs.IntVar(&c.Workers, "workers", 0, "exploration workers (0 = one per CPU, 1 = serial)")
 	fs.IntVar(&c.MaxStates, "maxstates", 0, "explored-state budget per graph build (0 = engine default)")
-	fs.StringVar(&c.Store, "store", "dense", "state store backend: dense | hash64 | hash128")
+	// The empty sentinel default (rendered as dense by ParseStore) lets
+	// Options distinguish an explicit -store dense from the default, so
+	// -spilldir can reject every explicit conflicting backend.
+	fs.StringVar(&c.Store, "store", "", "state store backend: dense | hash64 | hash128 | spill (default dense)")
+	fs.StringVar(&c.SpillDir, "spilldir", "", "directory for spill fingerprint files (implies -store spill; default: OS temp dir)")
 	fs.BoolVar(&c.Symmetry, "symmetry", false, "canonicalize states modulo process renaming (quotient graph; symmetric families only)")
 	return c
 }
@@ -41,21 +46,35 @@ func ParseStore(name string) (boosting.Store, error) {
 		return boosting.HashStore64, nil
 	case "hash128":
 		return boosting.HashStore128, nil
+	case "spill":
+		return boosting.SpillStore, nil
 	default:
-		return boosting.DenseStore, fmt.Errorf("unknown store backend %q (have: dense, hash64, hash128)", name)
+		return boosting.DenseStore, fmt.Errorf("unknown store backend %q (have: dense, hash64, hash128, spill)", name)
 	}
 }
 
-// Options lowers the parsed flags to façade options.
+// Options lowers the parsed flags to façade options. -spilldir implies
+// -store spill when the store is left at its default; combining it with an
+// explicitly different backend is a contradiction and errors rather than
+// silently overriding the request.
 func (c *Common) Options() ([]boosting.Option, error) {
 	store, err := ParseStore(c.Store)
 	if err != nil {
 		return nil, err
 	}
+	if c.SpillDir != "" && store != boosting.SpillStore {
+		if c.Store != "" {
+			return nil, fmt.Errorf("-spilldir requires -store spill (got -store %s)", c.Store)
+		}
+		store = boosting.SpillStore
+	}
 	opts := []boosting.Option{
 		boosting.WithWorkers(c.Workers),
 		boosting.WithMaxStates(c.MaxStates),
 		boosting.WithStore(store),
+	}
+	if store == boosting.SpillStore {
+		opts = append(opts, boosting.WithSpillDir(c.SpillDir))
 	}
 	if c.Symmetry {
 		opts = append(opts, boosting.WithSymmetry())

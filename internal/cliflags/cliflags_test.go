@@ -1,0 +1,85 @@
+package cliflags
+
+import (
+	"flag"
+	"testing"
+
+	"github.com/ioa-lab/boosting"
+)
+
+func TestParseStore(t *testing.T) {
+	cases := []struct {
+		name string
+		want boosting.Store
+	}{
+		{"", boosting.DenseStore},
+		{"dense", boosting.DenseStore},
+		{"hash64", boosting.HashStore64},
+		{"hash128", boosting.HashStore128},
+		{"spill", boosting.SpillStore},
+	}
+	for _, c := range cases {
+		got, err := ParseStore(c.name)
+		if err != nil || got != c.want {
+			t.Errorf("ParseStore(%q) = %v, %v; want %v", c.name, got, err, c.want)
+		}
+	}
+	if _, err := ParseStore("mmap"); err == nil {
+		t.Error("ParseStore accepted an unknown backend")
+	}
+}
+
+// TestOptionsSpill: the parsed -store spill / -spilldir flags lower to
+// façade options that actually route a build through the spill backend.
+func TestOptionsSpill(t *testing.T) {
+	for _, args := range [][]string{
+		{"-store", "spill"},
+		{"-spilldir", t.TempDir()}, // implies -store spill
+	} {
+		fs := flag.NewFlagSet("test", flag.ContinueOnError)
+		c := Register(fs)
+		if err := fs.Parse(args); err != nil {
+			t.Fatal(err)
+		}
+		opts, err := c.Options()
+		if err != nil {
+			t.Fatal(err)
+		}
+		chk, err := boosting.New("forward", 2, 0, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := chk.ClassifyInits()
+		if err != nil {
+			t.Fatalf("args %v: %v", args, err)
+		}
+		if _, ok := boosting.GraphSpillStats(res.Graph); !ok {
+			t.Errorf("args %v: build did not use the spill backend", args)
+		}
+	}
+}
+
+// TestOptionsSpillDirConflict: -spilldir with any explicitly different
+// -store backend — including an explicit dense — is a contradiction and
+// must error, not silently override.
+func TestOptionsSpillDirConflict(t *testing.T) {
+	for _, store := range []string{"hash64", "hash128", "dense"} {
+		fs := flag.NewFlagSet("test", flag.ContinueOnError)
+		c := Register(fs)
+		if err := fs.Parse([]string{"-store", store, "-spilldir", t.TempDir()}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Options(); err == nil {
+			t.Errorf("Options accepted -store %s with -spilldir", store)
+		}
+	}
+	// -store spill -spilldir together remain valid.
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	c := Register(fs)
+	if err := fs.Parse([]string{"-store", "spill", "-spilldir", t.TempDir()}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Options(); err != nil {
+		t.Errorf("Options rejected -store spill with -spilldir: %v", err)
+	}
+}

@@ -204,11 +204,24 @@ func Map(m map[string]string) string {
 
 // ParseMap decodes a map encoding in full.
 func ParseMap(s string) (map[string]string, error) {
+	return parseMap(s, false)
+}
+
+// ParseMapCanonical decodes a map encoding like ParseMap, additionally
+// requiring the canonical form Map produces: entry keys strictly increasing
+// (sorted, no duplicates). Decoders of canonical fingerprints use it so
+// that every accepted input re-encodes byte-identically.
+func ParseMapCanonical(s string) (map[string]string, error) {
+	return parseMap(s, true)
+}
+
+func parseMap(s string, canonicalOrder bool) (map[string]string, error) {
 	if len(s) == 0 || s[0] != '<' {
 		return nil, fmt.Errorf("%w: map must start with '<' in %q", ErrMalformed, truncate(s))
 	}
 	s = s[1:]
 	m := map[string]string{}
+	var prev string
 	for {
 		if len(s) == 0 {
 			return nil, fmt.Errorf("%w: unterminated map", ErrMalformed)
@@ -227,9 +240,29 @@ func ParseMap(s string) (map[string]string, error) {
 		if err != nil {
 			return nil, err
 		}
+		if canonicalOrder && len(m) > 0 && k <= prev {
+			return nil, fmt.Errorf("%w: map keys not in canonical order (%q after %q)", ErrMalformed, k, prev)
+		}
 		m[k] = v
+		prev = k
 		s = s[end:]
 	}
+}
+
+// ParseSetCanonical decodes a set encoding like ParseSet, additionally
+// requiring the canonical form Set produces: items strictly increasing
+// (sorted, no duplicates).
+func ParseSetCanonical(s string) ([]string, error) {
+	items, err := ParseSet(s)
+	if err != nil {
+		return nil, err
+	}
+	for i := 1; i < len(items); i++ {
+		if items[i] <= items[i-1] {
+			return nil, fmt.Errorf("%w: set items not in canonical order (%q after %q)", ErrMalformed, items[i], items[i-1])
+		}
+	}
+	return items, nil
 }
 
 // matchPair returns the index just past the pair encoding at the front of s,

@@ -1,6 +1,7 @@
 package codec
 
 import (
+	"errors"
 	"reflect"
 	"strings"
 	"testing"
@@ -249,5 +250,47 @@ func TestEncodingsDisjointPrefixes(t *testing.T) {
 	}
 	if !strings.Contains(Atom("x"), ":") {
 		t.Error("atoms must contain the length separator")
+	}
+}
+
+// TestParseMapCanonical: the strict decoder accepts exactly what Map
+// produces and rejects well-formed but non-canonical encodings (unsorted
+// or duplicate keys), which the lenient ParseMap tolerates.
+func TestParseMapCanonical(t *testing.T) {
+	good := Map(map[string]string{"a": "1", "b": "2", "": "z"})
+	m, err := ParseMapCanonical(good)
+	if err != nil || len(m) != 3 || m["a"] != "1" || m[""] != "z" {
+		t.Fatalf("ParseMapCanonical(%q) = %v, %v", good, m, err)
+	}
+	for _, bad := range []string{
+		"<(1:b1:2)(1:a1:1)>", // unsorted
+		"<(1:a1:1)(1:a1:2)>", // duplicate
+	} {
+		if _, err := ParseMap(bad); err != nil {
+			t.Fatalf("lenient ParseMap rejected %q: %v", bad, err)
+		}
+		if _, err := ParseMapCanonical(bad); !errors.Is(err, ErrMalformed) {
+			t.Errorf("ParseMapCanonical(%q) = %v, want ErrMalformed", bad, err)
+		}
+	}
+}
+
+// TestParseSetCanonical: same strictness for set encodings.
+func TestParseSetCanonical(t *testing.T) {
+	good := Set([]string{"b", "a", "a"})
+	items, err := ParseSetCanonical(good)
+	if err != nil || len(items) != 2 || items[0] != "a" || items[1] != "b" {
+		t.Fatalf("ParseSetCanonical(%q) = %v, %v", good, items, err)
+	}
+	for _, bad := range []string{
+		"{1:b1:a}", // unsorted
+		"{1:a1:a}", // duplicate
+	} {
+		if _, err := ParseSet(bad); err != nil {
+			t.Fatalf("lenient ParseSet rejected %q: %v", bad, err)
+		}
+		if _, err := ParseSetCanonical(bad); !errors.Is(err, ErrMalformed) {
+			t.Errorf("ParseSetCanonical(%q) = %v, want ErrMalformed", bad, err)
+		}
 	}
 }

@@ -99,6 +99,11 @@ type Graph struct {
 	roots []StateID
 	edges int
 	masks []uint8
+	// ownMasks records each vertex's own decision mask at intern time, so
+	// the valence fixpoint seeds from one resident byte per vertex instead
+	// of re-reading every state — on the spill backend that would be a full
+	// extra pread + decode pass over the spill file after exploration.
+	ownMasks []uint8
 }
 
 // Progress is one streaming exploration report, emitted after each BFS
@@ -138,6 +143,9 @@ type BuildOptions struct {
 	// backend produces the identical graph; they differ in memory per
 	// vertex and dedup cost.
 	Store StoreKind
+	// SpillDir is where StoreSpill creates its spill file ("" = the OS temp
+	// directory). Ignored by the in-memory backends.
+	SpillDir string
 	// Symmetry, when non-nil, canonicalizes every state — roots and
 	// discovered successors — before the fingerprint/intern step at the
 	// StateStore boundary, so the engines build the quotient graph modulo
@@ -161,8 +169,12 @@ func ctxErr(ctx context.Context) error {
 	return ctx.Err()
 }
 
-func newGraph(sys *system.System, kind StoreKind) *Graph {
-	return &Graph{sys: sys, store: newStore(kind, sys.AppendFingerprint)}
+func newGraph(sys *system.System, opt BuildOptions) (*Graph, error) {
+	store, err := newStore(opt.Store, sys, opt.SpillDir)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{sys: sys, store: store}, nil
 }
 
 // canonical resolves the optional symmetry reduction: the identity when no
@@ -174,6 +186,17 @@ func canonical(canon Canonicalizer, st system.State) system.State {
 	return canon.Canonical(st)
 }
 
+// intern stores a vertex and, when fresh, records its own decision mask
+// (see Graph.ownMasks). The serial engine and internRoots intern through
+// here; the parallel barrier appends worker-computed masks itself.
+func (g *Graph) intern(fp string, st system.State, p pred) (StateID, bool) {
+	id, fresh := g.store.Intern(fp, st, p)
+	if fresh {
+		g.ownMasks = append(g.ownMasks, ownMask(g.sys, st))
+	}
+	return id, fresh
+}
+
 // internRoots seeds the graph with the root states (canonicalized when
 // symmetry reduction is on). Roots are exempt from the vertex budget and
 // always get the smallest IDs, in input order.
@@ -181,7 +204,7 @@ func (g *Graph) internRoots(roots []system.State, canon Canonicalizer, buf []byt
 	for _, r := range roots {
 		r = canonical(canon, r)
 		buf = g.sys.AppendFingerprint(buf[:0], r)
-		id, _ := g.store.Intern(string(buf), r, pred{})
+		id, _ := g.intern(string(buf), r, pred{})
 		g.roots = append(g.roots, id)
 	}
 	return buf
@@ -191,7 +214,10 @@ func (g *Graph) internRoots(roots []system.State, canon Canonicalizer, buf []byt
 // under all applicable tasks and computes the valence of every vertex by
 // backward fixpoint over reachable decisions. With more than one worker the
 // exploration runs on the parallel engine (see parallel.go).
-func BuildGraph(sys *system.System, roots []system.State, opt BuildOptions) (*Graph, error) {
+func BuildGraph(sys *system.System, roots []system.State, opt BuildOptions) (g *Graph, err error) {
+	// Spill-file write failures (disk full) surface here as ordinary build
+	// errors; see recoverSpillWrite.
+	defer recoverSpillWrite(&g, &err)
 	maxStates := opt.MaxStates
 	if maxStates <= 0 {
 		maxStates = defaultMaxStates
@@ -199,7 +225,20 @@ func BuildGraph(sys *system.System, roots []system.State, opt BuildOptions) (*Gr
 	if workers := effectiveWorkers(opt.Workers); workers > 1 {
 		return buildGraphParallel(sys, roots, maxStates, workers, opt)
 	}
-	g := newGraph(sys, opt.Store)
+	g, err = newGraph(sys, opt)
+	if err != nil {
+		return nil, err
+	}
+	// On ordinary error returns (budget overflow, cancellation, Apply
+	// failure) the partial graph is dropped; release its backend resources
+	// — the spill store's descriptor — instead of waiting for a finalizer.
+	// `built` pins the graph because the named return is nil on error.
+	built := g
+	defer func() {
+		if err != nil {
+			_ = CloseGraphStore(built)
+		}
+	}()
 	buf := g.internRoots(roots, opt.Symmetry, nil)
 	// IDs are dense in discovery order, so the BFS queue is implicit: the
 	// next vertex to expand is simply the next ID. Nothing is pinned or
@@ -231,7 +270,7 @@ func BuildGraph(sys *system.System, roots []system.State, opt BuildOptions) (*Gr
 				if g.store.Len() >= maxStates {
 					return nil, &LimitError{Limit: maxStates, Explored: g.store.Len()}
 				}
-				id, _ = g.store.Intern(string(buf), succ, pred{from: StateID(next), task: task, act: act, has: true})
+				id, _ = g.intern(string(buf), succ, pred{from: StateID(next), task: task, act: act, has: true})
 			}
 			edges = append(edges, Edge{Task: task, Action: act, To: id})
 		}
@@ -255,13 +294,12 @@ func BuildGraph(sys *system.System, roots []system.State, opt BuildOptions) (*Gr
 // computeMasks propagates decision bits backwards to a fixpoint:
 // mask(s) = decided(s) ∪ ⋃_{s→t} mask(t).
 func (g *Graph) computeMasks() {
-	// Seed with each state's own recorded decisions.
+	// Seed with each state's own decisions, recorded at intern time. The
+	// recording is only needed for this seeding, so release it after.
 	n := g.store.Len()
 	g.masks = make([]uint8, n)
-	for i := 0; i < n; i++ {
-		st, _ := g.store.State(StateID(i))
-		g.masks[i] = ownMask(g.sys, st)
-	}
+	copy(g.masks, g.ownMasks)
+	g.ownMasks = nil
 	// Chaotic iteration to fixpoint. The mask lattice has height 2, so this
 	// terminates quickly even without a topological order.
 	changed := true
@@ -335,7 +373,9 @@ func (g *Graph) Succ(id StateID, task ioa.Task) (Edge, bool) {
 
 // Valence returns the valence of a vertex.
 func (g *Graph) Valence(id StateID) Valence {
-	if int(id) >= len(g.masks) {
+	// uint comparison so IDs past the 32-bit int range stay out-of-range
+	// instead of wrapping negative on 32-bit platforms.
+	if uint(id) >= uint(len(g.masks)) {
 		return Unvalent
 	}
 	return valenceOfMask(g.masks[id])

@@ -83,11 +83,14 @@ func parallelForBuf(workers, n int, f func(i int, buf []byte) []byte) {
 
 // fresh is a successor discovered during frontier expansion that was not in
 // the state store when its level started: the fingerprint (an owned copy),
-// the state, and the index of the edge whose target awaits its ID.
+// the state, the index of the edge whose target awaits its ID, and the
+// state's own decision mask — computed here by the worker so the serial
+// level barrier does not pay a sys.Decisions call per intern.
 type fresh struct {
 	edgeIdx int
 	fp      string
 	st      system.State
+	mask    uint8
 }
 
 // expansion is the result of expanding one frontier vertex.
@@ -123,7 +126,7 @@ func expandFrontier(sys *system.System, store StateStore, canon Canonicalizer, s
 			// The one owned copy of the fingerprint: the store takes
 			// ownership at the barrier, so dense interning retains this
 			// string without copying again.
-			out.fresh = append(out.fresh, fresh{edgeIdx: len(out.edges), fp: string(buf), st: next})
+			out.fresh = append(out.fresh, fresh{edgeIdx: len(out.edges), fp: string(buf), st: next, mask: ownMask(sys, next)})
 		}
 		out.edges = append(out.edges, Edge{Task: task, Action: act, To: id})
 	}
@@ -142,8 +145,19 @@ func expandFrontier(sys *system.System, store StateStore, canon Canonicalizer, s
 // identical. Progress reports and context cancellation mirror the serial
 // engine: one report per level barrier, cancellation observed mid-level by
 // the expanding workers.
-func buildGraphParallel(sys *system.System, roots []system.State, maxStates, workers int, opt BuildOptions) (*Graph, error) {
-	g := newGraph(sys, opt.Store)
+func buildGraphParallel(sys *system.System, roots []system.State, maxStates, workers int, opt BuildOptions) (_ *Graph, err error) {
+	g, err := newGraph(sys, opt)
+	if err != nil {
+		return nil, err
+	}
+	// On error returns the partial graph is dropped; release its backend
+	// resources (the spill store's descriptor) instead of waiting for a
+	// finalizer. Write-failure panics close theirs in recoverSpillWrite.
+	defer func() {
+		if err != nil {
+			_ = CloseGraphStore(g)
+		}
+	}()
 	g.internRoots(roots, opt.Symmetry, nil)
 	frontier := make([]StateID, g.store.Len())
 	for i := range frontier {
@@ -176,7 +190,14 @@ func buildGraphParallel(sys *system.System, roots []system.State, maxStates, wor
 						return nil, &LimitError{Limit: maxStates, Explored: g.store.Len()}
 					}
 					e := res.edges[f.edgeIdx]
-					id, _ = g.store.Intern(f.fp, f.st, pred{from: frontier[i], task: e.Task, act: e.Action, has: true})
+					// The worker already computed this vertex's decision
+					// mask; record it directly instead of re-deriving it
+					// on the coordinator (see Graph.ownMasks).
+					var fr bool
+					id, fr = g.store.Intern(f.fp, f.st, pred{from: frontier[i], task: e.Task, act: e.Action, has: true})
+					if fr {
+						g.ownMasks = append(g.ownMasks, f.mask)
+					}
 					next = append(next, id)
 				}
 				res.edges[f.edgeIdx].To = id
@@ -206,10 +227,12 @@ func buildGraphParallel(sys *system.System, roots []system.State, maxStates, wor
 func (g *Graph) computeMasksParallel(workers int) {
 	n := g.store.Len()
 	masks := make([]uint32, n)
-	parallelFor(workers, n, func(i int) {
-		st, _ := g.store.State(StateID(i))
-		masks[i] = uint32(ownMask(g.sys, st))
-	})
+	// Seed with each state's own decisions, recorded at intern time. The
+	// recording is only needed for this seeding, so release it after.
+	for i, m := range g.ownMasks {
+		masks[i] = uint32(m)
+	}
+	g.ownMasks = nil
 	for {
 		var changed atomic.Bool
 		parallelFor(workers, n, func(i int) {

@@ -288,24 +288,41 @@ func safetySweep(sys *system.System, inputs map[int]string, opt BuildOptions) (*
 	if err != nil {
 		return nil, err
 	}
+	// The per-assignment graph never escapes (certificates copy what they
+	// need), so release backend resources — the spill store's descriptor —
+	// deterministically instead of waiting for the GC.
+	defer CloseGraphStore(g)
 	validValues := map[string]bool{}
 	for _, v := range inputs {
 		validValues[v] = true
 	}
 	// Iterate vertices in lexicographic fingerprint order — the historical
 	// witness-selection order, kept so reports stay byte-identical across
-	// the ID refactor. Fingerprints are materialized once up front: hash
-	// stores reconstruct them by re-encoding, which would otherwise run
-	// O(n log n) times inside the comparator.
-	fps := make([]string, g.Size())
+	// the ID refactor.
 	order := make([]StateID, g.Size())
 	for i := range order {
-		fps[i] = g.Fingerprint(StateID(i))
 		order[i] = StateID(i)
 	}
-	sort.Slice(order, func(i, j int) bool {
-		return fps[order[i]] < fps[order[j]]
-	})
+	if _, spill := GraphSpillStats(g); spill {
+		// Spill-backed graphs compare fingerprints on demand through the
+		// pooled read path: materializing them up front would re-resident
+		// the entire spill file, defeating the backend's memory ceiling.
+		// Both branches sort by the same key, so the order is identical.
+		sort.Slice(order, func(i, j int) bool {
+			return g.Fingerprint(order[i]) < g.Fingerprint(order[j])
+		})
+	} else {
+		// In-memory backends materialize once up front: hash stores
+		// reconstruct fingerprints by re-encoding, which would otherwise
+		// run O(n log n) times inside the comparator.
+		fps := make([]string, g.Size())
+		for i := range fps {
+			fps[i] = g.Fingerprint(StateID(i))
+		}
+		sort.Slice(order, func(i, j int) bool {
+			return fps[order[i]] < fps[order[j]]
+		})
+	}
 	for _, id := range order {
 		st, _ := g.State(id)
 		dec := sys.Decisions(st)

@@ -1,0 +1,334 @@
+package explore
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"github.com/ioa-lab/boosting/internal/system"
+)
+
+// spillBatch is the default size of the in-RAM pending window: interned
+// states stay resident until the window fills, then the whole window
+// rotates out to the spill file. On small graphs (levels under the window
+// size) a frontier vertex is still resident when the next level expands
+// it, so exploration never touches the disk; on the large builds the
+// backend targets, levels outgrow the window and most frontier expansions
+// decode their state from the spill file (the GraphSpillStats.Reads
+// counter makes this visible). The window's job is bounding resident
+// bytes, not guaranteeing hot-path hits.
+const spillBatch = 1024
+
+// spillStore is the disk-spilling backend (the TLC fingerprint-file move):
+// per vertex, RAM keeps only the dedup index entry — two independent 64-bit
+// fingerprint hashes and the offset/length of the fingerprint in the spill
+// file — plus the adjacency and predecessor link every backend keeps. The
+// canonical fingerprint itself, which doubles as the serialized
+// representative state (system.ParseFingerprint is its exact inverse), lives
+// in an append-only spill file and is read back and decoded on demand.
+//
+// Exactness: like hashStore, candidate matches are verified byte-for-byte
+// against the stored fingerprint (read from the pending window or the spill
+// file), so hash collisions are audited and resolved, never merged — the
+// produced graph is identical to the dense backend's.
+//
+// Write protocol: Intern appends the fingerprint to the buffered spill
+// writer immediately and keeps (fingerprint, state) in the pending window;
+// once the window holds spillBatch entries the writer is flushed and the
+// window rotates. Intern only runs while the store is mutable (serially, at
+// level barriers in the parallel engine), so rotation never races a reader.
+// Reads of rotated vertices use pread (os.File.ReadAt), which is safe from
+// any number of goroutines while the store is frozen.
+//
+// The spill file is created in spillDir (or the OS temp directory) and
+// unlinked immediately, so the kernel reclaims it when the descriptor
+// closes — at the latest when the store is garbage collected (the os
+// package attaches a close finalizer) — and nothing leaks even on a crash.
+type spillStore struct {
+	enc func([]byte, system.State) []byte
+	dec func(string) (system.State, error)
+	// hash/hashS are fpHash's two instantiations, replaceable (together) in
+	// tests to force collisions and exercise the disk-verification path.
+	hash  func([]byte) (uint64, uint64)
+	hashS func(string) (uint64, uint64)
+	// matchB/matchS are the matches/matchesString methods bound once at
+	// construction, so lookupBucket calls allocate no closures.
+	matchB  func(StateID, []byte) bool
+	matchS  func(StateID, string) bool
+	buckets map[uint64][]StateID
+	hash2   []uint64 // second hash per vertex (the wide filter)
+	offs    []int64  // spill-file offset of each vertex's fingerprint
+	lens    []uint32 // fingerprint length in bytes
+	succs   [][]Edge
+	preds   []pred
+
+	file *os.File
+	w    *bufio.Writer
+	wOff int64 // next append offset
+
+	// Pending window: vertices pendingBase … Len()−1 are still resident.
+	// pendingFps/pendingStates are indexed by id − pendingBase.
+	batch         int
+	pendingBase   int
+	pendingFps    []string
+	pendingStates []system.State
+
+	collisions atomic.Int64
+	reads      atomic.Int64 // fingerprint reads served from the spill file
+	bufs       sync.Pool
+}
+
+func newSpillStore(sys *system.System, dir string) (*spillStore, error) {
+	if dir == "" {
+		dir = os.TempDir()
+	}
+	f, err := os.CreateTemp(dir, "boosting-spill-*.fp")
+	if err != nil {
+		return nil, fmt.Errorf("explore: create spill file: %w", err)
+	}
+	// Unlink immediately: the open descriptor keeps the data alive, and the
+	// kernel reclaims the space as soon as it closes. (Best-effort — on
+	// filesystems that refuse to unlink open files the temp file simply
+	// persists until external cleanup.)
+	_ = os.Remove(f.Name())
+	s := &spillStore{
+		enc:     sys.AppendFingerprint,
+		dec:     sys.ParseFingerprint,
+		hash:    fpHash[[]byte],
+		hashS:   fpHash[string],
+		buckets: make(map[uint64][]StateID, 1024),
+		file:    f,
+		w:       bufio.NewWriterSize(f, 64<<10),
+		batch:   spillBatch,
+		bufs:    sync.Pool{New: func() any { b := make([]byte, 0, 256); return &b }},
+	}
+	s.matchB = s.matches
+	s.matchS = s.matchesString
+	return s, nil
+}
+
+func (s *spillStore) Len() int { return len(s.offs) }
+
+// spillWriteError carries an environmental spill-file write failure (disk
+// full, quota) out of Intern, whose StateStore signature has no error
+// return. BuildGraph recovers it at the engine boundary and returns it as
+// an ordinary build error — unlike read failures, which really are
+// unrecoverable corruption (the store rereads only bytes it wrote to an
+// unlinked file nothing else can touch) and stay panics. The failing store
+// rides along so the recovery can release its descriptor: the partial
+// graph is dropped, and nothing else holds a reference.
+type spillWriteError struct {
+	err   error
+	store *spillStore
+}
+
+// recoverSpillWrite converts a spillWriteError panic into the build's error
+// return (dropping the partial graph and closing the failed store's
+// descriptor); every other panic value is re-raised. Deferred by
+// BuildGraph, so both engines (the parallel engine interns on the
+// coordinating goroutine) surface disk-full cleanly instead of crashing.
+func recoverSpillWrite(g **Graph, err *error) {
+	switch r := recover().(type) {
+	case nil:
+	case spillWriteError:
+		_ = r.store.Close()
+		*g, *err = nil, r.err
+	default:
+		panic(r)
+	}
+}
+
+// readFp reads the fingerprint of a rotated vertex from the spill file into
+// buf (grown as needed). The store has no way to surface I/O errors through
+// the StateStore interface; a failing read of bytes the store itself wrote
+// is unrecoverable corruption, so it panics with context.
+func (s *spillStore) readFp(id StateID, buf []byte) []byte {
+	n := int(s.lens[id])
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := s.file.ReadAt(buf, s.offs[id]); err != nil {
+		panic(fmt.Sprintf("explore: spill store: read fingerprint of state %d: %v", id, err))
+	}
+	s.reads.Add(1)
+	return buf
+}
+
+// matches verifies a candidate exactly against its stored fingerprint:
+// resident candidates compare in RAM, rotated ones are read back from the
+// spill file.
+func (s *spillStore) matches(id StateID, fp []byte) bool {
+	if int(id) >= s.pendingBase {
+		return string(fp) == s.pendingFps[int(id)-s.pendingBase]
+	}
+	bufp := s.bufs.Get().(*[]byte)
+	buf := s.readFp(id, (*bufp)[:0])
+	eq := bytes.Equal(buf, fp)
+	*bufp = buf
+	s.bufs.Put(bufp)
+	return eq
+}
+
+func (s *spillStore) matchesString(id StateID, fp string) bool {
+	if int(id) >= s.pendingBase {
+		return fp == s.pendingFps[int(id)-s.pendingBase]
+	}
+	bufp := s.bufs.Get().(*[]byte)
+	buf := s.readFp(id, (*bufp)[:0])
+	eq := string(buf) == fp
+	*bufp = buf
+	s.bufs.Put(bufp)
+	return eq
+}
+
+func (s *spillStore) Lookup(fp []byte) (StateID, bool) {
+	h1, h2 := s.hash(fp)
+	return lookupBucket(s.buckets, s.hash2, fp, h1, h2, s.matchB, &s.collisions)
+}
+
+func (s *spillStore) LookupString(fp string) (StateID, bool) {
+	h1, h2 := s.hashS(fp)
+	return lookupBucket(s.buckets, s.hash2, fp, h1, h2, s.matchS, &s.collisions)
+}
+
+func (s *spillStore) Intern(fp string, st system.State, p pred) (StateID, bool) {
+	h1, h2 := s.hashS(fp)
+	if id, ok := lookupBucket(s.buckets, s.hash2, fp, h1, h2, s.matchS, &s.collisions); ok {
+		return id, false
+	}
+	id := StateID(len(s.offs))
+	s.buckets[h1] = append(s.buckets[h1], id)
+	s.hash2 = append(s.hash2, h2)
+	if _, err := s.w.WriteString(fp); err != nil {
+		panic(spillWriteError{fmt.Errorf("explore: spill store: append fingerprint of state %d: %w", id, err), s})
+	}
+	s.offs = append(s.offs, s.wOff)
+	s.lens = append(s.lens, uint32(len(fp)))
+	s.wOff += int64(len(fp))
+	s.succs = append(s.succs, nil)
+	s.preds = append(s.preds, p)
+	s.pendingFps = append(s.pendingFps, fp)
+	s.pendingStates = append(s.pendingStates, st)
+	if len(s.pendingFps) >= s.batch {
+		s.rotate()
+	}
+	return id, true
+}
+
+// rotate flushes the buffered writer and empties the pending window: every
+// vertex becomes disk-resident. Only called from Intern, which holds the
+// store's exclusive (mutable) phase, so no reader observes a half-rotated
+// window.
+func (s *spillStore) rotate() {
+	if err := s.w.Flush(); err != nil {
+		panic(spillWriteError{fmt.Errorf("explore: spill store: flush spill file: %w", err), s})
+	}
+	s.pendingBase = len(s.offs)
+	// Clear before truncating so the backing arrays drop their references
+	// and the rotated states/fingerprints become collectable.
+	clear(s.pendingFps)
+	clear(s.pendingStates)
+	s.pendingFps = s.pendingFps[:0]
+	s.pendingStates = s.pendingStates[:0]
+}
+
+func (s *spillStore) State(id StateID) (system.State, bool) {
+	if uint(id) >= uint(len(s.offs)) {
+		return system.State{}, false
+	}
+	if int(id) >= s.pendingBase {
+		return s.pendingStates[int(id)-s.pendingBase], true
+	}
+	st, err := s.dec(s.Fingerprint(id))
+	if err != nil {
+		panic(fmt.Sprintf("explore: spill store: decode state %d: %v", id, err))
+	}
+	return st, true
+}
+
+func (s *spillStore) Fingerprint(id StateID) string {
+	if uint(id) >= uint(len(s.offs)) {
+		return ""
+	}
+	if int(id) >= s.pendingBase {
+		return s.pendingFps[int(id)-s.pendingBase]
+	}
+	bufp := s.bufs.Get().(*[]byte)
+	buf := s.readFp(id, (*bufp)[:0])
+	fp := string(buf)
+	*bufp = buf
+	s.bufs.Put(bufp)
+	return fp
+}
+
+func (s *spillStore) Succs(id StateID) []Edge {
+	if uint(id) >= uint(len(s.succs)) {
+		return nil
+	}
+	return s.succs[id]
+}
+
+func (s *spillStore) SetSuccs(id StateID, edges []Edge) { s.succs[id] = edges }
+
+func (s *spillStore) Pred(id StateID) pred {
+	if uint(id) >= uint(len(s.preds)) {
+		return pred{}
+	}
+	return s.preds[id]
+}
+
+// Close releases the spill-file descriptor. The store must not be read
+// afterwards (reads of rotated vertices would panic on the closed file).
+// Closing is optional — the descriptor is reclaimed by the finalizer when
+// the store is collected — but deterministic release matters to callers
+// that churn through many spill-backed graphs: the store's whole point is
+// a tiny heap footprint, so the GC may otherwise let descriptors pile up
+// against the process's fd limit.
+func (s *spillStore) Close() error { return s.file.Close() }
+
+// CloseGraphStore deterministically releases any external resources held by
+// a graph's storage backend — today, the spill backend's file descriptor.
+// A no-op (nil) for the in-memory backends. The graph must not be used
+// afterwards.
+func CloseGraphStore(g *Graph) error {
+	if s, ok := g.store.(*spillStore); ok {
+		return s.Close()
+	}
+	return nil
+}
+
+// SpillStats is the observability face of the spill backend.
+type SpillStats struct {
+	// States is the number of stored vertices.
+	States int
+	// Resident is how many of them are still in the pending RAM window.
+	Resident int
+	// SpillBytes is the total bytes appended to the spill file, including
+	// bytes still buffered ahead of the next rotation flush.
+	SpillBytes int64
+	// Reads counts fingerprint reads served from the spill file (candidate
+	// verification, state decoding and fingerprint reconstruction).
+	Reads int64
+	// Collisions is the audited hash-collision count (see StoreCollisions).
+	Collisions int64
+}
+
+// GraphSpillStats reports the spill-file statistics of a graph built with
+// StoreSpill (ok == false for every other backend).
+func GraphSpillStats(g *Graph) (SpillStats, bool) {
+	s, ok := g.store.(*spillStore)
+	if !ok {
+		return SpillStats{}, false
+	}
+	return SpillStats{
+		States:     len(s.offs),
+		Resident:   len(s.pendingFps),
+		SpillBytes: s.wOff,
+		Reads:      s.reads.Load(),
+		Collisions: s.collisions.Load(),
+	}, true
+}

@@ -1,0 +1,266 @@
+package explore
+
+// In-package tests for the disk-spilling backend and the uniform bounds
+// contract of the StateStore surface: every read accessor of every backend
+// must be total (zero value / ok == false beyond Len(), never a panic), the
+// spill store must keep assigning dense-identical IDs once the pending
+// window rotates to disk, and forced hash collisions must be resolved by
+// reading fingerprints back from the spill file.
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/ioa-lab/boosting/internal/protocols"
+	"github.com/ioa-lab/boosting/internal/service"
+)
+
+// allBackends builds one store of every kind for a system, with the spill
+// store's pending window shrunk so small graphs exercise the disk path.
+func allBackends(t *testing.T) []struct {
+	name  string
+	store StateStore
+} {
+	t.Helper()
+	sys, err := protocols.BuildForward(2, 0, service.Adversarial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spill, err := newSpillStore(sys, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spill.batch = 4
+	return []struct {
+		name  string
+		store StateStore
+	}{
+		{"dense", newDenseStore()},
+		{"hash64", newHashStore(sys.AppendFingerprint, false)},
+		{"hash128", newHashStore(sys.AppendFingerprint, true)},
+		{"spill", spill},
+	}
+}
+
+// TestStoreBoundsUniform probes every read accessor of every backend at
+// Len() and beyond: out-of-range IDs must yield zero values, uniformly,
+// where State/Succs already did but Pred/Fingerprint used to panic.
+func TestStoreBoundsUniform(t *testing.T) {
+	sys, err := protocols.BuildForward(2, 0, service.Adversarial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := BuildGraph(sys, []systemState{stateAfterInputs(t, sys)}, BuildOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf []byte
+	for _, b := range allBackends(t) {
+		// Populate with a real prefix of the graph so in-range behaviour is
+		// also checked, then probe past the end.
+		const n = 10
+		for id := 0; id < n; id++ {
+			st, _ := dense.State(StateID(id))
+			buf = sys.AppendFingerprint(buf[:0], st)
+			b.store.Intern(string(buf), st, pred{})
+		}
+		if got := b.store.Len(); got != n {
+			t.Fatalf("%s: Len() = %d, want %d", b.name, got, n)
+		}
+		for _, id := range []StateID{StateID(n), StateID(n + 5), ^StateID(0)} {
+			if _, ok := b.store.State(id); ok {
+				t.Errorf("%s: State(%d) ok beyond Len()", b.name, id)
+			}
+			if fp := b.store.Fingerprint(id); fp != "" {
+				t.Errorf("%s: Fingerprint(%d) = %q beyond Len(), want \"\"", b.name, id, fp)
+			}
+			if e := b.store.Succs(id); e != nil {
+				t.Errorf("%s: Succs(%d) non-nil beyond Len()", b.name, id)
+			}
+			if p := b.store.Pred(id); p.has || p.from != 0 {
+				t.Errorf("%s: Pred(%d) non-zero beyond Len()", b.name, id)
+			}
+		}
+		if _, ok := b.store.Lookup([]byte("no such fingerprint")); ok {
+			t.Errorf("%s: Lookup of garbage fingerprint succeeded", b.name)
+		}
+		if _, ok := b.store.LookupString("no such fingerprint"); ok {
+			t.Errorf("%s: LookupString of garbage fingerprint succeeded", b.name)
+		}
+		// In-range accessors still resolve after the probes.
+		if fp0 := b.store.Fingerprint(0); fp0 != dense.Fingerprint(0) {
+			t.Errorf("%s: Fingerprint(0) diverged after out-of-range probes", b.name)
+		}
+	}
+}
+
+// TestSpillStoreRotation drives the spill store through many window
+// rotations (batch = 4) and asserts it keeps assigning exactly the dense
+// backend's IDs, that rotated vertices round-trip — State decodes back from
+// the spill file and re-encodes byte-identically — and that the stats
+// account for the disk traffic.
+func TestSpillStoreRotation(t *testing.T) {
+	sys, err := protocols.BuildForward(2, 0, service.Adversarial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := BuildGraph(sys, []systemState{stateAfterInputs(t, sys)}, BuildOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := newSpillStore(sys, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.batch = 4
+	var buf []byte
+	var wantBytes int64
+	for id := 0; id < dense.Size(); id++ {
+		st, _ := dense.State(StateID(id))
+		buf = sys.AppendFingerprint(buf[:0], st)
+		wantBytes += int64(len(buf))
+		got, fresh := sp.Intern(string(buf), st, pred{})
+		if !fresh || got != StateID(id) {
+			t.Fatalf("spill Intern state %d: got %d fresh=%v", id, got, fresh)
+		}
+		// Re-interning the same fingerprint must dedup, not reassign.
+		if again, fresh := sp.Intern(string(buf), st, pred{}); fresh || again != StateID(id) {
+			t.Fatalf("spill re-Intern state %d: got %d fresh=%v", id, again, fresh)
+		}
+	}
+	if sp.Len() != dense.Size() {
+		t.Fatalf("spill Len() = %d, want %d", sp.Len(), dense.Size())
+	}
+	if resident := sp.Len() - sp.pendingBase; resident >= sp.Len() {
+		t.Fatalf("pending window never rotated: %d of %d resident", resident, sp.Len())
+	}
+	for id := 0; id < dense.Size(); id++ {
+		want := dense.Fingerprint(StateID(id))
+		if got := sp.Fingerprint(StateID(id)); got != want {
+			t.Fatalf("spill Fingerprint(%d) differs from dense", id)
+		}
+		st, ok := sp.State(StateID(id))
+		if !ok {
+			t.Fatalf("spill State(%d) not ok", id)
+		}
+		buf = sys.AppendFingerprint(buf[:0], st)
+		if string(buf) != want {
+			t.Fatalf("state %d did not round-trip through the spill file:\n%q\n%q", id, buf, want)
+		}
+		if got, ok := sp.Lookup(buf); !ok || got != StateID(id) {
+			t.Fatalf("spill Lookup of state %d: got %d ok=%v", id, got, ok)
+		}
+	}
+	stats, ok := GraphSpillStats(&Graph{store: sp})
+	if !ok {
+		t.Fatal("GraphSpillStats not ok for a spill store")
+	}
+	if stats.States != dense.Size() || stats.SpillBytes != wantBytes {
+		t.Errorf("stats = %+v, want %d states / %d bytes", stats, dense.Size(), wantBytes)
+	}
+	if stats.Reads == 0 {
+		t.Error("rotated spill store served zero reads from disk")
+	}
+	if stats.Resident != sp.Len()-sp.pendingBase {
+		t.Errorf("stats.Resident = %d, want %d", stats.Resident, sp.Len()-sp.pendingBase)
+	}
+}
+
+// TestSpillStoreCollisionAudit forces every fingerprint into one bucket
+// with equal wide hashes: every dedup probe must verify against fingerprints
+// read back from the spill file, resolving (and counting) the collisions
+// without ever merging distinct states.
+func TestSpillStoreCollisionAudit(t *testing.T) {
+	sys, err := protocols.BuildForward(2, 0, service.Adversarial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := BuildGraph(sys, []systemState{stateAfterInputs(t, sys)}, BuildOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := newSpillStore(sys, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.batch = 4
+	sp.hash = func([]byte) (uint64, uint64) { return 0, 0 }
+	sp.hashS = func(string) (uint64, uint64) { return 0, 0 }
+	var buf []byte
+	for id := 0; id < dense.Size(); id++ {
+		st, _ := dense.State(StateID(id))
+		buf = sys.AppendFingerprint(buf[:0], st)
+		if got, fresh := sp.Intern(string(buf), st, pred{}); !fresh || got != StateID(id) {
+			t.Fatalf("total-collision spill Intern state %d: got %d fresh=%v", id, got, fresh)
+		}
+	}
+	for id := 0; id < dense.Size(); id++ {
+		st, _ := dense.State(StateID(id))
+		buf = sys.AppendFingerprint(buf[:0], st)
+		if got, ok := sp.Lookup(buf); !ok || got != StateID(id) {
+			t.Fatalf("total-collision spill Lookup state %d: got %d ok=%v", id, got, ok)
+		}
+	}
+	if sp.collisions.Load() == 0 {
+		t.Error("total-collision spill store audited zero collisions")
+	}
+	if sp.Len() != dense.Size() {
+		t.Errorf("spill Len() = %d, want %d", sp.Len(), dense.Size())
+	}
+}
+
+// TestSpillWriteFailureSurfacesAsError: an environmental write failure
+// (simulated by closing the spill file so the rotation flush fails) must
+// come out of the recoverSpillWrite boundary as an ordinary error — the
+// disk-full path of BuildGraph — not as a process-killing panic.
+func TestSpillWriteFailureSurfacesAsError(t *testing.T) {
+	sys, err := protocols.BuildForward(2, 0, service.Adversarial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := newSpillStore(sys, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.batch = 1 // rotate — and hit the failing flush — on the first intern
+	sp.file.Close()
+	st := stateAfterInputs(t, sys)
+	var g *Graph
+	var buildErr error
+	func() {
+		defer recoverSpillWrite(&g, &buildErr)
+		var buf []byte
+		buf = sys.AppendFingerprint(buf[:0], st)
+		sp.Intern(string(buf), st, pred{})
+		g = &Graph{store: sp} // must be dropped by the recovery
+	}()
+	if buildErr == nil {
+		t.Fatal("spill write failure did not surface as an error")
+	}
+	if g != nil {
+		t.Error("recoverSpillWrite kept the partial graph alongside the error")
+	}
+}
+
+// TestSpillStoreBadDir: an unusable spill directory must surface as a build
+// error from BuildGraph (both engines), not a panic.
+func TestSpillStoreBadDir(t *testing.T) {
+	sys, err := protocols.BuildForward(2, 0, service.Adversarial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		_, err := BuildGraph(sys, []systemState{stateAfterInputs(t, sys)}, BuildOptions{
+			Workers:  workers,
+			Store:    StoreSpill,
+			SpillDir: "/nonexistent/spill/dir",
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: BuildGraph with unusable spill dir succeeded", workers)
+		}
+		var le *LimitError
+		if errors.As(err, &le) {
+			t.Fatalf("workers=%d: spill-dir failure misreported as %v", workers, err)
+		}
+	}
+}

@@ -31,6 +31,14 @@ const (
 	// vertex. The wider filter makes verification misses (true collisions)
 	// vanishingly rare at large state counts, at +8 bytes per vertex.
 	StoreHash128
+	// StoreSpill is the disk-spilling backend (TLC-style fingerprint file):
+	// the dedup index keeps 16 hash bytes plus a file offset per vertex in
+	// RAM, while the canonical fingerprints — which double as the serialized
+	// representative states — live in an append-only spill file and are read
+	// back and decoded on demand. Exact, like the hash backends; the graph
+	// is identical to the dense store's, with MaxStates no longer bounded by
+	// resident state memory.
+	StoreSpill
 )
 
 // String renders the store kind.
@@ -42,6 +50,8 @@ func (k StoreKind) String() string {
 		return "hash64"
 	case StoreHash128:
 		return "hash128"
+	case StoreSpill:
+		return "spill"
 	default:
 		return fmt.Sprintf("store(%d)", int(k))
 	}
@@ -62,9 +72,15 @@ func (k StoreKind) String() string {
 //
 // IDs are assigned densely in interning order: the i-th distinct state gets
 // ID i, so a BFS that interns states in discovery order gets BFS-numbered
-// vertices for free. Both bundled implementations live in this package; the
+// vertices for free. All bundled implementations live in this package; the
 // interface deliberately uses the unexported pred type, so external
 // implementations go through their own StoreKind here.
+//
+// Bounds contract: every read accessor (State, Fingerprint, Succs, Pred) is
+// total — an out-of-range ID yields the zero value (ok == false where the
+// signature has an ok), never a panic, on every backend. SetSuccs is the one
+// exception: it is a write API whose callers own ID assignment, and it
+// panics on IDs that were never interned, mirroring slice indexing.
 type StateStore interface {
 	// Len returns the number of stored vertices; valid IDs are 0 … Len()−1.
 	Len() int
@@ -80,28 +96,33 @@ type StateStore interface {
 	Intern(fp string, st system.State, p pred) (id StateID, fresh bool)
 	// State returns the representative state of a vertex.
 	State(id StateID) (system.State, bool)
-	// Fingerprint returns the canonical string encoding of a vertex.
+	// Fingerprint returns the canonical string encoding of a vertex
+	// ("" for out-of-range IDs — canonical encodings are never empty).
 	Fingerprint(id StateID) string
 	// Succs returns the outgoing edges of a vertex.
 	Succs(id StateID) []Edge
 	// SetSuccs records the outgoing edges of a vertex.
 	SetSuccs(id StateID, edges []Edge)
 	// Pred returns the BFS-tree predecessor link of a vertex (has == false
-	// for roots).
+	// for roots and for out-of-range IDs).
 	Pred(id StateID) pred
 }
 
-// newStore builds the backend for a kind. The encoder is the system's
-// canonical fingerprint appender; hash backends use it to re-encode stored
-// states when verifying candidate matches.
-func newStore(kind StoreKind, enc func([]byte, system.State) []byte) StateStore {
+// newStore builds the backend for a kind. Hash backends re-encode stored
+// states (via the system's canonical fingerprint appender) when verifying
+// candidate matches; the spill backend additionally decodes states back out
+// of their spilled fingerprints, and spillDir overrides where its spill
+// file is created ("" = the OS temp directory).
+func newStore(kind StoreKind, sys *system.System, spillDir string) (StateStore, error) {
 	switch kind {
 	case StoreHash64:
-		return newHashStore(enc, false)
+		return newHashStore(sys.AppendFingerprint, false), nil
 	case StoreHash128:
-		return newHashStore(enc, true)
+		return newHashStore(sys.AppendFingerprint, true), nil
+	case StoreSpill:
+		return newSpillStore(sys, spillDir)
 	default:
-		return newDenseStore()
+		return newDenseStore(), nil
 	}
 }
 
@@ -136,16 +157,21 @@ func (s *denseStore) Intern(fp string, st system.State, p pred) (StateID, bool) 
 }
 
 func (s *denseStore) State(id StateID) (system.State, bool) {
-	if int(id) >= len(s.states) {
+	if uint(id) >= uint(len(s.states)) {
 		return system.State{}, false
 	}
 	return s.states[id], true
 }
 
-func (s *denseStore) Fingerprint(id StateID) string { return s.tab.Key(id) }
+func (s *denseStore) Fingerprint(id StateID) string {
+	if uint(id) >= uint(s.tab.Len()) {
+		return ""
+	}
+	return s.tab.Key(id)
+}
 
 func (s *denseStore) Succs(id StateID) []Edge {
-	if int(id) >= len(s.succs) {
+	if uint(id) >= uint(len(s.succs)) {
 		return nil
 	}
 	return s.succs[id]
@@ -153,7 +179,12 @@ func (s *denseStore) Succs(id StateID) []Edge {
 
 func (s *denseStore) SetSuccs(id StateID, edges []Edge) { s.succs[id] = edges }
 
-func (s *denseStore) Pred(id StateID) pred { return s.preds[id] }
+func (s *denseStore) Pred(id StateID) pred {
+	if uint(id) >= uint(len(s.preds)) {
+		return pred{}
+	}
+	return s.preds[id]
+}
 
 // fpHash returns two independent 64-bit FNV-1a–style hashes of a canonical
 // fingerprint, computed in one pass. Deterministic across runs (unlike
@@ -178,6 +209,28 @@ func fpHash[T ~string | ~[]byte](fp T) (h1, h2 uint64) {
 	return h1, h2
 }
 
+// lookupBucket scans the candidates interned under h1 for an exact match:
+// wide backends (hash2 non-nil) pre-filter on the second hash, then each
+// surviving candidate is verified byte-for-byte by the backend's matcher;
+// candidates the verification refutes are audited in collisions. This is
+// the one probe loop shared by the hash-compaction and spill backends,
+// generic over the two probe key forms so neither call path converts (and
+// copies) its key. Matchers are passed as struct-field funcs bound at
+// construction, so probing allocates nothing.
+func lookupBucket[T ~string | ~[]byte](buckets map[uint64][]StateID, hash2 []uint64,
+	fp T, h1, h2 uint64, matches func(StateID, T) bool, collisions *atomic.Int64) (StateID, bool) {
+	for _, id := range buckets[h1] {
+		if hash2 != nil && hash2[id] != h2 {
+			continue
+		}
+		if matches(id, fp) {
+			return id, true
+		}
+		collisions.Add(1)
+	}
+	return 0, false
+}
+
 // hashStore is the hash-compaction backend: the dedup index is keyed by a
 // 64-bit fingerprint hash (optionally filtered by a second 64-bit hash),
 // and the canonical string itself is never stored — per vertex it keeps
@@ -191,8 +244,12 @@ type hashStore struct {
 	wide bool
 	// hash/hashS are fpHash's two instantiations, replaceable (together)
 	// in tests to force collisions and exercise the verification path.
-	hash    func([]byte) (uint64, uint64)
-	hashS   func(string) (uint64, uint64)
+	hash  func([]byte) (uint64, uint64)
+	hashS func(string) (uint64, uint64)
+	// matchB/matchS are the matches/matchesString methods bound once at
+	// construction, so lookupBucket calls allocate no closures.
+	matchB  func(StateID, []byte) bool
+	matchS  func(StateID, string) bool
 	buckets map[uint64][]StateID
 	hash2   []uint64 // second hash per vertex (wide only)
 	states  []system.State
@@ -206,7 +263,7 @@ type hashStore struct {
 }
 
 func newHashStore(enc func([]byte, system.State) []byte, wide bool) *hashStore {
-	return &hashStore{
+	s := &hashStore{
 		enc:     enc,
 		wide:    wide,
 		hash:    fpHash[[]byte],
@@ -214,6 +271,9 @@ func newHashStore(enc func([]byte, system.State) []byte, wide bool) *hashStore {
 		buckets: make(map[uint64][]StateID, 1024),
 		bufs:    sync.Pool{New: func() any { b := make([]byte, 0, 256); return &b }},
 	}
+	s.matchB = s.matches
+	s.matchS = s.matchesString
+	return s
 }
 
 func (s *hashStore) Len() int { return len(s.states) }
@@ -240,45 +300,19 @@ func (s *hashStore) matchesString(id StateID, fp string) bool {
 	return eq
 }
 
-func (s *hashStore) lookupHashed(fp []byte, h1, h2 uint64) (StateID, bool) {
-	for _, id := range s.buckets[h1] {
-		if s.wide && s.hash2[id] != h2 {
-			continue
-		}
-		if s.matches(id, fp) {
-			return id, true
-		}
-		s.collisions.Add(1)
-	}
-	return 0, false
-}
-
-func (s *hashStore) lookupHashedString(fp string, h1, h2 uint64) (StateID, bool) {
-	for _, id := range s.buckets[h1] {
-		if s.wide && s.hash2[id] != h2 {
-			continue
-		}
-		if s.matchesString(id, fp) {
-			return id, true
-		}
-		s.collisions.Add(1)
-	}
-	return 0, false
-}
-
 func (s *hashStore) Lookup(fp []byte) (StateID, bool) {
 	h1, h2 := s.hash(fp)
-	return s.lookupHashed(fp, h1, h2)
+	return lookupBucket(s.buckets, s.hash2, fp, h1, h2, s.matchB, &s.collisions)
 }
 
 func (s *hashStore) LookupString(fp string) (StateID, bool) {
 	h1, h2 := s.hashS(fp)
-	return s.lookupHashedString(fp, h1, h2)
+	return lookupBucket(s.buckets, s.hash2, fp, h1, h2, s.matchS, &s.collisions)
 }
 
 func (s *hashStore) Intern(fp string, st system.State, p pred) (StateID, bool) {
 	h1, h2 := s.hashS(fp)
-	if id, ok := s.lookupHashedString(fp, h1, h2); ok {
+	if id, ok := lookupBucket(s.buckets, s.hash2, fp, h1, h2, s.matchS, &s.collisions); ok {
 		return id, false
 	}
 	id := StateID(len(s.states))
@@ -293,20 +327,29 @@ func (s *hashStore) Intern(fp string, st system.State, p pred) (StateID, bool) {
 }
 
 func (s *hashStore) State(id StateID) (system.State, bool) {
-	if int(id) >= len(s.states) {
+	if uint(id) >= uint(len(s.states)) {
 		return system.State{}, false
 	}
 	return s.states[id], true
 }
 
 // Fingerprint re-encodes the representative state: hash compaction does not
-// keep canonical strings, it reconstructs them on demand.
+// keep canonical strings, it reconstructs them on demand. The encoding goes
+// through the pooled buffers, so the only allocation is the returned string.
 func (s *hashStore) Fingerprint(id StateID) string {
-	return string(s.enc(nil, s.states[id]))
+	if uint(id) >= uint(len(s.states)) {
+		return ""
+	}
+	bufp := s.bufs.Get().(*[]byte)
+	buf := s.enc((*bufp)[:0], s.states[id])
+	fp := string(buf)
+	*bufp = buf
+	s.bufs.Put(bufp)
+	return fp
 }
 
 func (s *hashStore) Succs(id StateID) []Edge {
-	if int(id) >= len(s.succs) {
+	if uint(id) >= uint(len(s.succs)) {
 		return nil
 	}
 	return s.succs[id]
@@ -314,7 +357,12 @@ func (s *hashStore) Succs(id StateID) []Edge {
 
 func (s *hashStore) SetSuccs(id StateID, edges []Edge) { s.succs[id] = edges }
 
-func (s *hashStore) Pred(id StateID) pred { return s.preds[id] }
+func (s *hashStore) Pred(id StateID) pred {
+	if uint(id) >= uint(len(s.preds)) {
+		return pred{}
+	}
+	return s.preds[id]
+}
 
 // Collisions reports how many hash collisions (distinct canonical
 // fingerprints sharing a bucket) verification resolved — the collision
@@ -325,8 +373,11 @@ func (s *hashStore) Collisions() int { return int(s.collisions.Load()) }
 // StoreCollisions reports the audited hash-collision count of a graph's
 // backend (0 for backends that do not hash).
 func StoreCollisions(g *Graph) int {
-	if hs, ok := g.store.(*hashStore); ok {
-		return hs.Collisions()
+	switch s := g.store.(type) {
+	case *hashStore:
+		return s.Collisions()
+	case *spillStore:
+		return int(s.collisions.Load())
 	}
 	return 0
 }

@@ -84,6 +84,34 @@ func TestRealHashNoFalseMerges(t *testing.T) {
 	}
 }
 
+// TestHashFingerprintAllocs pins the pooled-buffer discipline of the
+// hash-compaction Fingerprint reconstruction: with a warm pool the only
+// allocation per call is the returned string itself (it used to burn a
+// second allocation on a fresh encode buffer every call).
+func TestHashFingerprintAllocs(t *testing.T) {
+	sys, err := protocols.BuildForward(2, 0, service.Adversarial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := BuildGraph(sys, []systemState{stateAfterInputs(t, sys)}, BuildOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, wide := range []bool{false, true} {
+		hs := newHashStore(sys.AppendFingerprint, wide)
+		var buf []byte
+		for id := 0; id < dense.Size(); id++ {
+			st, _ := dense.State(StateID(id))
+			buf = sys.AppendFingerprint(buf[:0], st)
+			hs.Intern(string(buf), st, pred{})
+		}
+		hs.Fingerprint(0) // warm the buffer pool
+		if n := testing.AllocsPerRun(100, func() { hs.Fingerprint(0) }); n > 1 {
+			t.Errorf("wide=%v: Fingerprint allocates %.1f allocs/op, want ≤ 1 (the string)", wide, n)
+		}
+	}
+}
+
 type systemState = system.State
 
 func stateAfterInputs(t *testing.T, sys *system.System) system.State {

@@ -1,0 +1,83 @@
+package process
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/ioa-lab/boosting/internal/codec"
+)
+
+// decodeStates is a spread of process states covering every encoded field:
+// empty and populated vars, queued invocations and decides, recorded
+// decisions, and all flag combinations.
+func decodeStates() []State {
+	return []State{
+		{Vars: map[string]string{}},
+		{Vars: map[string]string{"x": "1", "round": "3", "": "empty-key"}},
+		{Vars: map[string]string{"v": ""}, Outbox: []Outgoing{
+			{Kind: OutInvoke, Service: "k0", Payload: "init:1"},
+			{Kind: OutDecide, Payload: "0"},
+		}},
+		{Vars: map[string]string{"v": "1"}, Decided: "1", HasDec: true},
+		{Vars: map[string]string{}, DecideQueued: true},
+		{Vars: map[string]string{}, Failed: true},
+		{Vars: map[string]string{"a": "b"}, Decided: "0", HasDec: true, DecideQueued: true, Failed: true},
+	}
+}
+
+// TestParseStatePrefixRoundTrip: decode(encode(st)) re-encodes
+// byte-identically for every field combination, including with trailing
+// input left untouched.
+func TestParseStatePrefixRoundTrip(t *testing.T) {
+	for i, st := range decodeStates() {
+		enc := st.Fingerprint()
+		got, rest, err := ParseStatePrefix(enc + "TRAILER")
+		if err != nil {
+			t.Fatalf("state %d: %v", i, err)
+		}
+		if rest != "TRAILER" {
+			t.Fatalf("state %d: remainder %q", i, rest)
+		}
+		if re := got.Fingerprint(); re != enc {
+			t.Errorf("state %d round trip:\n%q\n%q", i, enc, re)
+		}
+		if got.HasDec != st.HasDec || got.DecideQueued != st.DecideQueued || got.Failed != st.Failed {
+			t.Errorf("state %d: flags (%v,%v,%v), want (%v,%v,%v)", i,
+				got.HasDec, got.DecideQueued, got.Failed, st.HasDec, st.DecideQueued, st.Failed)
+		}
+		if got.Decided != st.Decided {
+			t.Errorf("state %d: decided %q, want %q", i, got.Decided, st.Decided)
+		}
+	}
+}
+
+// TestParseStatePrefixMalformed: truncations, wrong delimiters, unknown
+// outgoing kinds and non-canonical flags all error with codec.ErrMalformed
+// instead of panicking or mis-decoding.
+func TestParseStatePrefixMalformed(t *testing.T) {
+	good := (State{Vars: map[string]string{"x": "1"}, Outbox: []Outgoing{{Kind: OutInvoke, Service: "k0", Payload: "p"}}}).Fingerprint()
+	bad := []string{
+		"",
+		"x" + good,
+		good[:1],
+		good[:len(good)-1],
+		good[1:],
+		"[2:<>]",
+		// Unknown outgoing kind 9 in an otherwise canonical outbox.
+		(func() string {
+			st := State{Vars: map[string]string{}, Outbox: []Outgoing{{Kind: OutKind(9), Payload: "p"}}}
+			return st.Fingerprint()
+		})(),
+		// Non-canonical flag atom ("fd" instead of "df").
+		"[2:<>2:[]1:02:fd]",
+		// Well-formed vars map with keys out of canonical order: b before a.
+		"[18:<(1:b1:2)(1:a1:1)>2:[]0:0:]",
+		// Well-formed vars map with a duplicate key.
+		"[18:<(1:a1:1)(1:a1:2)>2:[]0:0:]",
+	}
+	for i, s := range bad {
+		if _, _, err := ParseStatePrefix(s); !errors.Is(err, codec.ErrMalformed) {
+			t.Errorf("input %d (%q): error %v, want ErrMalformed", i, s, err)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package system
+
+import (
+	"fmt"
+
+	"github.com/ioa-lab/boosting/internal/codec"
+	"github.com/ioa-lab/boosting/internal/process"
+	"github.com/ioa-lab/boosting/internal/service"
+)
+
+// ParseFingerprint reconstructs a system state from its canonical encoding —
+// the inverse of Fingerprint/AppendFingerprint. The component encodings are
+// self-delimiting, so the concatenated system fingerprint splits back into
+// one process state per process (ascending id order) and one service state
+// per service (sorted index order) with no separators.
+//
+// Every fingerprint this system produced decodes, and re-encoding the
+// decoded state is byte-identical (the round-trip contract the disk-spilling
+// StateStore backend is built on: spilled vertices persist only their
+// fingerprints and are decoded on demand). Inputs that are not canonical
+// encodings return an error wrapping codec.ErrMalformed.
+func (s *System) ParseFingerprint(fp string) (State, error) {
+	st := State{
+		procs: make([]process.State, len(s.procIDs)),
+		svcs:  make([]service.State, len(s.svcIDs)),
+	}
+	rest := fp
+	var err error
+	for i := range st.procs {
+		st.procs[i], rest, err = process.ParseStatePrefix(rest)
+		if err != nil {
+			return State{}, fmt.Errorf("system: decode P%d: %w", s.procIDs[i], err)
+		}
+	}
+	for i := range st.svcs {
+		st.svcs[i], rest, err = service.ParseStatePrefix(rest)
+		if err != nil {
+			return State{}, fmt.Errorf("system: decode service %s: %w", s.svcIDs[i], err)
+		}
+	}
+	if rest != "" {
+		return State{}, fmt.Errorf("system: %w: %d trailing bytes after state encoding", codec.ErrMalformed, len(rest))
+	}
+	return st, nil
+}

@@ -12,6 +12,7 @@ type config struct {
 	workers   int
 	maxStates int
 	store     Store
+	spillDir  string
 	progress  ProgressFunc
 	ctx       context.Context
 	policy    service.SilencePolicy
@@ -33,18 +34,34 @@ type Option func(*config)
 
 // WithWorkers sets the exploration worker count: 0 (the default) means one
 // per CPU, 1 forces the serial engines. Results are identical for any
-// worker count.
-func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
+// worker count. Negative values are clamped to 0 (the default) — they never
+// reach the pool sizing.
+func WithWorkers(n int) Option { return func(c *config) { c.workers = max(n, 0) } }
 
 // WithMaxStates caps the number of distinct states explored per graph
 // build (0 = the engine default, 200000). Exceeding the cap returns a
-// *LimitError.
-func WithMaxStates(n int) Option { return func(c *config) { c.maxStates = n } }
+// *LimitError. Negative values are clamped to 0 (the default) — they never
+// masquerade as an already-exceeded budget.
+func WithMaxStates(n int) Option { return func(c *config) { c.maxStates = max(n, 0) } }
 
 // WithStore selects the vertex storage backend for graph builds:
-// DenseStore (default), HashStore64 or HashStore128. All backends produce
-// identical graphs and reports.
+// DenseStore (default), HashStore64, HashStore128 or SpillStore. All
+// backends produce identical graphs and reports.
 func WithStore(s Store) Option { return func(c *config) { c.store = s } }
+
+// WithSpillDir selects the SpillStore backend and places its spill files in
+// dir ("" keeps the OS temp directory). The spill store keeps only 16 hash
+// bytes plus a file offset per vertex in RAM; canonical fingerprints — the
+// serialized representative states — live in an append-only spill file and
+// are decoded back on demand, so state budgets are no longer bounded by
+// resident memory. Spill files are unlinked at creation and reclaimed by
+// the kernel when the graph is collected.
+func WithSpillDir(dir string) Option {
+	return func(c *config) {
+		c.store = SpillStore
+		c.spillDir = dir
+	}
+}
 
 // WithProgress streams per-level exploration reports (states, edges,
 // frontier) to fn during every graph build the Checker performs.
@@ -101,6 +118,7 @@ func (c *config) buildOptions() explore.BuildOptions {
 		Workers:   c.workers,
 		MaxStates: c.maxStates,
 		Store:     c.store,
+		SpillDir:  c.spillDir,
 		Symmetry:  c.canon,
 		Progress:  c.progress,
 		Ctx:       c.ctx,

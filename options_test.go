@@ -1,0 +1,149 @@
+package boosting_test
+
+// Façade-level option validation and spill-store plumbing tests: negative
+// knob values must clamp to the defaults instead of leaking into the
+// engines, WithSpillDir must route graph builds through the disk-spilling
+// backend, and an unusable spill directory must surface as an ordinary
+// error.
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/ioa-lab/boosting"
+)
+
+// TestNegativeOptionsClamped: WithMaxStates(-1) must behave exactly like
+// the default budget — a full exhaustive build, not an immediate
+// *LimitError — and WithWorkers(-5) must behave like the worker default,
+// on both engines and with the serial reference graph reproduced exactly.
+func TestNegativeOptionsClamped(t *testing.T) {
+	ref, err := boosting.New("forward", 2, 0, boosting.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.ClassifyInits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4, -5} {
+		chk, err := boosting.New("forward", 2, 0,
+			boosting.WithWorkers(workers), boosting.WithMaxStates(-1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := chk.ClassifyInits()
+		if err != nil {
+			var le *boosting.LimitError
+			if errors.As(err, &le) {
+				t.Fatalf("workers=%d: WithMaxStates(-1) tripped %v; negatives must clamp to the default budget", workers, err)
+			}
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		assertGraphsIdentical(t, "negative-options", want.Graph, got.Graph)
+	}
+}
+
+// TestSpillDirOption: WithSpillDir selects the spill backend, produces the
+// dense-identical graph, and exposes spill statistics that account for
+// every vertex.
+func TestSpillDirOption(t *testing.T) {
+	ref, err := boosting.New("forward", 3, 0, boosting.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.ClassifyInits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := boosting.GraphSpillStats(want.Graph); ok {
+		t.Fatal("dense graph reported spill stats")
+	}
+	chk, err := boosting.New("forward", 3, 0,
+		boosting.WithWorkers(1), boosting.WithSpillDir(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := chk.ClassifyInits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGraphsIdentical(t, "spilldir", want.Graph, got.Graph)
+	stats, ok := boosting.GraphSpillStats(got.Graph)
+	if !ok {
+		t.Fatal("spill graph reported no spill stats")
+	}
+	if stats.States != got.Graph.Size() {
+		t.Errorf("spill stats cover %d states, graph has %d", stats.States, got.Graph.Size())
+	}
+	if stats.SpillBytes == 0 {
+		t.Error("spill store wrote zero bytes")
+	}
+	if stats.Resident > stats.States {
+		t.Errorf("resident %d exceeds states %d", stats.Resident, stats.States)
+	}
+	// Deterministic release: closing a spill graph frees its descriptor,
+	// and closing an in-memory graph is a nil no-op.
+	if err := boosting.CloseGraph(got.Graph); err != nil {
+		t.Errorf("CloseGraph(spill) = %v", err)
+	}
+	if err := boosting.CloseGraph(want.Graph); err != nil {
+		t.Errorf("CloseGraph(dense) = %v", err)
+	}
+}
+
+// TestSpillExhaustiveForwardN5 pins the first exhaustive forward n=5
+// analysis — the larger-n frontier the spill store opened (ROADMAP/E28):
+// 14754 states / 103926 edges from all monotone initializations, 868 / 6180
+// under symmetry reduction, built with states living on disk. The CI
+// spill job runs this under a low GOMEMLIMIT.
+func TestSpillExhaustiveForwardN5(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive n=5 build skipped in -short mode")
+	}
+	golden := []struct {
+		sym           bool
+		states, edges int
+	}{
+		{false, 14754, 103926},
+		{true, 868, 6180},
+	}
+	for _, g := range golden {
+		opts := []boosting.Option{boosting.WithSpillDir(t.TempDir())}
+		if g.sym {
+			opts = append(opts, boosting.WithSymmetry())
+		}
+		chk, err := boosting.New("forward", 5, 0, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := chk.ClassifyInits()
+		if err != nil {
+			t.Fatalf("sym=%v: %v", g.sym, err)
+		}
+		if c.Graph.Size() != g.states || c.Graph.Edges() != g.edges {
+			t.Errorf("sym=%v: %d states / %d edges, want %d / %d",
+				g.sym, c.Graph.Size(), c.Graph.Edges(), g.states, g.edges)
+		}
+		if c.BivalentIndex < 0 {
+			t.Errorf("sym=%v: no bivalent initialization found", g.sym)
+		}
+	}
+}
+
+// TestSpillDirUnusable: an unusable spill directory fails the build with an
+// ordinary error (not a *LimitError, not a panic) through the façade.
+func TestSpillDirUnusable(t *testing.T) {
+	chk, err := boosting.New("forward", 2, 0, boosting.WithSpillDir("/nonexistent/spill/dir"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = chk.Explore(map[int]string{0: "0", 1: "1"})
+	if err == nil {
+		t.Fatal("Explore with unusable spill dir succeeded")
+	}
+	var le *boosting.LimitError
+	if errors.As(err, &le) {
+		t.Fatalf("spill-dir failure misreported as a state-budget overflow: %v", err)
+	}
+}

@@ -74,17 +74,39 @@ const (
 // Store backends. DenseStore interns every canonical fingerprint in full;
 // the hash stores keep only a 64/128-bit fingerprint hash per vertex
 // (SPIN-style hash compaction) and verify candidate matches against the
-// stored representative state, so all backends produce identical graphs —
-// collisions are audited and resolved, never silently merged.
+// stored representative state; SpillStore additionally moves fingerprints
+// and representative states to an append-only spill file (TLC-style
+// fingerprint file), keeping only 16 hash bytes plus a file offset per
+// vertex in RAM. All backends produce identical graphs — collisions are
+// audited and resolved, never silently merged.
 const (
 	DenseStore   = explore.StoreDense
 	HashStore64  = explore.StoreHash64
 	HashStore128 = explore.StoreHash128
+	SpillStore   = explore.StoreSpill
 )
 
 // StoreCollisions reports the audited hash-collision count of a graph's
 // backend (always 0 for DenseStore).
 func StoreCollisions(g *Graph) int { return explore.StoreCollisions(g) }
+
+// SpillStats is the observability face of the SpillStore backend: vertex
+// and resident counts, spill-file size, on-demand read count and the
+// audited collision count.
+type SpillStats = explore.SpillStats
+
+// GraphSpillStats reports the spill-file statistics of a graph built with
+// SpillStore (ok == false for every other backend).
+func GraphSpillStats(g *Graph) (SpillStats, bool) { return explore.GraphSpillStats(g) }
+
+// CloseGraph deterministically releases any external resources held by a
+// graph's storage backend — the SpillStore file descriptor — and is a
+// no-op (nil) for the in-memory backends. The graph must not be used
+// afterwards. Optional: an unclosed spill graph is reclaimed when the
+// garbage collector runs its finalizer, but callers that churn through
+// many spill-backed graphs should close each one rather than let
+// descriptors accumulate against the process's fd limit.
+func CloseGraph(g *Graph) error { return explore.CloseGraphStore(g) }
 
 // Proof-machinery result types.
 type (
