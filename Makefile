@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-allocs bench-symmetry bench-spill test-spill lint vet fmt-check fmt vuln apidiff-baseline apidiff
+.PHONY: all build test race bench bench-allocs bench-symmetry bench-spill bench-adjacency test-spill lint vet fmt-check fmt vuln apidiff-baseline apidiff
 
 all: build lint test
 
@@ -24,14 +24,15 @@ bench:
 # Allocation accounting for the exploration stack: the E22–E24 engine
 # comparisons, the E25 fingerprint-encoder comparison, the E26 state
 # store comparison (dense vs hash compaction), the E27 symmetry
-# reduction (quotient vs full graph) and the E28 spill store (disk-backed
-# fingerprint file, incl. the exhaustive forward n=5 build), with
-# -benchmem. B/op and allocs/op are stable at low iteration counts, so a
-# short fixed benchtime keeps this cheap enough to run per-PR; CI uploads
-# the output as an artifact (bench-allocs.txt) to make allocation
+# reduction (quotient vs full graph), the E28 spill store (disk-backed
+# fingerprint file, incl. the exhaustive forward n=5 build) and the E29
+# spilled adjacency (edge file + witness-free builds), with -benchmem.
+# B/op and allocs/op are stable at low iteration counts, so a short
+# fixed benchtime keeps this cheap enough to run per-PR; CI uploads the
+# output as an artifact (bench-allocs.txt) to make allocation
 # regressions visible.
 bench-allocs:
-	@$(GO) test -bench 'BenchmarkBuildGraphWorkers|BenchmarkRefuteWorkers|BenchmarkRunBatchWorkers|BenchmarkFingerprint|BenchmarkStoreBackends|BenchmarkSymmetry$$|BenchmarkSpillStore' \
+	@$(GO) test -bench 'BenchmarkBuildGraphWorkers|BenchmarkRefuteWorkers|BenchmarkRunBatchWorkers|BenchmarkFingerprint|BenchmarkStoreBackends|BenchmarkSymmetry$$|BenchmarkSpillStore|BenchmarkSpillAdjacency' \
 		-benchmem -benchtime=2x -run '^$$' . > bench-allocs.txt; \
 		status=$$?; cat bench-allocs.txt; exit $$status
 
@@ -46,10 +47,18 @@ bench-symmetry:
 bench-spill:
 	$(GO) test -bench 'BenchmarkSpillStore' -benchmem -benchtime=2x -run '^$$' .
 
+# The E29 rows on their own: the spilled adjacency (delta-varint edge
+# blocks on disk) against dense, with and without witness predecessor
+# links — retained bytes/state, edge-file bytes/edge, edge-block reads.
+bench-adjacency:
+	$(GO) test -bench 'BenchmarkSpillAdjacency' -benchmem -benchtime=2x -run '^$$' .
+
 # The spill-store slice of the parity suites under a low memory ceiling:
 # graph identity (IDs, edges, valences, reports) of the disk-backed store
 # against dense, serial and parallel, reduced and unreduced, with the Go
-# heap softly capped to prove exploration no longer needs state-sized RAM.
+# heap softly capped to prove exploration no longer needs state-sized
+# RAM. TestSpill also matches the exhaustive forward n=5 and n=6 frontier
+# builds, so both run under the ceiling with vertices AND edges on disk.
 # -count=1 matters: GOMEMLIMIT is read by the runtime, not the test
 # binary, so it is not part of the test-cache key — without it a warm
 # cache would replay passes that never ran under the ceiling.

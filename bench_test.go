@@ -652,6 +652,59 @@ func BenchmarkSpillStore(b *testing.B) {
 	bench("forward-n5/spill", 5, boosting.WithSpillDir(b.TempDir()))
 }
 
+// BenchmarkSpillAdjacency (E29) measures the spilled-adjacency redesign on
+// the exhaustive forward n=5 build (14754 states / 103926 edges): dense as
+// the reference, spill with edges delta-varint encoded in the edge file,
+// and spill with the witness links dropped on top (WithoutWitnesses) — the
+// configuration that carries exhaustive forward n=6 and registervote n=3
+// under the 64 MiB ceiling (see cmd/experiments, e29). The retained probe
+// is the live heap the finished graph keeps; edgeB/edge is the on-disk
+// encoding density of the adjacency blocks.
+func BenchmarkSpillAdjacency(b *testing.B) {
+	bench := func(name string, opts ...boosting.Option) {
+		b.Run(name, func(b *testing.B) {
+			chk, err := boosting.New("forward", 5, 0,
+				append([]boosting.Option{boosting.WithWorkers(1)}, opts...)...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			runtime.GC()
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			probe, err := chk.ClassifyInits()
+			if err != nil {
+				b.Fatal(err)
+			}
+			runtime.GC()
+			runtime.ReadMemStats(&after)
+			retained := float64(after.HeapAlloc) - float64(before.HeapAlloc)
+			states, edges := probe.Graph.Size(), probe.Graph.Edges()
+			spillStats, spilled := boosting.GraphSpillStats(probe.Graph)
+			runtime.KeepAlive(probe)
+			boosting.CloseGraph(probe.Graph)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c, err := chk.ClassifyInits()
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(c.Graph.Size()), "states")
+				boosting.CloseGraph(c.Graph)
+			}
+			if spilled {
+				b.ReportMetric(float64(spillStats.EdgeBytes)/float64(edges), "edgeB/edge")
+				b.ReportMetric(float64(spillStats.EdgeReads), "edgereads")
+			}
+			b.ReportMetric(retained, "retainedB")
+			b.ReportMetric(retained/float64(states), "retainedB/state")
+		})
+	}
+	bench("forward-n5/dense")
+	bench("forward-n5/spill", boosting.WithSpillDir(b.TempDir()))
+	bench("forward-n5/spill-nowitness", boosting.WithSpillDir(b.TempDir()), boosting.WithoutWitnesses())
+}
+
 // BenchmarkFairnessAudit (E21) times the post-hoc fairness audit of a fair
 // run.
 func BenchmarkFairnessAudit(b *testing.B) {

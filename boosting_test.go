@@ -211,6 +211,22 @@ func assertGraphsIdentical(t *testing.T, label string, want, got *boosting.Graph
 				t.Fatalf("%s: edge %d/%d is %+v, want %+v", label, id, j, ge[j], we[j])
 			}
 		}
+		// The adjacency iterator must agree with the materialized slice,
+		// edge for edge (on the spill backend it decodes a different
+		// representation, so this is a real parity check, not a tautology).
+		j := 0
+		for e := range got.EdgesFrom(sid) {
+			if j >= len(we) {
+				t.Fatalf("%s: EdgesFrom(%d) yielded more than %d edges", label, id, len(we))
+			}
+			if e != we[j] {
+				t.Fatalf("%s: EdgesFrom(%d)[%d] = %+v, want %+v", label, id, j, e, we[j])
+			}
+			j++
+		}
+		if j != len(we) {
+			t.Fatalf("%s: EdgesFrom(%d) yielded %d edges, want %d", label, id, j, len(we))
+		}
 	}
 }
 

@@ -41,8 +41,17 @@ func (c *Checker) ClassifyInits() (*InitClassification, error) {
 // FindHook runs the Fig. 3 round-robin construction from a bivalent vertex
 // of g (typically a bivalent root from ClassifyInits), yielding a hook or a
 // divergence certificate. It honors the Checker's WithContext: a cancelled
-// context stops the construction mid-scan.
+// context stops the construction mid-scan. Divergence certificates embed
+// witness executions, so a Checker configured WithoutWitnesses returns a
+// *ConflictError.
 func (c *Checker) FindHook(g *Graph, root StateID) (HookSearchResult, error) {
+	if c.cfg.noWitnesses {
+		return HookSearchResult{}, &ConflictError{
+			Option: "WithoutWitnesses()",
+			With:   "FindHook",
+			Reason: "divergence certificates reconstruct witness executions from the dropped predecessor links",
+		}
+	}
 	return explore.FindHookCtx(c.cfg.ctx, g, root, c.cfg.workers)
 }
 
@@ -50,15 +59,41 @@ func (c *Checker) FindHook(g *Graph, root StateID) (HookSearchResult, error) {
 // process failures: the exhaustive failure-free safety sweep, the Lemma 4
 // classification, the Fig. 3 hook search, and the failure scenarios of the
 // impossibility proofs. For registry families with infinite failure-free
-// graphs the graph phases are skipped automatically.
+// graphs the graph phases are skipped automatically. The graph phases
+// build witness certificates, so a Checker configured WithoutWitnesses
+// returns a *ConflictError unless those phases are skipped
+// (WithoutGraphAnalysis or a SkipsGraphAnalysis family).
 func (c *Checker) Refute(claimed int) (*Report, error) {
+	if err := c.witnessConflict("Refute"); err != nil {
+		return nil, err
+	}
 	return explore.Refute(c.sys, claimed, c.refuteOptions())
 }
 
 // RefuteKSet is the k-set-consensus refuter: at most k distinct decisions
-// instead of full agreement (Section 4's boundary).
+// instead of full agreement (Section 4's boundary). Like Refute, it
+// rejects WithoutWitnesses unless the graph phases are skipped.
 func (c *Checker) RefuteKSet(k, claimed int) (*Report, error) {
+	if err := c.witnessConflict("RefuteKSet"); err != nil {
+		return nil, err
+	}
 	return explore.RefuteKSet(c.sys, k, claimed, c.refuteOptions())
+}
+
+// witnessConflict rejects witness-producing refutations on a Checker
+// configured WithoutWitnesses: the safety sweep's certificates embed
+// witness paths, and the hook search embeds witness executions. With the
+// graph phases skipped the refuter never touches either, so the
+// combination is fine.
+func (c *Checker) witnessConflict(method string) error {
+	if !c.cfg.noWitnesses || c.skipGraph {
+		return nil
+	}
+	return &ConflictError{
+		Option: "WithoutWitnesses()",
+		With:   method,
+		Reason: "safety-sweep certificates and hook search reconstruct witness executions from the dropped predecessor links (skip the graph phases with WithoutGraphAnalysis to combine)",
+	}
 }
 
 func (c *Checker) refuteOptions() explore.RefuteOptions {

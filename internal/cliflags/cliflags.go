@@ -1,8 +1,8 @@
 // Package cliflags is the shared flag block of the cmd/* binaries: every
 // tool takes the same exploration knobs (-workers, -maxstates, -store,
-// -spilldir, -symmetry), and every tool surfaces partial exploration counts
-// when a state budget overflows. Before the boosting façade each binary carried its own copy of
-// this block; now there is one.
+// -spilldir, -nowitness, -symmetry), and every tool surfaces partial
+// exploration counts when a state budget overflows. Before the boosting
+// façade each binary carried its own copy of this block; now there is one.
 package cliflags
 
 import (
@@ -19,6 +19,7 @@ type Common struct {
 	MaxStates int
 	Store     string
 	SpillDir  string
+	NoWitness bool
 	Symmetry  bool
 }
 
@@ -32,7 +33,8 @@ func Register(fs *flag.FlagSet) *Common {
 	// Options distinguish an explicit -store dense from the default, so
 	// -spilldir can reject every explicit conflicting backend.
 	fs.StringVar(&c.Store, "store", "", "state store backend: dense | hash64 | hash128 | spill (default dense)")
-	fs.StringVar(&c.SpillDir, "spilldir", "", "directory for spill fingerprint files (implies -store spill; default: OS temp dir)")
+	fs.StringVar(&c.SpillDir, "spilldir", "", "directory for spill files (implies -store spill; default: OS temp dir)")
+	fs.BoolVar(&c.NoWitness, "nowitness", false, "drop witness predecessor links (counts and valences only; conflicts with witness-producing analyses)")
 	fs.BoolVar(&c.Symmetry, "symmetry", false, "canonicalize states modulo process renaming (quotient graph; symmetric families only)")
 	return c
 }
@@ -76,6 +78,9 @@ func (c *Common) Options() ([]boosting.Option, error) {
 	if store == boosting.SpillStore {
 		opts = append(opts, boosting.WithSpillDir(c.SpillDir))
 	}
+	if c.NoWitness {
+		opts = append(opts, boosting.WithoutWitnesses())
+	}
 	if c.Symmetry {
 		opts = append(opts, boosting.WithSymmetry())
 	}
@@ -83,11 +88,16 @@ func (c *Common) Options() ([]boosting.Option, error) {
 }
 
 // Describe renders an error for CLI display, surfacing the partial
-// exploration count when a graph build overflowed its state budget.
+// exploration count when a graph build overflowed its state budget and the
+// fix when an option combination conflicts.
 func Describe(err error) string {
 	var le *boosting.LimitError
 	if errors.As(err, &le) {
 		return fmt.Sprintf("%v (explored %d states before the limit; raise -maxstates)", err, le.Explored)
+	}
+	var ce *boosting.ConflictError
+	if errors.As(err, &ce) {
+		return fmt.Sprintf("%v (drop -nowitness for this analysis)", err)
 	}
 	return err.Error()
 }

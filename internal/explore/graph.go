@@ -3,6 +3,7 @@ package explore
 import (
 	"context"
 	"fmt"
+	"iter"
 
 	"github.com/ioa-lab/boosting/internal/intern"
 	"github.com/ioa-lab/boosting/internal/ioa"
@@ -152,6 +153,12 @@ type BuildOptions struct {
 	// process renaming. Both engines and every store backend apply it at
 	// the same point and stay graph-identical to each other.
 	Symmetry Canonicalizer
+	// NoWitnesses drops the BFS-tree predecessor links: the store records
+	// nothing at intern time and WitnessPath returns nil for every vertex.
+	// Counts, valences and edges are unaffected. Analyses that reconstruct
+	// witness executions (hook search, the refuter's certificates) need the
+	// links and reject graphs built without them.
+	NoWitnesses bool
 	// Progress, when non-nil, receives one report per completed BFS level.
 	Progress ProgressFunc
 	// Ctx, when non-nil, cancels the build: exploration checks it
@@ -170,7 +177,7 @@ func ctxErr(ctx context.Context) error {
 }
 
 func newGraph(sys *system.System, opt BuildOptions) (*Graph, error) {
-	store, err := newStore(opt.Store, sys, opt.SpillDir)
+	store, err := newStore(opt.Store, sys, opt.SpillDir, !opt.NoWitnesses)
 	if err != nil {
 		return nil, err
 	}
@@ -231,11 +238,13 @@ func BuildGraph(sys *system.System, roots []system.State, opt BuildOptions) (g *
 	}
 	// On ordinary error returns (budget overflow, cancellation, Apply
 	// failure) the partial graph is dropped; release its backend resources
-	// — the spill store's descriptor — instead of waiting for a finalizer.
-	// `built` pins the graph because the named return is nil on error.
+	// — the spill store's descriptors — and the intern-time mask recording
+	// instead of waiting for a finalizer. `built` pins the graph because
+	// the named return is nil on error.
 	built := g
 	defer func() {
 		if err != nil {
+			built.ownMasks = nil
 			_ = CloseGraphStore(built)
 		}
 	}()
@@ -277,6 +286,10 @@ func BuildGraph(sys *system.System, roots []system.State, opt BuildOptions) (g *
 		g.store.SetSuccs(StateID(next), edges)
 		g.edges += len(edges)
 		if next+1 == levelEnd {
+			// Level barrier: the level's edges become immutable, so the
+			// spill backend may move them out of RAM. Fires for every
+			// level, including the last.
+			g.store.SealLevel()
 			if opt.Progress != nil {
 				opt.Progress(Progress{Level: level, States: g.store.Len(), Edges: g.edges, Frontier: g.store.Len() - levelEnd})
 			}
@@ -300,14 +313,19 @@ func (g *Graph) computeMasks() {
 	g.masks = make([]uint8, n)
 	copy(g.masks, g.ownMasks)
 	g.ownMasks = nil
-	// Chaotic iteration to fixpoint. The mask lattice has height 2, so this
-	// terminates quickly even without a topological order.
+	// Chaotic iteration to fixpoint; the least fixpoint is unique, so the
+	// sweep order only affects how many rounds it takes. Masks flow
+	// backwards along edges and BFS edges point mostly at equal-or-larger
+	// IDs, so a descending-ID sweep propagates most of a chain in one pass
+	// and typically converges in two or three rounds instead of one per
+	// BFS level — which matters on the spill backend, where every round
+	// streams the whole edge file back in.
 	changed := true
 	for changed {
 		changed = false
-		for i := 0; i < n; i++ {
+		for i := n - 1; i >= 0; i-- {
 			m := g.masks[i]
-			for _, e := range g.store.Succs(StateID(i)) {
+			for e := range g.store.EdgesFrom(StateID(i)) {
 				m |= g.masks[e.To]
 			}
 			if m != g.masks[i] {
@@ -354,16 +372,32 @@ func (g *Graph) Fingerprint(id StateID) string { return g.store.Fingerprint(id) 
 
 // Lookup resolves a canonical fingerprint to its vertex, if the state was
 // discovered.
-func (g *Graph) Lookup(fp string) (StateID, bool) { return g.store.LookupString(fp) }
+func (g *Graph) Lookup(fp string) (StateID, bool) { return g.store.Lookup(stringBytes(fp)) }
 
-// Succs returns the outgoing edges of a vertex.
+// EdgesFrom streams the outgoing edges of a vertex in recorded order —
+// the allocation-free access path: in-memory backends yield straight from
+// their slices, the spill backend decodes one block. Breaking out early is
+// allowed and cheap.
+func (g *Graph) EdgesFrom(id StateID) iter.Seq[Edge] { return g.store.EdgesFrom(id) }
+
+// Succs returns the outgoing edges of a vertex as a slice (nil for a sink
+// or an out-of-range ID). On in-memory backends this is the stored slice;
+// on the spill backend it materializes a fresh slice per call, so bulk
+// walks should prefer EdgesFrom.
 func (g *Graph) Succs(id StateID) []Edge {
-	return g.store.Succs(id)
+	if s, ok := g.store.(edgeSlices); ok {
+		return s.edgeSlice(id)
+	}
+	var edges []Edge
+	for e := range g.store.EdgesFrom(id) {
+		edges = append(edges, e)
+	}
+	return edges
 }
 
 // Succ returns the e-successor of a vertex, if task e is applicable there.
 func (g *Graph) Succ(id StateID, task ioa.Task) (Edge, bool) {
-	for _, e := range g.Succs(id) {
+	for e := range g.store.EdgesFrom(id) {
 		if e.Task == task {
 			return e, true
 		}
@@ -382,7 +416,8 @@ func (g *Graph) Valence(id StateID) Valence {
 }
 
 // WitnessPath reconstructs the BFS-tree path of edges from a root to the
-// given vertex.
+// given vertex. On graphs built with NoWitnesses the predecessor links were
+// never recorded and the path is nil for every vertex.
 func (g *Graph) WitnessPath(id StateID) []Edge {
 	var rev []Edge
 	cur := id
@@ -450,13 +485,28 @@ func (t *bfsTree) path(g *Graph, start, v StateID) []Edge {
 	var rev []Edge
 	for v != start {
 		from := t.parent[v]
-		rev = append(rev, g.store.Succs(from)[t.pedge[v]])
+		rev = append(rev, edgeAt(g.store, from, t.pedge[v]))
 		v = from
 	}
 	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
 		rev[i], rev[j] = rev[j], rev[i]
 	}
 	return rev
+}
+
+// edgeAt returns the idx-th outgoing edge of a vertex. The bfsTree
+// addresses its parent edges by index; with adjacency behind an iterator,
+// resolving one means counting back into the block. Panics out of range,
+// mirroring the slice indexing it replaces.
+func edgeAt(store StateStore, id StateID, idx int32) Edge {
+	i := int32(0)
+	for e := range store.EdgesFrom(id) {
+		if i == idx {
+			return e
+		}
+		i++
+	}
+	panic(fmt.Sprintf("explore: edge index %d out of range for state %d", idx, id))
 }
 
 // FindState returns the first vertex (in BFS order from the given start)
@@ -472,7 +522,9 @@ func (g *Graph) FindState(start StateID, allow func(Edge) bool, want func(system
 		if st, ok := g.State(id); ok && want(st) {
 			return id, tree.path(g, start, id), true
 		}
-		for i, e := range g.store.Succs(id) {
+		i := -1
+		for e := range g.store.EdgesFrom(id) {
+			i++
 			if allow != nil && !allow(e) {
 				continue
 			}

@@ -181,7 +181,9 @@ func (g *Graph) findBivalentExtension(ctx context.Context, alpha StateID, e ioa.
 		}
 		var next []StateID
 		for _, id := range level {
-			for j, edge := range g.store.Succs(id) {
+			j := -1
+			for edge := range g.store.EdgesFrom(id) {
+				j++
 				if edge.Task == e || tree.seen(edge.To) {
 					continue
 				}
@@ -286,7 +288,9 @@ func (g *Graph) findDecidingPath(ctx context.Context, start StateID, wantMask ui
 		if ownMask(g.sys, st)&wantMask != 0 {
 			return tree.path(g, start, id), nil
 		}
-		for i, edge := range g.store.Succs(id) {
+		i := -1
+		for edge := range g.store.EdgesFrom(id) {
+			i++
 			if tree.seen(edge.To) {
 				continue
 			}

@@ -151,10 +151,12 @@ func buildGraphParallel(sys *system.System, roots []system.State, maxStates, wor
 		return nil, err
 	}
 	// On error returns the partial graph is dropped; release its backend
-	// resources (the spill store's descriptor) instead of waiting for a
-	// finalizer. Write-failure panics close theirs in recoverSpillWrite.
+	// resources (the spill store's descriptors) and the intern-time mask
+	// recording instead of waiting for a finalizer. Write-failure panics
+	// close theirs in recoverSpillWrite.
 	defer func() {
 		if err != nil {
+			g.ownMasks = nil
 			_ = CloseGraphStore(g)
 		}
 	}()
@@ -184,7 +186,7 @@ func buildGraphParallel(sys *system.System, roots []system.State, maxStates, wor
 				return nil, res.err
 			}
 			for _, f := range res.fresh {
-				id, ok := g.store.LookupString(f.fp)
+				id, ok := g.store.Lookup(stringBytes(f.fp))
 				if !ok {
 					if g.store.Len() >= maxStates {
 						return nil, &LimitError{Limit: maxStates, Explored: g.store.Len()}
@@ -205,6 +207,10 @@ func buildGraphParallel(sys *system.System, roots []system.State, maxStates, wor
 			g.store.SetSuccs(frontier[i], res.edges)
 			g.edges += len(res.edges)
 		}
+		// The barrier still holds the store exclusively: seal the level's
+		// edges so the spill backend moves them out of RAM before the next
+		// level's workers start reading.
+		g.store.SealLevel()
 		if opt.Progress != nil {
 			opt.Progress(Progress{Level: level, States: g.store.Len(), Edges: g.edges, Frontier: len(next)})
 		}
@@ -238,7 +244,7 @@ func (g *Graph) computeMasksParallel(workers int) {
 		parallelFor(workers, n, func(i int) {
 			m := atomic.LoadUint32(&masks[i])
 			next := m
-			for _, e := range g.store.Succs(StateID(i)) {
+			for e := range g.store.EdgesFrom(StateID(i)) {
 				next |= atomic.LoadUint32(&masks[e.To])
 			}
 			if next != m {

@@ -25,10 +25,13 @@ const spillBatch = 1024
 // spillStore is the disk-spilling backend (the TLC fingerprint-file move):
 // per vertex, RAM keeps only the dedup index entry — two independent 64-bit
 // fingerprint hashes and the offset/length of the fingerprint in the spill
-// file — plus the adjacency and predecessor link every backend keeps. The
-// canonical fingerprint itself, which doubles as the serialized
-// representative state (system.ParseFingerprint is its exact inverse), lives
-// in an append-only spill file and is read back and decoded on demand.
+// file — plus the optional predecessor link. The canonical fingerprint
+// itself, which doubles as the serialized representative state
+// (system.ParseFingerprint is its exact inverse), lives in an append-only
+// spill file and is read back and decoded on demand. Adjacency spills too:
+// successor blocks are delta-varint encoded into a second append-only edge
+// file (see spilledges.go), sealed at level barriers and streamed back via
+// pread, so neither face of the graph pins O(edges) RAM.
 //
 // Exactness: like hashStore, candidate matches are verified byte-for-byte
 // against the stored fingerprint (read from the pending window or the spill
@@ -43,27 +46,25 @@ const spillBatch = 1024
 // Reads of rotated vertices use pread (os.File.ReadAt), which is safe from
 // any number of goroutines while the store is frozen.
 //
-// The spill file is created in spillDir (or the OS temp directory) and
-// unlinked immediately, so the kernel reclaims it when the descriptor
-// closes — at the latest when the store is garbage collected (the os
+// The spill files are created in spillDir (or the OS temp directory) and
+// unlinked immediately, so the kernel reclaims them when the descriptors
+// close — at the latest when the store is garbage collected (the os
 // package attaches a close finalizer) — and nothing leaks even on a crash.
 type spillStore struct {
+	spillEdges
+	predTable
 	enc func([]byte, system.State) []byte
 	dec func(string) (system.State, error)
-	// hash/hashS are fpHash's two instantiations, replaceable (together) in
-	// tests to force collisions and exercise the disk-verification path.
-	hash  func([]byte) (uint64, uint64)
-	hashS func(string) (uint64, uint64)
-	// matchB/matchS are the matches/matchesString methods bound once at
-	// construction, so lookupBucket calls allocate no closures.
+	// hash is fpHash, replaceable in tests to force collisions and exercise
+	// the disk-verification path.
+	hash func([]byte) (uint64, uint64)
+	// matchB is the matches method bound once at construction, so
+	// lookupBucket calls allocate no closures.
 	matchB  func(StateID, []byte) bool
-	matchS  func(StateID, string) bool
 	buckets map[uint64][]StateID
 	hash2   []uint64 // second hash per vertex (the wide filter)
 	offs    []int64  // spill-file offset of each vertex's fingerprint
 	lens    []uint32 // fingerprint length in bytes
-	succs   [][]Edge
-	preds   []pred
 
 	file *os.File
 	w    *bufio.Writer
@@ -81,7 +82,7 @@ type spillStore struct {
 	bufs       sync.Pool
 }
 
-func newSpillStore(sys *system.System, dir string) (*spillStore, error) {
+func newSpillStore(sys *system.System, dir string, witnesses bool) (*spillStore, error) {
 	if dir == "" {
 		dir = os.TempDir()
 	}
@@ -94,31 +95,37 @@ func newSpillStore(sys *system.System, dir string) (*spillStore, error) {
 	// filesystems that refuse to unlink open files the temp file simply
 	// persists until external cleanup.)
 	_ = os.Remove(f.Name())
-	s := &spillStore{
-		enc:     sys.AppendFingerprint,
-		dec:     sys.ParseFingerprint,
-		hash:    fpHash[[]byte],
-		hashS:   fpHash[string],
-		buckets: make(map[uint64][]StateID, 1024),
-		file:    f,
-		w:       bufio.NewWriterSize(f, 64<<10),
-		batch:   spillBatch,
-		bufs:    sync.Pool{New: func() any { b := make([]byte, 0, 256); return &b }},
+	ef, err := os.CreateTemp(dir, "boosting-spill-*.edges")
+	if err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("explore: create edge spill file: %w", err)
 	}
+	_ = os.Remove(ef.Name())
+	s := &spillStore{
+		enc:       sys.AppendFingerprint,
+		dec:       sys.ParseFingerprint,
+		hash:      fpHash,
+		buckets:   make(map[uint64][]StateID, 1024),
+		predTable: predTable{keep: witnesses},
+		file:      f,
+		w:         bufio.NewWriterSize(f, 64<<10),
+		batch:     spillBatch,
+		bufs:      sync.Pool{New: func() any { b := make([]byte, 0, 256); return &b }},
+	}
+	s.spillEdges.init(ef, s)
 	s.matchB = s.matches
-	s.matchS = s.matchesString
 	return s, nil
 }
 
 func (s *spillStore) Len() int { return len(s.offs) }
 
 // spillWriteError carries an environmental spill-file write failure (disk
-// full, quota) out of Intern, whose StateStore signature has no error
-// return. BuildGraph recovers it at the engine boundary and returns it as
-// an ordinary build error — unlike read failures, which really are
-// unrecoverable corruption (the store rereads only bytes it wrote to an
-// unlinked file nothing else can touch) and stay panics. The failing store
-// rides along so the recovery can release its descriptor: the partial
+// full, quota) out of Intern or SealLevel, whose StateStore signatures have
+// no error return. BuildGraph recovers it at the engine boundary and returns
+// it as an ordinary build error — unlike read failures, which really are
+// unrecoverable corruption (the store rereads only bytes it wrote to
+// unlinked files nothing else can touch) and stay panics. The failing store
+// rides along so the recovery can release its descriptors: the partial
 // graph is dropped, and nothing else holds a reference.
 type spillWriteError struct {
 	err   error
@@ -127,7 +134,7 @@ type spillWriteError struct {
 
 // recoverSpillWrite converts a spillWriteError panic into the build's error
 // return (dropping the partial graph and closing the failed store's
-// descriptor); every other panic value is re-raised. Deferred by
+// descriptors); every other panic value is re-raised. Deferred by
 // BuildGraph, so both engines (the parallel engine interns on the
 // coordinating goroutine) surface disk-full cleanly instead of crashing.
 func recoverSpillWrite(g **Graph, err *error) {
@@ -173,31 +180,15 @@ func (s *spillStore) matches(id StateID, fp []byte) bool {
 	return eq
 }
 
-func (s *spillStore) matchesString(id StateID, fp string) bool {
-	if int(id) >= s.pendingBase {
-		return fp == s.pendingFps[int(id)-s.pendingBase]
-	}
-	bufp := s.bufs.Get().(*[]byte)
-	buf := s.readFp(id, (*bufp)[:0])
-	eq := string(buf) == fp
-	*bufp = buf
-	s.bufs.Put(bufp)
-	return eq
-}
-
 func (s *spillStore) Lookup(fp []byte) (StateID, bool) {
 	h1, h2 := s.hash(fp)
 	return lookupBucket(s.buckets, s.hash2, fp, h1, h2, s.matchB, &s.collisions)
 }
 
-func (s *spillStore) LookupString(fp string) (StateID, bool) {
-	h1, h2 := s.hashS(fp)
-	return lookupBucket(s.buckets, s.hash2, fp, h1, h2, s.matchS, &s.collisions)
-}
-
 func (s *spillStore) Intern(fp string, st system.State, p pred) (StateID, bool) {
-	h1, h2 := s.hashS(fp)
-	if id, ok := lookupBucket(s.buckets, s.hash2, fp, h1, h2, s.matchS, &s.collisions); ok {
+	key := stringBytes(fp)
+	h1, h2 := s.hash(key)
+	if id, ok := lookupBucket(s.buckets, s.hash2, key, h1, h2, s.matchB, &s.collisions); ok {
 		return id, false
 	}
 	id := StateID(len(s.offs))
@@ -209,8 +200,7 @@ func (s *spillStore) Intern(fp string, st system.State, p pred) (StateID, bool) 
 	s.offs = append(s.offs, s.wOff)
 	s.lens = append(s.lens, uint32(len(fp)))
 	s.wOff += int64(len(fp))
-	s.succs = append(s.succs, nil)
-	s.preds = append(s.preds, p)
+	s.add(p)
 	s.pendingFps = append(s.pendingFps, fp)
 	s.pendingStates = append(s.pendingStates, st)
 	if len(s.pendingFps) >= s.batch {
@@ -265,35 +255,26 @@ func (s *spillStore) Fingerprint(id StateID) string {
 	return fp
 }
 
-func (s *spillStore) Succs(id StateID) []Edge {
-	if uint(id) >= uint(len(s.succs)) {
-		return nil
+// Close releases both spill-file descriptors (fingerprints and edges). The
+// store must not be read afterwards (reads of rotated vertices or sealed
+// edge blocks would panic on the closed files). Closing is optional — the
+// descriptors are reclaimed by finalizers when the store is collected — but
+// deterministic release matters to callers that churn through many
+// spill-backed graphs: the store's whole point is a tiny heap footprint, so
+// the GC may otherwise let descriptors pile up against the process's fd
+// limit.
+func (s *spillStore) Close() error {
+	err := s.file.Close()
+	if eerr := s.spillEdges.close(); err == nil {
+		err = eerr
 	}
-	return s.succs[id]
+	return err
 }
-
-func (s *spillStore) SetSuccs(id StateID, edges []Edge) { s.succs[id] = edges }
-
-func (s *spillStore) Pred(id StateID) pred {
-	if uint(id) >= uint(len(s.preds)) {
-		return pred{}
-	}
-	return s.preds[id]
-}
-
-// Close releases the spill-file descriptor. The store must not be read
-// afterwards (reads of rotated vertices would panic on the closed file).
-// Closing is optional — the descriptor is reclaimed by the finalizer when
-// the store is collected — but deterministic release matters to callers
-// that churn through many spill-backed graphs: the store's whole point is
-// a tiny heap footprint, so the GC may otherwise let descriptors pile up
-// against the process's fd limit.
-func (s *spillStore) Close() error { return s.file.Close() }
 
 // CloseGraphStore deterministically releases any external resources held by
-// a graph's storage backend — today, the spill backend's file descriptor.
-// A no-op (nil) for the in-memory backends. The graph must not be used
-// afterwards.
+// a graph's storage backend — today, the spill backend's two file
+// descriptors. A no-op (nil) for the in-memory backends. The graph must not
+// be used afterwards.
 func CloseGraphStore(g *Graph) error {
 	if s, ok := g.store.(*spillStore); ok {
 		return s.Close()
@@ -307,12 +288,19 @@ type SpillStats struct {
 	States int
 	// Resident is how many of them are still in the pending RAM window.
 	Resident int
-	// SpillBytes is the total bytes appended to the spill file, including
-	// bytes still buffered ahead of the next rotation flush.
+	// SpillBytes is the total bytes appended to the fingerprint spill file,
+	// including bytes still buffered ahead of the next rotation flush.
 	SpillBytes int64
 	// Reads counts fingerprint reads served from the spill file (candidate
 	// verification, state decoding and fingerprint reconstruction).
 	Reads int64
+	// EdgeBytes is the total encoded size of the adjacency blocks appended
+	// to the edge spill file, including blocks still pending ahead of the
+	// next level seal.
+	EdgeBytes int64
+	// EdgeReads counts adjacency blocks read back from the edge spill file
+	// (EdgesFrom calls served by pread rather than the pending buffer).
+	EdgeReads int64
 	// Collisions is the audited hash-collision count (see StoreCollisions).
 	Collisions int64
 }
@@ -329,6 +317,8 @@ func GraphSpillStats(g *Graph) (SpillStats, bool) {
 		Resident:   len(s.pendingFps),
 		SpillBytes: s.wOff,
 		Reads:      s.reads.Load(),
+		EdgeBytes:  s.edgeBytes(),
+		EdgeReads:  s.edgeReads.Load(),
 		Collisions: s.collisions.Load(),
 	}, true
 }

@@ -26,7 +26,7 @@ func allBackends(t *testing.T) []struct {
 	if err != nil {
 		t.Fatal(err)
 	}
-	spill, err := newSpillStore(sys, t.TempDir())
+	spill, err := newSpillStore(sys, t.TempDir(), true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,16 +35,17 @@ func allBackends(t *testing.T) []struct {
 		name  string
 		store StateStore
 	}{
-		{"dense", newDenseStore()},
-		{"hash64", newHashStore(sys.AppendFingerprint, false)},
-		{"hash128", newHashStore(sys.AppendFingerprint, true)},
+		{"dense", newDenseStore(true)},
+		{"hash64", newHashStore(sys.AppendFingerprint, false, true)},
+		{"hash128", newHashStore(sys.AppendFingerprint, true, true)},
 		{"spill", spill},
 	}
 }
 
 // TestStoreBoundsUniform probes every read accessor of every backend at
-// Len() and beyond: out-of-range IDs must yield zero values, uniformly,
-// where State/Succs already did but Pred/Fingerprint used to panic.
+// Len() and beyond: out-of-range IDs must yield zero values, uniformly —
+// including the adjacency face, whose EdgesFrom must be total (an empty
+// sequence beyond Len(), never a panic).
 func TestStoreBoundsUniform(t *testing.T) {
 	sys, err := protocols.BuildForward(2, 0, service.Adversarial)
 	if err != nil {
@@ -57,7 +58,10 @@ func TestStoreBoundsUniform(t *testing.T) {
 	var buf []byte
 	for _, b := range allBackends(t) {
 		// Populate with a real prefix of the graph so in-range behaviour is
-		// also checked, then probe past the end.
+		// also checked, then probe past the end. Adjacency is recorded in
+		// the contract's order (one SetSuccs per vertex, increasing IDs),
+		// with a seal partway through so the spill backend serves blocks
+		// from both the edge file and the pending buffer.
 		const n = 10
 		for id := 0; id < n; id++ {
 			st, _ := dense.State(StateID(id))
@@ -67,6 +71,12 @@ func TestStoreBoundsUniform(t *testing.T) {
 		if got := b.store.Len(); got != n {
 			t.Fatalf("%s: Len() = %d, want %d", b.name, got, n)
 		}
+		for id := 0; id < n; id++ {
+			b.store.SetSuccs(StateID(id), dense.Succs(StateID(id)))
+			if id == n/2 {
+				b.store.SealLevel()
+			}
+		}
 		for _, id := range []StateID{StateID(n), StateID(n + 5), ^StateID(0)} {
 			if _, ok := b.store.State(id); ok {
 				t.Errorf("%s: State(%d) ok beyond Len()", b.name, id)
@@ -74,8 +84,8 @@ func TestStoreBoundsUniform(t *testing.T) {
 			if fp := b.store.Fingerprint(id); fp != "" {
 				t.Errorf("%s: Fingerprint(%d) = %q beyond Len(), want \"\"", b.name, id, fp)
 			}
-			if e := b.store.Succs(id); e != nil {
-				t.Errorf("%s: Succs(%d) non-nil beyond Len()", b.name, id)
+			for range b.store.EdgesFrom(id) {
+				t.Errorf("%s: EdgesFrom(%d) yielded an edge beyond Len()", b.name, id)
 			}
 			if p := b.store.Pred(id); p.has || p.from != 0 {
 				t.Errorf("%s: Pred(%d) non-zero beyond Len()", b.name, id)
@@ -84,12 +94,25 @@ func TestStoreBoundsUniform(t *testing.T) {
 		if _, ok := b.store.Lookup([]byte("no such fingerprint")); ok {
 			t.Errorf("%s: Lookup of garbage fingerprint succeeded", b.name)
 		}
-		if _, ok := b.store.LookupString("no such fingerprint"); ok {
-			t.Errorf("%s: LookupString of garbage fingerprint succeeded", b.name)
-		}
-		// In-range accessors still resolve after the probes.
+		// In-range accessors still resolve after the probes, and the
+		// recorded adjacency reads back exactly, sealed or pending.
 		if fp0 := b.store.Fingerprint(0); fp0 != dense.Fingerprint(0) {
 			t.Errorf("%s: Fingerprint(0) diverged after out-of-range probes", b.name)
+		}
+		for id := 0; id < n; id++ {
+			want := dense.Succs(StateID(id))
+			var got []Edge
+			for e := range b.store.EdgesFrom(StateID(id)) {
+				got = append(got, e)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s: EdgesFrom(%d) yielded %d edges, want %d", b.name, id, len(got), len(want))
+			}
+			for j := range want {
+				if got[j] != want[j] {
+					t.Errorf("%s: EdgesFrom(%d)[%d] = %+v, want %+v", b.name, id, j, got[j], want[j])
+				}
+			}
 		}
 	}
 }
@@ -108,7 +131,7 @@ func TestSpillStoreRotation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sp, err := newSpillStore(sys, t.TempDir())
+	sp, err := newSpillStore(sys, t.TempDir(), true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,6 +189,95 @@ func TestSpillStoreRotation(t *testing.T) {
 	}
 }
 
+// TestSpillAdjacencyRotation drives the edge spill file through forced
+// rotations — SealLevel after every few vertices, like many small BFS
+// levels — and asserts every successor block round-trips byte-exactly
+// through the delta-varint codec, whether served from the pending buffer
+// or read back from disk, with the stats accounting for the traffic.
+func TestSpillAdjacencyRotation(t *testing.T) {
+	sys, err := protocols.BuildForward(2, 0, service.Adversarial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := BuildGraph(sys, []systemState{stateAfterInputs(t, sys)}, BuildOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := newSpillStore(sys, t.TempDir(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp.Close()
+	var buf []byte
+	for id := 0; id < dense.Size(); id++ {
+		st, _ := dense.State(StateID(id))
+		buf = sys.AppendFingerprint(buf[:0], st)
+		sp.Intern(string(buf), st, pred{})
+	}
+	// Record the real graph's adjacency, sealing every 3 vertices so the
+	// read-back below crosses the pending/disk boundary many times. The
+	// final 2 vertices stay pending (no trailing seal).
+	for id := 0; id < dense.Size(); id++ {
+		sp.SetSuccs(StateID(id), dense.Succs(StateID(id)))
+		if id%3 == 2 && id < dense.Size()-2 {
+			sp.SealLevel()
+		}
+	}
+	if sp.flushedOff == 0 {
+		t.Fatal("no edge blocks were sealed to disk")
+	}
+	if len(sp.pending) == 0 {
+		t.Fatal("no edge blocks left pending — the test no longer crosses the boundary")
+	}
+	for id := 0; id < dense.Size(); id++ {
+		want := dense.Succs(StateID(id))
+		var got []Edge
+		for e := range sp.EdgesFrom(StateID(id)) {
+			got = append(got, e)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("EdgesFrom(%d): %d edges, want %d", id, len(got), len(want))
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("EdgesFrom(%d)[%d] = %+v, want %+v", id, j, got[j], want[j])
+			}
+		}
+	}
+	// Early break must not disturb subsequent full iterations.
+	for e := range sp.EdgesFrom(0) {
+		_ = e
+		break
+	}
+	n := 0
+	for range sp.EdgesFrom(0) {
+		n++
+	}
+	if n != len(dense.Succs(0)) {
+		t.Errorf("EdgesFrom(0) after early break yielded %d edges, want %d", n, len(dense.Succs(0)))
+	}
+	stats, ok := GraphSpillStats(&Graph{store: sp})
+	if !ok {
+		t.Fatal("GraphSpillStats not ok for a spill store")
+	}
+	if stats.EdgeBytes != sp.flushedOff+int64(len(sp.pending)) {
+		t.Errorf("stats.EdgeBytes = %d, want %d", stats.EdgeBytes, sp.flushedOff+int64(len(sp.pending)))
+	}
+	if stats.EdgeReads == 0 {
+		t.Error("sealed adjacency served zero reads from the edge file")
+	}
+	// Out-of-order SetSuccs violates the append-only contract and must
+	// panic like slice-bounds misuse, not corrupt the offset index.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("out-of-order SetSuccs did not panic")
+			}
+		}()
+		sp.SetSuccs(StateID(dense.Size()+3), nil)
+	}()
+}
+
 // TestSpillStoreCollisionAudit forces every fingerprint into one bucket
 // with equal wide hashes: every dedup probe must verify against fingerprints
 // read back from the spill file, resolving (and counting) the collisions
@@ -179,13 +291,12 @@ func TestSpillStoreCollisionAudit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sp, err := newSpillStore(sys, t.TempDir())
+	sp, err := newSpillStore(sys, t.TempDir(), true)
 	if err != nil {
 		t.Fatal(err)
 	}
 	sp.batch = 4
 	sp.hash = func([]byte) (uint64, uint64) { return 0, 0 }
-	sp.hashS = func(string) (uint64, uint64) { return 0, 0 }
 	var buf []byte
 	for id := 0; id < dense.Size(); id++ {
 		st, _ := dense.State(StateID(id))
@@ -218,7 +329,7 @@ func TestSpillWriteFailureSurfacesAsError(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sp, err := newSpillStore(sys, t.TempDir())
+	sp, err := newSpillStore(sys, t.TempDir(), true)
 	if err != nil {
 		t.Fatal(err)
 	}

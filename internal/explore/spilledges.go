@@ -1,0 +1,173 @@
+package explore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"iter"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"github.com/ioa-lab/boosting/internal/ioa"
+)
+
+// spillEdges is the adjacency face of the spill backend: an append-only
+// edge file of per-vertex successor blocks, delta-varint encoded against
+// two small in-RAM dictionaries (the distinct tasks and actions of the
+// system — a handful each, independent of graph size). Per vertex, RAM
+// keeps only the block's offset and length (12 bytes), so the edge
+// relation — which outnumbers vertices 7:1 already at forward n=5 — stops
+// dominating resident memory.
+//
+// Block format (one block per vertex, appended in ID order):
+//
+//	uvarint edgeCount
+//	edgeCount × { uvarint taskIdx, uvarint actionIdx, varint ΔTo }
+//
+// ΔTo is zigzag-encoded To − prev with prev seeded to the source vertex's
+// own ID and updated to each decoded To: BFS edges point at nearby IDs
+// (the current or next level), so deltas are small and most edges encode
+// in 3–5 bytes.
+//
+// Write protocol (seal-at-barrier): SetSuccs — called exactly once per
+// vertex in strictly increasing ID order by both engines — appends the
+// encoded block to the pending buffer. SealLevel, called at every level
+// barrier while the engine holds the store exclusively, writes the pending
+// buffer out at flushedOff and empties it, so a level's blocks leave RAM
+// as soon as the level completes. EdgesFrom serves sealed blocks by pread
+// (safe for concurrent readers of the frozen store) and still-pending
+// blocks straight from the buffer.
+type spillEdges struct {
+	owner *spillStore // for spillWriteError, so recovery closes all files
+
+	efile      *os.File
+	eoffs      []int64  // edge-file offset of each vertex's block
+	elens      []uint32 // block length in bytes
+	pending    []byte   // encoded blocks since the last seal
+	flushedOff int64    // bytes durably written to the edge file
+
+	// Dictionaries: tasks and actions are comparable structs drawn from a
+	// small fixed set, so blocks store dense indices instead of strings.
+	tasks   []ioa.Task
+	taskIdx map[ioa.Task]uint32
+	acts    []ioa.Action
+	actIdx  map[ioa.Action]uint32
+
+	edgeReads atomic.Int64 // blocks served by pread
+	ebufs     sync.Pool
+}
+
+func (a *spillEdges) init(f *os.File, owner *spillStore) {
+	a.owner = owner
+	a.efile = f
+	a.taskIdx = make(map[ioa.Task]uint32, 16)
+	a.actIdx = make(map[ioa.Action]uint32, 16)
+	a.ebufs = sync.Pool{New: func() any { b := make([]byte, 0, 256); return &b }}
+}
+
+func (a *spillEdges) close() error { return a.efile.Close() }
+
+// edgeBytes is the total encoded adjacency size, sealed plus pending.
+func (a *spillEdges) edgeBytes() int64 { return a.flushedOff + int64(len(a.pending)) }
+
+// SetSuccs encodes a vertex's successor block into the pending buffer.
+// The adjacency contract requires strictly increasing, gap-free IDs; both
+// engines guarantee it, and the append-only offset index depends on it, so
+// violations panic like slice-bounds misuse.
+func (a *spillEdges) SetSuccs(id StateID, edges []Edge) {
+	if int(id) != len(a.eoffs) {
+		panic(fmt.Sprintf("explore: spill store: SetSuccs(%d) out of order (next unrecorded vertex is %d)", id, len(a.eoffs)))
+	}
+	a.eoffs = append(a.eoffs, a.flushedOff+int64(len(a.pending)))
+	start := len(a.pending)
+	a.pending = binary.AppendUvarint(a.pending, uint64(len(edges)))
+	prev := int64(id)
+	for _, e := range edges {
+		ti, ok := a.taskIdx[e.Task]
+		if !ok {
+			ti = uint32(len(a.tasks))
+			a.taskIdx[e.Task] = ti
+			a.tasks = append(a.tasks, e.Task)
+		}
+		ai, ok := a.actIdx[e.Action]
+		if !ok {
+			ai = uint32(len(a.acts))
+			a.actIdx[e.Action] = ai
+			a.acts = append(a.acts, e.Action)
+		}
+		a.pending = binary.AppendUvarint(a.pending, uint64(ti))
+		a.pending = binary.AppendUvarint(a.pending, uint64(ai))
+		a.pending = binary.AppendVarint(a.pending, int64(e.To)-prev)
+		prev = int64(e.To)
+	}
+	a.elens = append(a.elens, uint32(len(a.pending)-start))
+}
+
+// SealLevel writes the pending blocks to the edge file and empties the
+// buffer. Called at level barriers while the engine holds the store
+// exclusively, so no EdgesFrom reader observes the hand-off.
+func (a *spillEdges) SealLevel() {
+	if len(a.pending) == 0 {
+		return
+	}
+	if _, err := a.efile.WriteAt(a.pending, a.flushedOff); err != nil {
+		panic(spillWriteError{fmt.Errorf("explore: spill store: seal edge blocks: %w", err), a.owner})
+	}
+	a.flushedOff += int64(len(a.pending))
+	a.pending = a.pending[:0]
+}
+
+// EdgesFrom streams a vertex's successor block, decoding it from the
+// pending buffer or — for sealed blocks — from a pooled pread. Total: an
+// out-of-range or not-yet-recorded ID yields an empty sequence. Like the
+// fingerprint reads, a failing read of bytes the store itself wrote is
+// unrecoverable corruption and panics.
+func (a *spillEdges) EdgesFrom(id StateID) iter.Seq[Edge] {
+	return func(yield func(Edge) bool) {
+		if uint(id) >= uint(len(a.eoffs)) {
+			return
+		}
+		n := int(a.elens[id])
+		var block []byte
+		var bufp *[]byte
+		if off := a.eoffs[id]; off >= a.flushedOff {
+			block = a.pending[off-a.flushedOff : off-a.flushedOff+int64(n)]
+		} else {
+			bufp = a.ebufs.Get().(*[]byte)
+			buf := *bufp
+			if cap(buf) < n {
+				buf = make([]byte, n)
+			}
+			buf = buf[:n]
+			if _, err := a.efile.ReadAt(buf, off); err != nil {
+				panic(fmt.Sprintf("explore: spill store: read edge block of state %d: %v", id, err))
+			}
+			a.edgeReads.Add(1)
+			*bufp = buf
+			block = buf
+		}
+		if bufp != nil {
+			defer a.ebufs.Put(bufp)
+		}
+		count, k := binary.Uvarint(block)
+		if k <= 0 {
+			panic(fmt.Sprintf("explore: spill store: corrupt edge block of state %d", id))
+		}
+		block = block[k:]
+		prev := int64(id)
+		for ; count > 0; count-- {
+			ti, k1 := binary.Uvarint(block)
+			ai, k2 := binary.Uvarint(block[k1:])
+			d, k3 := binary.Varint(block[k1+k2:])
+			if k1 <= 0 || k2 <= 0 || k3 <= 0 {
+				panic(fmt.Sprintf("explore: spill store: corrupt edge block of state %d", id))
+			}
+			block = block[k1+k2+k3:]
+			to := prev + d
+			prev = to
+			if !yield(Edge{Task: a.tasks[ti], Action: a.acts[ai], To: StateID(to)}) {
+				return
+			}
+		}
+	}
+}

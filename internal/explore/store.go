@@ -3,8 +3,10 @@ package explore
 import (
 	"bytes"
 	"fmt"
+	"iter"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
 	"github.com/ioa-lab/boosting/internal/intern"
 	"github.com/ioa-lab/boosting/internal/system"
@@ -35,9 +37,11 @@ const (
 	// the dedup index keeps 16 hash bytes plus a file offset per vertex in
 	// RAM, while the canonical fingerprints — which double as the serialized
 	// representative states — live in an append-only spill file and are read
-	// back and decoded on demand. Exact, like the hash backends; the graph
-	// is identical to the dense store's, with MaxStates no longer bounded by
-	// resident state memory.
+	// back and decoded on demand. Adjacency spills too: successor blocks are
+	// delta-varint encoded into a second append-only edge file, sealed at
+	// level barriers and streamed back via pread. Exact, like the hash
+	// backends; the graph is identical to the dense store's, with MaxStates
+	// no longer bounded by resident state or edge memory.
 	StoreSpill
 )
 
@@ -57,101 +61,203 @@ func (k StoreKind) String() string {
 	}
 }
 
-// StateStore is the storage seam of G(C): it owns the vertex set — the
-// dedup index from canonical fingerprints to dense StateIDs, the
-// representative states, the adjacency, and the BFS-tree predecessor links.
-// Graph and both exploration engines talk to storage only through this
-// interface, so backends can trade memory for lookup cost (dense interned
-// strings vs hash compaction) or, later, spill to disk.
-//
-// Concurrency contract (inherited from intern.Table): any number of
-// goroutines may call Lookup/State/Succs/Fingerprint/Len concurrently as
-// long as no Intern/SetSuccs call overlaps them. The level-synchronous
-// parallel engine satisfies this by freezing the store while a frontier
-// level expands and mutating it only at the level barrier.
+// VertexStore is the vertex face of the storage seam of G(C): the dedup
+// index from canonical fingerprints to dense StateIDs, the representative
+// states, and the (optional) BFS-tree predecessor links.
 //
 // IDs are assigned densely in interning order: the i-th distinct state gets
 // ID i, so a BFS that interns states in discovery order gets BFS-numbered
-// vertices for free. All bundled implementations live in this package; the
-// interface deliberately uses the unexported pred type, so external
-// implementations go through their own StoreKind here.
+// vertices for free.
 //
-// Bounds contract: every read accessor (State, Fingerprint, Succs, Pred) is
-// total — an out-of-range ID yields the zero value (ok == false where the
-// signature has an ok), never a panic, on every backend. SetSuccs is the one
-// exception: it is a write API whose callers own ID assignment, and it
-// panics on IDs that were never interned, mirroring slice indexing.
-type StateStore interface {
+// Bounds contract: every read accessor (State, Fingerprint, Pred) is total —
+// an out-of-range ID yields the zero value (ok == false where the signature
+// has an ok), never a panic, on every backend.
+type VertexStore interface {
 	// Len returns the number of stored vertices; valid IDs are 0 … Len()−1.
 	Len() int
-	// Lookup resolves a canonical fingerprint to its vertex, if stored.
+	// Lookup resolves a canonical fingerprint to its vertex, if stored. It
+	// is the single lookup entry point: callers holding a string key pass it
+	// through stringBytes without copying.
 	Lookup(fp []byte) (StateID, bool)
-	// LookupString is Lookup for an already-owned string key.
-	LookupString(fp string) (StateID, bool)
 	// Intern stores a vertex under its canonical fingerprint, assigning the
 	// next dense ID if the fingerprint is new; fresh reports a new
-	// assignment (the predecessor link is recorded only then). The store
-	// takes ownership of fp — callers hand over their one owned copy, so
-	// backends that retain the encoding (dense) do not copy again.
+	// assignment (the predecessor link is recorded only then, and only on
+	// stores built with witnesses). The store takes ownership of fp —
+	// callers hand over their one owned copy, so backends that retain the
+	// encoding (dense) do not copy again.
 	Intern(fp string, st system.State, p pred) (id StateID, fresh bool)
 	// State returns the representative state of a vertex.
 	State(id StateID) (system.State, bool)
 	// Fingerprint returns the canonical string encoding of a vertex
 	// ("" for out-of-range IDs — canonical encodings are never empty).
 	Fingerprint(id StateID) string
-	// Succs returns the outgoing edges of a vertex.
-	Succs(id StateID) []Edge
-	// SetSuccs records the outgoing edges of a vertex.
-	SetSuccs(id StateID, edges []Edge)
 	// Pred returns the BFS-tree predecessor link of a vertex (has == false
-	// for roots and for out-of-range IDs).
+	// for roots, for out-of-range IDs, and always on stores built without
+	// witnesses).
 	Pred(id StateID) pred
+}
+
+// AdjacencyStore is the adjacency face of the storage seam: edges are handed
+// to the store as they are discovered and read back as an iterator, so
+// backends choose their own representation — slices in RAM (dense, hash) or
+// delta-varint blocks in an append-only edge file (spill).
+//
+// Write contract: SetSuccs is called exactly once per vertex, in strictly
+// increasing ID order — both exploration engines expand vertices in ID order
+// (the serial engine trivially, the parallel engine at its level barriers) —
+// and panics on out-of-order or never-interned IDs. SealLevel marks a level
+// barrier: every edge handed over so far may be moved out of RAM (the spill
+// backend flushes its pending blocks to the edge file). Engines call it
+// after each completed BFS level, while they hold the store exclusively.
+//
+// Read contract: EdgesFrom is total (an out-of-range or not-yet-recorded ID
+// yields an empty sequence) and, like the vertex accessors, safe for any
+// number of concurrent readers as long as no SetSuccs/SealLevel/Intern call
+// overlaps them. The yielded edges are exactly the SetSuccs slice, in order;
+// breaking out of the iteration early is allowed and cheap.
+type AdjacencyStore interface {
+	// SetSuccs records the outgoing edges of a vertex (nil for a sink).
+	SetSuccs(id StateID, edges []Edge)
+	// EdgesFrom streams the outgoing edges of a vertex in recorded order.
+	EdgesFrom(id StateID) iter.Seq[Edge]
+	// SealLevel marks a level barrier: edges recorded so far become
+	// immutable and may leave RAM. A no-op on in-memory backends.
+	SealLevel()
+}
+
+// StateStore is the storage seam of G(C): the vertex face plus the adjacency
+// face. Graph and both exploration engines talk to storage only through this
+// interface, so backends can trade memory for lookup cost (dense interned
+// strings vs hash compaction) or spill vertices and edges to disk.
+//
+// Concurrency contract (inherited from intern.Table): any number of
+// goroutines may call the read accessors concurrently as long as no
+// Intern/SetSuccs/SealLevel call overlaps them. The level-synchronous
+// parallel engine satisfies this by freezing the store while a frontier
+// level expands and mutating it only at the level barrier.
+//
+// All bundled implementations live in this package; the interface
+// deliberately uses the unexported pred type, so external implementations go
+// through their own StoreKind here.
+type StateStore interface {
+	VertexStore
+	AdjacencyStore
+}
+
+// stringBytes reinterprets a string as a read-only byte slice without
+// copying, so string-keyed callers reach the single Lookup entry point with
+// zero allocations. The returned slice must not be written to or retained
+// past the call it is passed to.
+func stringBytes(s string) []byte {
+	return unsafe.Slice(unsafe.StringData(s), len(s))
 }
 
 // newStore builds the backend for a kind. Hash backends re-encode stored
 // states (via the system's canonical fingerprint appender) when verifying
 // candidate matches; the spill backend additionally decodes states back out
 // of their spilled fingerprints, and spillDir overrides where its spill
-// file is created ("" = the OS temp directory).
-func newStore(kind StoreKind, sys *system.System, spillDir string) (StateStore, error) {
+// files are created ("" = the OS temp directory). witnesses toggles the
+// BFS-tree predecessor links: stores built without them record nothing in
+// Intern and report pred{} from Pred.
+func newStore(kind StoreKind, sys *system.System, spillDir string, witnesses bool) (StateStore, error) {
 	switch kind {
 	case StoreHash64:
-		return newHashStore(sys.AppendFingerprint, false), nil
+		return newHashStore(sys.AppendFingerprint, false, witnesses), nil
 	case StoreHash128:
-		return newHashStore(sys.AppendFingerprint, true), nil
+		return newHashStore(sys.AppendFingerprint, true, witnesses), nil
 	case StoreSpill:
-		return newSpillStore(sys, spillDir)
+		return newSpillStore(sys, spillDir, witnesses)
 	default:
-		return newDenseStore(), nil
+		return newDenseStore(witnesses), nil
 	}
+}
+
+// sliceAdjacency is the in-memory adjacency face shared by the dense and
+// hash-compaction backends: one edge slice per vertex, grown at intern time.
+type sliceAdjacency struct {
+	succs [][]Edge
+}
+
+func (a *sliceAdjacency) grow() { a.succs = append(a.succs, nil) }
+
+func (a *sliceAdjacency) SetSuccs(id StateID, edges []Edge) { a.succs[id] = edges }
+
+func (a *sliceAdjacency) EdgesFrom(id StateID) iter.Seq[Edge] {
+	return func(yield func(Edge) bool) {
+		if uint(id) >= uint(len(a.succs)) {
+			return
+		}
+		for _, e := range a.succs[id] {
+			if !yield(e) {
+				return
+			}
+		}
+	}
+}
+
+func (a *sliceAdjacency) SealLevel() {}
+
+// edgeSlice is the materialized fast path behind Graph.Succs: in-memory
+// backends hand out their slice directly instead of rebuilding it from the
+// iterator.
+func (a *sliceAdjacency) edgeSlice(id StateID) []Edge {
+	if uint(id) >= uint(len(a.succs)) {
+		return nil
+	}
+	return a.succs[id]
+}
+
+// edgeSlices is implemented by backends whose adjacency already lives in
+// slices; Graph.Succs uses it to avoid re-materializing.
+type edgeSlices interface {
+	edgeSlice(id StateID) []Edge
+}
+
+// predTable holds the optional BFS-tree predecessor links of a backend: with
+// keep == false (WithoutWitnesses) nothing is recorded and every Pred read
+// is the zero link.
+type predTable struct {
+	keep bool
+	list []pred
+}
+
+func (p *predTable) add(pr pred) {
+	if p.keep {
+		p.list = append(p.list, pr)
+	}
+}
+
+func (p *predTable) Pred(id StateID) pred {
+	if uint(id) >= uint(len(p.list)) {
+		return pred{}
+	}
+	return p.list[id]
 }
 
 // denseStore is the interned-string backend: the intern.Table maps each
 // canonical fingerprint (kept once, in full) to its dense ID, and states,
 // adjacency and predecessor links are slices indexed by that ID.
 type denseStore struct {
+	sliceAdjacency
+	predTable
 	tab    *intern.Table
 	states []system.State
-	succs  [][]Edge
-	preds  []pred
 }
 
-func newDenseStore() *denseStore {
-	return &denseStore{tab: intern.NewTable(1024)}
+func newDenseStore(witnesses bool) *denseStore {
+	return &denseStore{tab: intern.NewTable(1024), predTable: predTable{keep: witnesses}}
 }
 
 func (s *denseStore) Len() int { return s.tab.Len() }
 
 func (s *denseStore) Lookup(fp []byte) (StateID, bool) { return s.tab.LookupBytes(fp) }
 
-func (s *denseStore) LookupString(fp string) (StateID, bool) { return s.tab.Lookup(fp) }
-
 func (s *denseStore) Intern(fp string, st system.State, p pred) (StateID, bool) {
 	id, fresh := s.tab.Intern(fp)
 	if fresh {
 		s.states = append(s.states, st)
-		s.succs = append(s.succs, nil)
-		s.preds = append(s.preds, p)
+		s.grow()
+		s.add(p)
 	}
 	return id, fresh
 }
@@ -170,27 +276,11 @@ func (s *denseStore) Fingerprint(id StateID) string {
 	return s.tab.Key(id)
 }
 
-func (s *denseStore) Succs(id StateID) []Edge {
-	if uint(id) >= uint(len(s.succs)) {
-		return nil
-	}
-	return s.succs[id]
-}
-
-func (s *denseStore) SetSuccs(id StateID, edges []Edge) { s.succs[id] = edges }
-
-func (s *denseStore) Pred(id StateID) pred {
-	if uint(id) >= uint(len(s.preds)) {
-		return pred{}
-	}
-	return s.preds[id]
-}
-
 // fpHash returns two independent 64-bit FNV-1a–style hashes of a canonical
 // fingerprint, computed in one pass. Deterministic across runs (unlike
-// maphash), so collision counts are reproducible. Generic over the two key
-// forms so neither call path converts (and copies) its key.
-func fpHash[T ~string | ~[]byte](fp T) (h1, h2 uint64) {
+// maphash), so collision counts are reproducible. String keys reach it
+// zero-copy through stringBytes.
+func fpHash(fp []byte) (h1, h2 uint64) {
 	const (
 		offset1 = 14695981039346656037 // FNV-1a offset basis
 		prime1  = 1099511628211        // FNV-1a prime
@@ -213,12 +303,11 @@ func fpHash[T ~string | ~[]byte](fp T) (h1, h2 uint64) {
 // wide backends (hash2 non-nil) pre-filter on the second hash, then each
 // surviving candidate is verified byte-for-byte by the backend's matcher;
 // candidates the verification refutes are audited in collisions. This is
-// the one probe loop shared by the hash-compaction and spill backends,
-// generic over the two probe key forms so neither call path converts (and
-// copies) its key. Matchers are passed as struct-field funcs bound at
-// construction, so probing allocates nothing.
-func lookupBucket[T ~string | ~[]byte](buckets map[uint64][]StateID, hash2 []uint64,
-	fp T, h1, h2 uint64, matches func(StateID, T) bool, collisions *atomic.Int64) (StateID, bool) {
+// the one probe loop shared by the hash-compaction and spill backends.
+// Matchers are passed as struct-field funcs bound at construction, so
+// probing allocates nothing.
+func lookupBucket(buckets map[uint64][]StateID, hash2 []uint64,
+	fp []byte, h1, h2 uint64, matches func(StateID, []byte) bool, collisions *atomic.Int64) (StateID, bool) {
 	for _, id := range buckets[h1] {
 		if hash2 != nil && hash2[id] != h2 {
 			continue
@@ -240,21 +329,19 @@ func lookupBucket[T ~string | ~[]byte](buckets map[uint64][]StateID, hash2 []uin
 // kept apart (and counted), never merged: the produced graph is identical
 // to the dense backend's.
 type hashStore struct {
+	sliceAdjacency
+	predTable
 	enc  func([]byte, system.State) []byte
 	wide bool
-	// hash/hashS are fpHash's two instantiations, replaceable (together)
-	// in tests to force collisions and exercise the verification path.
-	hash  func([]byte) (uint64, uint64)
-	hashS func(string) (uint64, uint64)
-	// matchB/matchS are the matches/matchesString methods bound once at
-	// construction, so lookupBucket calls allocate no closures.
+	// hash is fpHash, replaceable in tests to force collisions and exercise
+	// the verification path.
+	hash func([]byte) (uint64, uint64)
+	// matchB is the matches method bound once at construction, so
+	// lookupBucket calls allocate no closures.
 	matchB  func(StateID, []byte) bool
-	matchS  func(StateID, string) bool
 	buckets map[uint64][]StateID
 	hash2   []uint64 // second hash per vertex (wide only)
 	states  []system.State
-	succs   [][]Edge
-	preds   []pred
 	// collisions counts verification misses: bucket candidates whose
 	// fingerprint turned out to differ (atomic — Lookup runs concurrently
 	// during frozen-store frontier expansion).
@@ -262,17 +349,16 @@ type hashStore struct {
 	bufs       sync.Pool
 }
 
-func newHashStore(enc func([]byte, system.State) []byte, wide bool) *hashStore {
+func newHashStore(enc func([]byte, system.State) []byte, wide, witnesses bool) *hashStore {
 	s := &hashStore{
-		enc:     enc,
-		wide:    wide,
-		hash:    fpHash[[]byte],
-		hashS:   fpHash[string],
-		buckets: make(map[uint64][]StateID, 1024),
-		bufs:    sync.Pool{New: func() any { b := make([]byte, 0, 256); return &b }},
+		enc:       enc,
+		wide:      wide,
+		hash:      fpHash,
+		buckets:   make(map[uint64][]StateID, 1024),
+		predTable: predTable{keep: witnesses},
+		bufs:      sync.Pool{New: func() any { b := make([]byte, 0, 256); return &b }},
 	}
 	s.matchB = s.matches
-	s.matchS = s.matchesString
 	return s
 }
 
@@ -289,30 +375,15 @@ func (s *hashStore) matches(id StateID, fp []byte) bool {
 	return eq
 }
 
-// matchesString is matches for a string probe; the byte-slice → string
-// conversion inside the comparison does not allocate.
-func (s *hashStore) matchesString(id StateID, fp string) bool {
-	bufp := s.bufs.Get().(*[]byte)
-	buf := s.enc((*bufp)[:0], s.states[id])
-	eq := string(buf) == fp
-	*bufp = buf
-	s.bufs.Put(bufp)
-	return eq
-}
-
 func (s *hashStore) Lookup(fp []byte) (StateID, bool) {
 	h1, h2 := s.hash(fp)
 	return lookupBucket(s.buckets, s.hash2, fp, h1, h2, s.matchB, &s.collisions)
 }
 
-func (s *hashStore) LookupString(fp string) (StateID, bool) {
-	h1, h2 := s.hashS(fp)
-	return lookupBucket(s.buckets, s.hash2, fp, h1, h2, s.matchS, &s.collisions)
-}
-
 func (s *hashStore) Intern(fp string, st system.State, p pred) (StateID, bool) {
-	h1, h2 := s.hashS(fp)
-	if id, ok := lookupBucket(s.buckets, s.hash2, fp, h1, h2, s.matchS, &s.collisions); ok {
+	key := stringBytes(fp)
+	h1, h2 := s.hash(key)
+	if id, ok := lookupBucket(s.buckets, s.hash2, key, h1, h2, s.matchB, &s.collisions); ok {
 		return id, false
 	}
 	id := StateID(len(s.states))
@@ -321,8 +392,8 @@ func (s *hashStore) Intern(fp string, st system.State, p pred) (StateID, bool) {
 		s.hash2 = append(s.hash2, h2)
 	}
 	s.states = append(s.states, st)
-	s.succs = append(s.succs, nil)
-	s.preds = append(s.preds, p)
+	s.grow()
+	s.add(p)
 	return id, true
 }
 
@@ -346,22 +417,6 @@ func (s *hashStore) Fingerprint(id StateID) string {
 	*bufp = buf
 	s.bufs.Put(bufp)
 	return fp
-}
-
-func (s *hashStore) Succs(id StateID) []Edge {
-	if uint(id) >= uint(len(s.succs)) {
-		return nil
-	}
-	return s.succs[id]
-}
-
-func (s *hashStore) SetSuccs(id StateID, edges []Edge) { s.succs[id] = edges }
-
-func (s *hashStore) Pred(id StateID) pred {
-	if uint(id) >= uint(len(s.preds)) {
-		return pred{}
-	}
-	return s.preds[id]
 }
 
 // Collisions reports how many hash collisions (distinct canonical

@@ -28,9 +28,8 @@ func TestHashStoreCollisionAudit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	hs := newHashStore(sys.AppendFingerprint, false)
+	hs := newHashStore(sys.AppendFingerprint, false, true)
 	hs.hash = func([]byte) (uint64, uint64) { return 0, 0 }
-	hs.hashS = func(string) (uint64, uint64) { return 0, 0 }
 	var buf []byte
 	for id := 0; id < dense.Size(); id++ {
 		st, _ := dense.State(StateID(id))
@@ -69,7 +68,7 @@ func TestRealHashNoFalseMerges(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		hs := newHashStore(sys.AppendFingerprint, wide)
+		hs := newHashStore(sys.AppendFingerprint, wide, true)
 		var buf []byte
 		for id := 0; id < dense.Size(); id++ {
 			st, _ := dense.State(StateID(id))
@@ -98,7 +97,7 @@ func TestHashFingerprintAllocs(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, wide := range []bool{false, true} {
-		hs := newHashStore(sys.AppendFingerprint, wide)
+		hs := newHashStore(sys.AppendFingerprint, wide, true)
 		var buf []byte
 		for id := 0; id < dense.Size(); id++ {
 			st, _ := dense.State(StateID(id))
@@ -108,6 +107,51 @@ func TestHashFingerprintAllocs(t *testing.T) {
 		hs.Fingerprint(0) // warm the buffer pool
 		if n := testing.AllocsPerRun(100, func() { hs.Fingerprint(0) }); n > 1 {
 			t.Errorf("wide=%v: Fingerprint allocates %.1f allocs/op, want ≤ 1 (the string)", wide, n)
+		}
+	}
+}
+
+// TestStoreWithoutWitnesses: stores built without witnesses must record no
+// predecessor links — Pred is the zero link for every vertex, in range or
+// not — while IDs, states and fingerprints stay identical.
+func TestStoreWithoutWitnesses(t *testing.T) {
+	sys, err := protocols.BuildForward(2, 0, service.Adversarial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := BuildGraph(sys, []systemState{stateAfterInputs(t, sys)}, BuildOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spill, err := newSpillStore(sys, t.TempDir(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backends := []struct {
+		name  string
+		store StateStore
+	}{
+		{"dense", newDenseStore(false)},
+		{"hash64", newHashStore(sys.AppendFingerprint, false, false)},
+		{"spill", spill},
+	}
+	var buf []byte
+	for _, b := range backends {
+		for id := 0; id < 10; id++ {
+			st, _ := dense.State(StateID(id))
+			buf = sys.AppendFingerprint(buf[:0], st)
+			got, fresh := b.store.Intern(string(buf), st, pred{from: 1, has: true})
+			if !fresh || got != StateID(id) {
+				t.Fatalf("%s: witness-free Intern state %d: got %d fresh=%v", b.name, id, got, fresh)
+			}
+		}
+		for id := 0; id < 12; id++ {
+			if p := b.store.Pred(StateID(id)); p.has || p.from != 0 {
+				t.Errorf("%s: Pred(%d) = %+v on a witness-free store, want zero", b.name, id, p)
+			}
+		}
+		if fp := b.store.Fingerprint(3); fp != dense.Fingerprint(3) {
+			t.Errorf("%s: witness-free store diverged on Fingerprint(3)", b.name)
 		}
 	}
 }

@@ -2,6 +2,7 @@ package boosting
 
 import (
 	"context"
+	"fmt"
 
 	"github.com/ioa-lab/boosting/internal/explore"
 	"github.com/ioa-lab/boosting/internal/service"
@@ -9,20 +10,38 @@ import (
 
 // config is the resolved option set of a Checker.
 type config struct {
-	workers   int
-	maxStates int
-	store     Store
-	spillDir  string
-	progress  ProgressFunc
-	ctx       context.Context
-	policy    service.SilencePolicy
-	rounds    int
-	maxRounds int
-	skipGraph bool
-	symmetry  bool
+	workers     int
+	maxStates   int
+	store       Store
+	spillDir    string
+	noWitnesses bool
+	progress    ProgressFunc
+	ctx         context.Context
+	policy      service.SilencePolicy
+	rounds      int
+	maxRounds   int
+	skipGraph   bool
+	symmetry    bool
 	// canon is the resolved canonicalizer: non-nil only when symmetry is
 	// requested and the protocol declares a symmetry spec.
 	canon explore.Canonicalizer
+}
+
+// ConflictError reports an option combination that an analysis cannot
+// honor — for example WithoutWitnesses with FindHook, whose certificates
+// are witness executions. It is returned eagerly, typed, instead of letting
+// the analysis produce silently empty witnesses. errors.As recovers it.
+type ConflictError struct {
+	// Option is the configured option, e.g. "WithoutWitnesses()".
+	Option string
+	// With is the analysis or option it conflicts with, e.g. "FindHook".
+	With string
+	// Reason says why the combination cannot work.
+	Reason string
+}
+
+func (e *ConflictError) Error() string {
+	return fmt.Sprintf("boosting: %s conflicts with %s: %s", e.Option, e.With, e.Reason)
 }
 
 func defaultConfig() config {
@@ -44,24 +63,41 @@ func WithWorkers(n int) Option { return func(c *config) { c.workers = max(n, 0) 
 // masquerade as an already-exceeded budget.
 func WithMaxStates(n int) Option { return func(c *config) { c.maxStates = max(n, 0) } }
 
-// WithStore selects the vertex storage backend for graph builds:
-// DenseStore (default), HashStore64, HashStore128 or SpillStore. All
-// backends produce identical graphs and reports.
+// Storage options. They compose freely with each other and with every
+// backend: all backends produce identical graphs and reports, differing
+// only in resident memory and lookup cost. WithoutWitnesses conflicts with
+// the witness-producing analyses (FindHook, Refute's graph phases), which
+// return a *ConflictError rather than empty witnesses.
+
+// WithStore selects the storage backend for graph builds: DenseStore
+// (default), HashStore64, HashStore128 or SpillStore. See the Store
+// constants for what each keeps resident.
 func WithStore(s Store) Option { return func(c *config) { c.store = s } }
 
 // WithSpillDir selects the SpillStore backend and places its spill files in
 // dir ("" keeps the OS temp directory). The spill store keeps only 16 hash
-// bytes plus a file offset per vertex in RAM; canonical fingerprints — the
-// serialized representative states — live in an append-only spill file and
-// are decoded back on demand, so state budgets are no longer bounded by
-// resident memory. Spill files are unlinked at creation and reclaimed by
-// the kernel when the graph is collected.
+// bytes plus two file offsets per vertex in RAM; canonical fingerprints —
+// the serialized representative states — live in an append-only spill file,
+// and adjacency lives as delta-varint blocks in a second append-only edge
+// file, both decoded back on demand, so state budgets are bounded by disk,
+// not resident memory. Spill files are unlinked at creation and reclaimed
+// by the kernel when the graph is collected (or closed via CloseGraph).
 func WithSpillDir(dir string) Option {
 	return func(c *config) {
 		c.store = SpillStore
 		c.spillDir = dir
 	}
 }
+
+// WithoutWitnesses drops the per-vertex BFS-tree predecessor links from
+// every graph the Checker builds: counts, valences and edges are
+// unchanged, WitnessPath returns nil, and analyses that must reconstruct
+// witness executions — FindHook, and Refute unless the graph phases are
+// skipped — return a *ConflictError instead of producing empty witnesses.
+// Use it with Explore/ClassifyInits workloads that only need counts and
+// valences: on large builds the links are a word-heavy per-vertex cost the
+// spill backend cannot move to disk.
+func WithoutWitnesses() Option { return func(c *config) { c.noWitnesses = true } }
 
 // WithProgress streams per-level exploration reports (states, edges,
 // frontier) to fn during every graph build the Checker performs.
@@ -115,12 +151,13 @@ func WithoutGraphAnalysis() Option { return func(c *config) { c.skipGraph = true
 // buildOptions lowers the config to engine build options.
 func (c *config) buildOptions() explore.BuildOptions {
 	return explore.BuildOptions{
-		Workers:   c.workers,
-		MaxStates: c.maxStates,
-		Store:     c.store,
-		SpillDir:  c.spillDir,
-		Symmetry:  c.canon,
-		Progress:  c.progress,
-		Ctx:       c.ctx,
+		Workers:     c.workers,
+		MaxStates:   c.maxStates,
+		Store:       c.store,
+		SpillDir:    c.spillDir,
+		NoWitnesses: c.noWitnesses,
+		Symmetry:    c.canon,
+		Progress:    c.progress,
+		Ctx:         c.ctx,
 	}
 }

@@ -131,6 +131,109 @@ func TestSpillExhaustiveForwardN5(t *testing.T) {
 	}
 }
 
+// TestSpillExhaustiveForwardN6 pins the exhaustive forward n=6 frontier the
+// spilled adjacency opened (ROADMAP/E29): 1764 states / 15084 edges under
+// symmetry reduction, with vertices AND edges living on disk, graph-identical
+// to the dense build. The CI spill job runs this under GOMEMLIMIT=64MiB;
+// witness links off and on must agree on every count and valence.
+func TestSpillExhaustiveForwardN6(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive n=6 build skipped in -short mode")
+	}
+	const wantStates, wantEdges = 1764, 15084
+	ref, err := boosting.New("forward", 6, 0, boosting.WithWorkers(1), boosting.WithSymmetry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.ClassifyInits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Graph.Size() != wantStates || want.Graph.Edges() != wantEdges {
+		t.Fatalf("dense reference: %d states / %d edges, want %d / %d",
+			want.Graph.Size(), want.Graph.Edges(), wantStates, wantEdges)
+	}
+	for _, noWitness := range []bool{false, true} {
+		opts := []boosting.Option{boosting.WithSpillDir(t.TempDir()), boosting.WithSymmetry()}
+		if noWitness {
+			opts = append(opts, boosting.WithoutWitnesses())
+		}
+		chk, err := boosting.New("forward", 6, 0, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := chk.ClassifyInits()
+		if err != nil {
+			t.Fatalf("nowitness=%v: %v", noWitness, err)
+		}
+		assertGraphsIdentical(t, "spill-n6", want.Graph, c.Graph)
+		if c.BivalentIndex != want.BivalentIndex {
+			t.Errorf("nowitness=%v: bivalent index %d, want %d", noWitness, c.BivalentIndex, want.BivalentIndex)
+		}
+		stats, ok := boosting.GraphSpillStats(c.Graph)
+		if !ok {
+			t.Fatal("spill graph reported no spill stats")
+		}
+		if stats.EdgeBytes == 0 {
+			t.Errorf("nowitness=%v: spilled adjacency wrote zero edge bytes", noWitness)
+		}
+		if err := boosting.CloseGraph(c.Graph); err != nil {
+			t.Errorf("nowitness=%v: CloseGraph = %v", noWitness, err)
+		}
+	}
+}
+
+// TestWithoutWitnessesConflicts: WithoutWitnesses keeps counts and valences
+// (Explore/ClassifyInits work, WitnessPath is nil), while the
+// witness-producing analyses reject the combination with a typed
+// *ConflictError instead of returning empty witnesses — unless the graph
+// phases are skipped, which makes the combination legitimate.
+func TestWithoutWitnessesConflicts(t *testing.T) {
+	chk, err := boosting.New("forward", 2, 0,
+		boosting.WithWorkers(1), boosting.WithoutWitnesses())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := chk.ClassifyInits()
+	if err != nil {
+		t.Fatalf("ClassifyInits without witnesses: %v", err)
+	}
+	full, err := boosting.New("forward", 2, 0, boosting.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := full.ClassifyInits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGraphsIdentical(t, "nowitness", want.Graph, c.Graph)
+	if got := c.Graph.WitnessPath(boosting.StateID(c.Graph.Size() - 1)); got != nil {
+		t.Errorf("WitnessPath on a witness-free graph = %v, want nil", got)
+	}
+	var ce *boosting.ConflictError
+	if _, err := chk.FindHook(c.Graph, c.Roots[c.BivalentIndex]); !errors.As(err, &ce) {
+		t.Errorf("FindHook without witnesses: got %v, want *ConflictError", err)
+	}
+	if _, err := chk.Refute(1); !errors.As(err, &ce) {
+		t.Errorf("Refute without witnesses: got %v, want *ConflictError", err)
+	} else if ce.Option == "" || ce.With != "Refute" {
+		t.Errorf("ConflictError fields not populated: %+v", ce)
+	}
+	if _, err := chk.RefuteKSet(1, 1); !errors.As(err, &ce) {
+		t.Errorf("RefuteKSet without witnesses: got %v, want *ConflictError", err)
+	}
+	// With the graph phases skipped nothing reconstructs witnesses, so the
+	// combination is accepted and the failure scenarios still run.
+	skipped, err := boosting.New("forward", 2, 0,
+		boosting.WithWorkers(1), boosting.WithoutWitnesses(), boosting.WithoutGraphAnalysis())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := skipped.Refute(1); err != nil {
+		t.Errorf("Refute without witnesses + WithoutGraphAnalysis: %v", err)
+	}
+}
+
 // TestSpillDirUnusable: an unusable spill directory fails the build with an
 // ordinary error (not a *LimitError, not a panic) through the façade.
 func TestSpillDirUnusable(t *testing.T) {

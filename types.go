@@ -58,8 +58,15 @@ type (
 	ProgressFunc = explore.ProgressFunc
 	// Store selects the vertex storage backend of G(C).
 	Store = explore.StoreKind
-	// StateStore is the storage seam behind Graph: dedup index,
-	// representative states, adjacency and predecessor links.
+	// VertexStore is the vertex face of the storage seam: the dedup index,
+	// representative states and optional predecessor links.
+	VertexStore = explore.VertexStore
+	// AdjacencyStore is the adjacency face of the storage seam: edges are
+	// recorded as discovered, sealed at level barriers, and streamed back
+	// as an iterator, so backends keep them in slices or on disk.
+	AdjacencyStore = explore.AdjacencyStore
+	// StateStore is the full storage seam behind Graph: the vertex face
+	// plus the adjacency face.
 	StateStore = explore.StateStore
 )
 
@@ -76,9 +83,10 @@ const (
 // (SPIN-style hash compaction) and verify candidate matches against the
 // stored representative state; SpillStore additionally moves fingerprints
 // and representative states to an append-only spill file (TLC-style
-// fingerprint file), keeping only 16 hash bytes plus a file offset per
-// vertex in RAM. All backends produce identical graphs — collisions are
-// audited and resolved, never silently merged.
+// fingerprint file) and adjacency to a second append-only edge file of
+// delta-varint successor blocks, keeping only 16 hash bytes plus two file
+// offsets per vertex in RAM. All backends produce identical graphs —
+// collisions are audited and resolved, never silently merged.
 const (
 	DenseStore   = explore.StoreDense
 	HashStore64  = explore.StoreHash64
@@ -100,12 +108,13 @@ type SpillStats = explore.SpillStats
 func GraphSpillStats(g *Graph) (SpillStats, bool) { return explore.GraphSpillStats(g) }
 
 // CloseGraph deterministically releases any external resources held by a
-// graph's storage backend — the SpillStore file descriptor — and is a
-// no-op (nil) for the in-memory backends. The graph must not be used
-// afterwards. Optional: an unclosed spill graph is reclaimed when the
-// garbage collector runs its finalizer, but callers that churn through
-// many spill-backed graphs should close each one rather than let
-// descriptors accumulate against the process's fd limit.
+// graph's storage backend — the SpillStore descriptors for both the
+// fingerprint file and the edge file — and is a no-op (nil) for the
+// in-memory backends. The graph must not be used afterwards. Optional: an
+// unclosed spill graph is reclaimed when the garbage collector runs its
+// finalizers, but callers that churn through many spill-backed graphs
+// should close each one rather than let descriptors accumulate against the
+// process's fd limit.
 func CloseGraph(g *Graph) error { return explore.CloseGraphStore(g) }
 
 // Proof-machinery result types.
