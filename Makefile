@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-allocs bench-symmetry bench-spill bench-adjacency test-spill lint vet fmt-check fmt vuln apidiff-baseline apidiff
+.PHONY: all build test race bench bench-allocs bench-symmetry bench-spill bench-adjacency bench-shards test-spill lint vet fmt-check fmt vuln apidiff-baseline apidiff
 
 all: build lint test
 
@@ -25,14 +25,16 @@ bench:
 # comparisons, the E25 fingerprint-encoder comparison, the E26 state
 # store comparison (dense vs hash compaction), the E27 symmetry
 # reduction (quotient vs full graph), the E28 spill store (disk-backed
-# fingerprint file, incl. the exhaustive forward n=5 build) and the E29
-# spilled adjacency (edge file + witness-free builds), with -benchmem.
+# fingerprint file, incl. the exhaustive forward n=5 build), the E29
+# spilled adjacency (edge file + witness-free builds) and the E30
+# sharded engine (partitioned interning + renumber pass vs the legacy
+# engines), with -benchmem.
 # B/op and allocs/op are stable at low iteration counts, so a short
 # fixed benchtime keeps this cheap enough to run per-PR; CI uploads the
 # output as an artifact (bench-allocs.txt) to make allocation
 # regressions visible.
 bench-allocs:
-	@$(GO) test -bench 'BenchmarkBuildGraphWorkers|BenchmarkRefuteWorkers|BenchmarkRunBatchWorkers|BenchmarkFingerprint|BenchmarkStoreBackends|BenchmarkSymmetry$$|BenchmarkSpillStore|BenchmarkSpillAdjacency' \
+	@$(GO) test -bench 'BenchmarkBuildGraphWorkers|BenchmarkRefuteWorkers|BenchmarkRunBatchWorkers|BenchmarkFingerprint|BenchmarkStoreBackends|BenchmarkSymmetry$$|BenchmarkSpillStore|BenchmarkSpillAdjacency|BenchmarkSharded' \
 		-benchmem -benchtime=2x -run '^$$' . > bench-allocs.txt; \
 		status=$$?; cat bench-allocs.txt; exit $$status
 
@@ -53,6 +55,15 @@ bench-spill:
 bench-adjacency:
 	$(GO) test -bench 'BenchmarkSpillAdjacency' -benchmem -benchtime=2x -run '^$$' .
 
+# The E30 rows on their own: the sharded fingerprint-partitioned engine
+# (shard-local interning + post-hoc renumbering) against the serial and
+# worker-pool engines on the exhaustive forward n=5 build and the
+# forward n=6 quotient. The shards=NumCPU vs shards=1 pair is the
+# multi-core speedup measurement; `experiments -only E30` records the
+# registervote n=3 workload, which is too slow for a benchmark loop.
+bench-shards:
+	$(GO) test -bench 'BenchmarkSharded' -benchmem -benchtime=2x -run '^$$' .
+
 # The spill-store slice of the parity suites under a low memory ceiling:
 # graph identity (IDs, edges, valences, reports) of the disk-backed store
 # against dense, serial and parallel, reduced and unreduced, with the Go
@@ -62,8 +73,11 @@ bench-adjacency:
 # -count=1 matters: GOMEMLIMIT is read by the runtime, not the test
 # binary, so it is not part of the test-cache key — without it a warm
 # cache would replay passes that never ran under the ceiling.
+# TestShard adds the shard-count invariance suite (and TestSpill now
+# also matches the sharded exhaustive n=6 rebuild), so the sharded
+# engine's spill legs run under the ceiling too.
 test-spill:
-	GOMEMLIMIT=64MiB $(GO) test -count=1 -run 'TestStoreParity|TestGoldenExploration|TestGoldenInfiniteFamilies|TestRefutationReportParity|TestQuotient|TestSpill' .
+	GOMEMLIMIT=64MiB $(GO) test -count=1 -run 'TestStoreParity|TestGoldenExploration|TestGoldenInfiniteFamilies|TestRefutationReportParity|TestQuotient|TestSpill|TestShard' .
 	GOMEMLIMIT=64MiB $(GO) test -count=1 -run 'TestSpillStore|TestStoreBounds' ./internal/explore/
 
 lint: vet fmt-check

@@ -770,3 +770,61 @@ func BenchmarkStoreBackends(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkSharded (E30) compares the sharded fingerprint-partitioned
+// engine against the legacy engines on the two largest default-path
+// exhaustive builds: the forward n=5 G(C) (14754 vertices / 103926 edges)
+// and the symmetry-reduced forward n=6 quotient (1764 vertices / 15084
+// edges). The legacy rows are the serial engine and the worker-pool engine
+// (barrier interning at each level); the sharded rows intern into
+// fingerprint-partitioned shards with no global barrier on discovery and
+// pay the post-hoc renumber pass. shards=NumCPU vs shards=1 is the row
+// pair the >=4-core speedup target is read from; on one core the sharded
+// rows price the renumber overhead instead. The register-vote n=3 quotient
+// (the third E30 workload) takes minutes per build, so it is recorded by
+// `experiments -only E30`, not benchmarked here.
+func BenchmarkSharded(b *testing.B) {
+	ncpu := runtime.NumCPU()
+	type engine struct {
+		name            string
+		workers, shards int
+	}
+	engines := []engine{
+		{"serial", 1, 0},
+		{fmt.Sprintf("parallel-w%d", ncpu), ncpu, 0},
+		{"sharded-1", ncpu, 1},
+	}
+	if ncpu > 1 {
+		engines = append(engines, engine{fmt.Sprintf("sharded-%d", ncpu), ncpu, ncpu})
+	}
+	workloads := []struct {
+		name string
+		n    int
+		opts []boosting.Option
+	}{
+		{"forward-n5", 5, nil},
+		{"forward-n6-sym", 6, []boosting.Option{boosting.WithSymmetry()}},
+	}
+	for _, wl := range workloads {
+		for _, e := range engines {
+			b.Run(fmt.Sprintf("%s/%s", wl.name, e.name), func(b *testing.B) {
+				opts := append([]boosting.Option{
+					boosting.WithWorkers(e.workers), boosting.WithShards(e.shards),
+				}, wl.opts...)
+				chk, err := boosting.New("forward", wl.n, 0, opts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					c, err := chk.ClassifyInits()
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(float64(c.Graph.Size()), "states")
+				}
+			})
+		}
+	}
+}

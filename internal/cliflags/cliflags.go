@@ -1,6 +1,6 @@
 // Package cliflags is the shared flag block of the cmd/* binaries: every
-// tool takes the same exploration knobs (-workers, -maxstates, -store,
-// -spilldir, -nowitness, -symmetry), and every tool surfaces partial
+// tool takes the same exploration knobs (-workers, -shards, -maxstates,
+// -store, -spilldir, -nowitness, -symmetry), and every tool surfaces partial
 // exploration counts when a state budget overflows. Before the boosting
 // façade each binary carried its own copy of this block; now there is one.
 package cliflags
@@ -16,6 +16,7 @@ import (
 // Common holds the flag values shared by all binaries.
 type Common struct {
 	Workers   int
+	Shards    int
 	MaxStates int
 	Store     string
 	SpillDir  string
@@ -28,6 +29,7 @@ type Common struct {
 func Register(fs *flag.FlagSet) *Common {
 	c := &Common{}
 	fs.IntVar(&c.Workers, "workers", 0, "exploration workers (0 = one per CPU, 1 = serial)")
+	fs.IntVar(&c.Shards, "shards", 0, "fingerprint-partitioned intern shards (0 = off; >= 1 selects the sharded engine with deterministic renumbering)")
 	fs.IntVar(&c.MaxStates, "maxstates", 0, "explored-state budget per graph build (0 = engine default)")
 	// The empty sentinel default (rendered as dense by ParseStore) lets
 	// Options distinguish an explicit -store dense from the default, so
@@ -72,6 +74,7 @@ func (c *Common) Options() ([]boosting.Option, error) {
 	}
 	opts := []boosting.Option{
 		boosting.WithWorkers(c.Workers),
+		boosting.WithShards(c.Shards),
 		boosting.WithMaxStates(c.MaxStates),
 		boosting.WithStore(store),
 	}

@@ -59,6 +59,47 @@ func TestOptionsSpill(t *testing.T) {
 	}
 }
 
+// TestOptionsShards: the parsed -shards flag lowers to WithShards and
+// routes a build through the sharded engine; the produced graph matches
+// the default engine's counts and classification (the full identity /
+// isomorphism contract is pinned by the shard parity suites).
+func TestOptionsShards(t *testing.T) {
+	ref, err := boosting.New("forward", 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.ClassifyInits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	c := Register(fs)
+	if err := fs.Parse([]string{"-shards", "4"}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Shards != 4 {
+		t.Fatalf("Shards = %d after -shards 4", c.Shards)
+	}
+	opts, err := c.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	chk, err := boosting.New("forward", 2, 0, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := chk.ClassifyInits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Graph.Size() != want.Graph.Size() || got.Graph.Edges() != want.Graph.Edges() ||
+		got.BivalentIndex != want.BivalentIndex {
+		t.Errorf("-shards 4: %d states / %d edges / bivalent %d, want %d / %d / %d",
+			got.Graph.Size(), got.Graph.Edges(), got.BivalentIndex,
+			want.Graph.Size(), want.Graph.Edges(), want.BivalentIndex)
+	}
+}
+
 // TestOptionsSpillDirConflict: -spilldir with any explicitly different
 // -store backend — including an explicit dense — is a contradiction and
 // must error, not silently override.

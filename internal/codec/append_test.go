@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"strings"
 	"testing"
+
+	"github.com/ioa-lab/boosting/internal/allocpin"
 )
 
 // TestAppendMatchesStringBuilders pins the core invariant of the two-faced
@@ -156,14 +158,11 @@ func TestIntSetAppendFingerprint(t *testing.T) {
 // destination has capacity (the hot-path contract fingerprinting relies on).
 func TestAppendReusesBuffer(t *testing.T) {
 	buf := make([]byte, 0, 1024)
-	allocs := testing.AllocsPerRun(100, func() {
+	allocpin.Check(t, "append primitives", 100, 0, func() {
 		buf = AppendAtom(buf[:0], "payload")
 		buf = AppendInt(buf, 12345)
 		buf = AppendPair(buf, "a", "b")
 	})
-	if allocs != 0 {
-		t.Errorf("append primitives allocated %.1f times per run", allocs)
-	}
 }
 
 // FuzzParseAtom bashes the atom decoder with truncated and hostile inputs:

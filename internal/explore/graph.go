@@ -140,6 +140,17 @@ type BuildOptions struct {
 	// 1 forces the serial engine. The produced graph is identical either
 	// way — same StateIDs, edges, predecessors and valences.
 	Workers int
+	// Shards, when >= 1 (clamped to 64), selects the sharded engine:
+	// workers intern freshly discovered states immediately into
+	// hash-partitioned shards — no serial intern pass at the level
+	// barriers — and a post-hoc renumber pass sorts each BFS level by
+	// fingerprint hash into the final dense StateID space (see
+	// sharded.go). The produced graph is identical for every shard count,
+	// worker count and store backend, and isomorphic to the legacy
+	// engines' graph (same states, edges, valences, counts and verdicts)
+	// but numbered differently, which is why 0 (the default) keeps the
+	// legacy engines and their byte-stable output.
+	Shards int
 	// Store selects the vertex storage backend (default StoreDense). Every
 	// backend produces the identical graph; they differ in memory per
 	// vertex and dedup cost.
@@ -219,8 +230,9 @@ func (g *Graph) internRoots(roots []system.State, canon Canonicalizer, buf []byt
 
 // BuildGraph explores the failure-free closure of the given root states
 // under all applicable tasks and computes the valence of every vertex by
-// backward fixpoint over reachable decisions. With more than one worker the
-// exploration runs on the parallel engine (see parallel.go).
+// backward fixpoint over reachable decisions. With Shards >= 1 the
+// exploration runs on the sharded engine (see sharded.go); otherwise, with
+// more than one worker, on the parallel engine (see parallel.go).
 func BuildGraph(sys *system.System, roots []system.State, opt BuildOptions) (g *Graph, err error) {
 	// Spill-file write failures (disk full) surface here as ordinary build
 	// errors; see recoverSpillWrite.
@@ -228,6 +240,9 @@ func BuildGraph(sys *system.System, roots []system.State, opt BuildOptions) (g *
 	maxStates := opt.MaxStates
 	if maxStates <= 0 {
 		maxStates = defaultMaxStates
+	}
+	if shards := effectiveShards(opt.Shards); shards > 0 {
+		return buildGraphSharded(sys, roots, maxStates, effectiveWorkers(opt.Workers), shards, opt)
 	}
 	if workers := effectiveWorkers(opt.Workers); workers > 1 {
 		return buildGraphParallel(sys, roots, maxStates, workers, opt)

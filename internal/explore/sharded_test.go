@@ -1,0 +1,434 @@
+package explore_test
+
+// Tests of the sharded exploration engine (BuildOptions.Shards >= 1): the
+// renumbered graph must be IDENTICAL — IDs, edges, valences, witness
+// paths — for every shard count, worker count and store backend, and
+// isomorphic to the legacy engines' graph; budget overflow, progress
+// streaming and cancellation must mirror the legacy engines.
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/ioa-lab/boosting/internal/explore"
+	"github.com/ioa-lab/boosting/internal/protocols"
+	"github.com/ioa-lab/boosting/internal/service"
+	"github.com/ioa-lab/boosting/internal/symmetry"
+	"github.com/ioa-lab/boosting/internal/system"
+)
+
+// shardCounts is the shard sweep of the invariance suite; 1 exercises the
+// degenerate single-partition engine (still renumbered), 8 exceeds the
+// worker count so routing is denser than scheduling.
+var shardCounts = []int{1, 2, 8}
+
+// shardStores is the store sweep: dense (interned strings), hash64
+// (compaction) and spill (disk-resident vertices and edges) cover all
+// three store families behind the VertexStore/AdjacencyStore faces.
+var shardStores = []explore.StoreKind{explore.StoreDense, explore.StoreHash64, explore.StoreSpill}
+
+// forwardCanon builds the process-renaming canonicalizer of the forward
+// protocol, for the ±symmetry legs of the invariance suite.
+func forwardCanon(t *testing.T, sys *system.System, n int) explore.Canonicalizer {
+	t.Helper()
+	c, err := symmetry.New(sys, protocols.ForwardSymmetry(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestShardedInvariance is the acceptance suite of the renumber pass: for
+// shards ∈ {1, 2, 8} × stores {dense, hash64, spill} × workers {1, 4} ×
+// ±symmetry, every build of the same system yields the IDENTICAL graph —
+// same StateIDs, fingerprints, edges, valences, roots and witness paths —
+// as the reference build (1 shard, 1 worker, dense store).
+func TestShardedInvariance(t *testing.T) {
+	sys := mustForward(t, 3, 1, service.Adversarial)
+	for _, canon := range []explore.Canonicalizer{nil, forwardCanon(t, sys, 3)} {
+		label := "plain"
+		if canon != nil {
+			label = "symmetry"
+		}
+		ref, err := explore.ClassifyInits(sys, explore.BuildOptions{Shards: 1, Workers: 1, Symmetry: canon})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, shards := range shardCounts {
+			for _, store := range shardStores {
+				for _, workers := range []int{1, 4} {
+					if testing.Short() && workers == 1 && shards > 1 {
+						continue
+					}
+					got, err := explore.ClassifyInits(sys, explore.BuildOptions{
+						Shards: shards, Workers: workers, Store: store, Symmetry: canon})
+					if err != nil {
+						t.Fatalf("%s shards=%d store=%v workers=%d: %v", label, shards, store, workers, err)
+					}
+					assertExploreGraphsIdentical(t, label, ref.Graph, got.Graph)
+					if got.BivalentIndex != ref.BivalentIndex {
+						t.Errorf("%s shards=%d store=%v workers=%d: bivalent index %d, want %d",
+							label, shards, store, workers, got.BivalentIndex, ref.BivalentIndex)
+					}
+				}
+			}
+		}
+	}
+}
+
+// assertExploreGraphsIdentical is the per-ID identity check of the
+// invariance suite: fingerprints, valences, edges, roots and witness paths
+// must match exactly.
+func assertExploreGraphsIdentical(t *testing.T, label string, want, got *explore.Graph) {
+	t.Helper()
+	if got.Size() != want.Size() || got.Edges() != want.Edges() {
+		t.Fatalf("%s: size %d/%d edges %d/%d", label, got.Size(), want.Size(), got.Edges(), want.Edges())
+	}
+	if len(got.Roots()) != len(want.Roots()) {
+		t.Fatalf("%s: root count %d, want %d", label, len(got.Roots()), len(want.Roots()))
+	}
+	for i, r := range want.Roots() {
+		if got.Roots()[i] != r {
+			t.Fatalf("%s: root %d is %d, want %d", label, i, got.Roots()[i], r)
+		}
+	}
+	for id := 0; id < want.Size(); id++ {
+		sid := explore.StateID(id)
+		if got.Fingerprint(sid) != want.Fingerprint(sid) {
+			t.Fatalf("%s: fingerprint of %d differs", label, id)
+		}
+		if got.Valence(sid) != want.Valence(sid) {
+			t.Fatalf("%s: valence of %d is %v, want %v", label, id, got.Valence(sid), want.Valence(sid))
+		}
+		ge, we := got.Succs(sid), want.Succs(sid)
+		if len(ge) != len(we) {
+			t.Fatalf("%s: degree of %d is %d, want %d", label, id, len(ge), len(we))
+		}
+		for j := range we {
+			if ge[j] != we[j] {
+				t.Fatalf("%s: edge %d/%d is %+v, want %+v", label, id, j, ge[j], we[j])
+			}
+		}
+		gw, ww := got.WitnessPath(sid), want.WitnessPath(sid)
+		if len(gw) != len(ww) {
+			t.Fatalf("%s: witness path of %d has length %d, want %d", label, id, len(gw), len(ww))
+		}
+		for j := range ww {
+			if gw[j] != ww[j] {
+				t.Fatalf("%s: witness edge %d of %d is %+v, want %+v", label, id, j, gw[j], ww[j])
+			}
+		}
+	}
+}
+
+// TestShardedIsomorphicToSerial checks the sharded graph against the
+// legacy serial engine's: the ID orders differ by design (discovery order
+// vs per-level fingerprint-hash order), but the vertex sets, per-state
+// valences and the edge relation — matched through fingerprints — must be
+// the same graph, on every seed protocol.
+func TestShardedIsomorphicToSerial(t *testing.T) {
+	for name, sys := range seedSystems(t) {
+		t.Run(name, func(t *testing.T) {
+			serial, err := explore.ClassifyInits(sys, explore.BuildOptions{Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sharded, err := explore.ClassifyInits(sys, explore.BuildOptions{Shards: 4, Workers: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			gs, gh := serial.Graph, sharded.Graph
+			if gs.Size() != gh.Size() || gs.Edges() != gh.Edges() {
+				t.Fatalf("counts differ: serial %d/%d, sharded %d/%d",
+					gs.Size(), gs.Edges(), gh.Size(), gh.Edges())
+			}
+			// Fingerprint-matched vertex bijection: every serial vertex
+			// exists in the sharded graph with the same valence and the
+			// same out-edges (task, action, target fingerprint).
+			for id := 0; id < gs.Size(); id++ {
+				sid := explore.StateID(id)
+				fp := gs.Fingerprint(sid)
+				hid, ok := gh.Lookup(fp)
+				if !ok {
+					t.Fatalf("serial vertex %d missing from the sharded graph", id)
+				}
+				if gs.Valence(sid) != gh.Valence(hid) {
+					t.Fatalf("valence of %q: serial %v, sharded %v", fp, gs.Valence(sid), gh.Valence(hid))
+				}
+				se, he := gs.Succs(sid), gh.Succs(hid)
+				if len(se) != len(he) {
+					t.Fatalf("degree of %q: serial %d, sharded %d", fp, len(se), len(he))
+				}
+				// Both engines expand tasks in sys.Tasks() order, so the
+				// edge lists align index by index.
+				for j := range se {
+					if se[j].Task != he[j].Task || se[j].Action != he[j].Action ||
+						gs.Fingerprint(se[j].To) != gh.Fingerprint(he[j].To) {
+						t.Fatalf("edge %d of %q differs: %+v vs %+v", j, fp, se[j], he[j])
+					}
+				}
+			}
+			// Roots map to the same states, in input order.
+			if len(gs.Roots()) != len(gh.Roots()) {
+				t.Fatalf("root counts differ")
+			}
+			for i, r := range gs.Roots() {
+				if gs.Fingerprint(r) != gh.Fingerprint(gh.Roots()[i]) {
+					t.Fatalf("root %d maps to a different state", i)
+				}
+			}
+			if serial.BivalentIndex != sharded.BivalentIndex {
+				t.Errorf("bivalent index: serial %d, sharded %d", serial.BivalentIndex, sharded.BivalentIndex)
+			}
+		})
+	}
+}
+
+// TestShardedStateLimit mirrors TestBuildGraphParallelStateLimit on the
+// sharded engine: the budget boundary — exact size succeeds, one less
+// overflows — and the typed LimitError with its pinned Explored count must
+// match the legacy engines for any shard and worker count.
+func TestShardedStateLimit(t *testing.T) {
+	sys := mustForward(t, 2, 0, service.Adversarial)
+	root, _, err := initAll(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := explore.BuildGraph(sys, []system.State{root}, explore.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range shardCounts {
+		for _, w := range []int{1, parallelWorkers} {
+			g, err := explore.BuildGraph(sys, []system.State{root},
+				explore.BuildOptions{MaxStates: full.Size(), Shards: shards, Workers: w})
+			if err != nil {
+				t.Errorf("shards=%d workers=%d: exact budget %d failed: %v", shards, w, full.Size(), err)
+			} else if g.Size() != full.Size() {
+				t.Errorf("shards=%d workers=%d: got %d states under exact budget, want %d", shards, w, g.Size(), full.Size())
+			}
+			_, err = explore.BuildGraph(sys, []system.State{root},
+				explore.BuildOptions{MaxStates: full.Size() - 1, Shards: shards, Workers: w})
+			if !errors.Is(err, explore.ErrStateExplosion) {
+				t.Fatalf("shards=%d workers=%d: budget %d should overflow, got %v", shards, w, full.Size()-1, err)
+			}
+			var le *explore.LimitError
+			if !errors.As(err, &le) {
+				t.Fatalf("shards=%d workers=%d: not a *LimitError: %v", shards, w, err)
+			}
+			// The CAS reservation caps the explored count at the budget
+			// regardless of scheduling, so the error is deterministic.
+			if le.Limit != full.Size()-1 || le.Explored != full.Size()-1 {
+				t.Errorf("shards=%d workers=%d: LimitError{Limit:%d, Explored:%d}, want %d/%d",
+					shards, w, le.Limit, le.Explored, full.Size()-1, full.Size()-1)
+			}
+		}
+	}
+}
+
+// TestShardedProgress: the sharded engine aggregates per-level reports
+// across shards, and the resulting sequence is EXACTLY the serial engine's
+// (level membership and cumulative counts are graph properties) — hence
+// monotonic in levels, states and edges — for every shard/worker count.
+func TestShardedProgress(t *testing.T) {
+	sys, root := forwardRoot(t, 3, 0)
+	var want []explore.Progress
+	if _, err := explore.BuildGraph(sys, []system.State{root}, explore.BuildOptions{
+		Workers: 1, Progress: func(p explore.Progress) { want = append(want, p) },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("serial engine emitted no progress")
+	}
+	for _, shards := range shardCounts {
+		for _, workers := range []int{1, 4} {
+			var got []explore.Progress
+			if _, err := explore.BuildGraph(sys, []system.State{root}, explore.BuildOptions{
+				Shards: shards, Workers: workers,
+				Progress: func(p explore.Progress) { got = append(got, p) },
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("shards=%d workers=%d: %d reports, want %d", shards, workers, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("shards=%d workers=%d: report %d = %+v, want %+v", shards, workers, i, got[i], want[i])
+				}
+			}
+			// Monotonicity, asserted independently of the serial
+			// reference: levels advance by one, totals never decrease.
+			for i := range got {
+				if got[i].Level != i {
+					t.Errorf("shards=%d workers=%d: report %d has level %d", shards, workers, i, got[i].Level)
+				}
+				if i > 0 && (got[i].States < got[i-1].States || got[i].Edges < got[i-1].Edges) {
+					t.Errorf("shards=%d workers=%d: totals regressed at report %d: %+v after %+v",
+						shards, workers, i, got[i], got[i-1])
+				}
+			}
+		}
+	}
+}
+
+// TestShardedWitnessPathsReplay: the canonically recomputed predecessor
+// links must form valid executions — every vertex's witness path replays
+// edge-by-edge from a root — just like the engines' first-discovery links.
+func TestShardedWitnessPathsReplay(t *testing.T) {
+	sys := mustForward(t, 2, 0, service.Adversarial)
+	c, err := explore.ClassifyInits(sys, explore.BuildOptions{Shards: 4, Workers: parallelWorkers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := c.Graph
+	checked := 0
+	walkGraph(t, g, c.Roots[c.BivalentIndex], func(id explore.StateID) {
+		path := g.WitnessPath(id)
+		for _, root := range g.Roots() {
+			if replays(g, root, path, id) {
+				checked++
+				return
+			}
+		}
+		t.Fatalf("witness path of %d (len %d) replays from no root", id, len(path))
+	})
+	if checked < 10 {
+		t.Fatalf("suspiciously few vertices checked: %d", checked)
+	}
+}
+
+// TestShardedNoWitnesses: the witness-free mode drops predecessor links on
+// the sharded engine too — the renumber pass skips its pred recomputation —
+// while counts and valences stay identical.
+func TestShardedNoWitnesses(t *testing.T) {
+	sys, root := forwardRoot(t, 2, 0)
+	ref, err := explore.BuildGraph(sys, []system.State{root}, explore.BuildOptions{Shards: 2, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := explore.BuildGraph(sys, []system.State{root},
+		explore.BuildOptions{Shards: 2, Workers: 4, NoWitnesses: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != ref.Size() || g.Edges() != ref.Edges() {
+		t.Fatalf("witness-free counts differ: %d/%d vs %d/%d", g.Size(), g.Edges(), ref.Size(), ref.Edges())
+	}
+	for id := 0; id < g.Size(); id++ {
+		sid := explore.StateID(id)
+		if g.Fingerprint(sid) != ref.Fingerprint(sid) || g.Valence(sid) != ref.Valence(sid) {
+			t.Fatalf("witness-free vertex %d differs from the witnessed build", id)
+		}
+		if p := g.WitnessPath(sid); p != nil {
+			t.Fatalf("vertex %d has a witness path (%d edges) on a witness-free build", id, len(p))
+		}
+	}
+}
+
+// TestShardedCancellation: a cancelled context surfaces promptly as
+// ctx.Err() from inside a sharded build, like the legacy engines.
+func TestShardedCancellation(t *testing.T) {
+	sys, root := forwardRoot(t, 3, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	_, err := explore.BuildGraph(sys, []system.State{root}, explore.BuildOptions{
+		Shards: 2, Workers: 4, Ctx: ctx,
+		Progress: func(explore.Progress) {
+			calls++
+			if calls == 2 {
+				cancel()
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// TestShardedSpillStats: sharded spill builds end with the final store's
+// own spill files (per-shard scaffolding files are closed by the engine),
+// so GraphSpillStats reports the renumbered graph and CloseGraphStore
+// releases it deterministically.
+func TestShardedSpillStats(t *testing.T) {
+	sys, root := forwardRoot(t, 3, 0)
+	g, err := explore.BuildGraph(sys, []system.State{root}, explore.BuildOptions{
+		Shards: 4, Workers: 4, Store: explore.StoreSpill, SpillDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, ok := explore.GraphSpillStats(g)
+	if !ok {
+		t.Fatal("sharded spill build did not produce a spill-backed graph")
+	}
+	if stats.States != g.Size() {
+		t.Errorf("spill stats count %d states, graph has %d", stats.States, g.Size())
+	}
+	if stats.SpillBytes <= 0 || stats.EdgeBytes <= 0 {
+		t.Errorf("spill files empty: %+v", stats)
+	}
+	if err := explore.CloseGraphStore(g); err != nil {
+		t.Errorf("close: %v", err)
+	}
+}
+
+// TestShardedRepeatBuildsIdentical: two builds under maximum scheduling
+// freedom (8 shards, 8 workers) are identical per ID — the determinism is
+// a property of the renumber pass, not of lucky scheduling.
+func TestShardedRepeatBuildsIdentical(t *testing.T) {
+	sys := mustForward(t, 3, 0, service.Adversarial)
+	a, err := explore.ClassifyInits(sys, explore.BuildOptions{Shards: 8, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := explore.ClassifyInits(sys, explore.BuildOptions{Shards: 8, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertExploreGraphsIdentical(t, "repeat", a.Graph, b.Graph)
+}
+
+// TestShardedSpeedup measures the point of the engine: on real parallel
+// hardware, partitioned interning (shards = workers = NumCPU) must not be
+// slower than funneling every discovery through a single shard's lock.
+// Mirrors TestParallelSpeedup's gating: meaningless below 4 CPUs, under
+// the race detector, and in -short mode.
+func TestShardedSpeedup(t *testing.T) {
+	if runtime.NumCPU() < 4 {
+		t.Skipf("need >= 4 CPUs for a speedup measurement, have %d", runtime.NumCPU())
+	}
+	if runtime.GOMAXPROCS(0) < 4 {
+		t.Skipf("need GOMAXPROCS >= 4 for a speedup measurement, have %d", runtime.GOMAXPROCS(0))
+	}
+	if raceEnabled {
+		t.Skip("race-detector instrumentation invalidates wall-clock measurement")
+	}
+	if testing.Short() {
+		t.Skip("speedup measurement skipped in -short mode")
+	}
+	sys := mustForward(t, 4, 0, service.Adversarial)
+	measure := func(shards int) time.Duration {
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < 3; i++ {
+			start := time.Now()
+			if _, err := explore.ClassifyInits(sys, explore.BuildOptions{Shards: shards, Workers: runtime.NumCPU()}); err != nil {
+				t.Fatal(err)
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	single := measure(1)
+	multi := measure(runtime.NumCPU())
+	speedup := float64(single) / float64(multi)
+	t.Logf("1 shard %v, %d shards %v: speedup %.2fx", single, runtime.NumCPU(), multi, speedup)
+	if speedup < 1.0 {
+		t.Errorf("sharded interning slower than a single shard: %.2fx on %d CPUs, want >= 1.0x", speedup, runtime.NumCPU())
+	}
+}

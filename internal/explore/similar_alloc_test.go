@@ -8,6 +8,7 @@ package explore_test
 import (
 	"testing"
 
+	"github.com/ioa-lab/boosting/internal/allocpin"
 	"github.com/ioa-lab/boosting/internal/explore"
 	"github.com/ioa-lab/boosting/internal/protocols"
 	"github.com/ioa-lab/boosting/internal/service"
@@ -42,16 +43,12 @@ func TestSimilarityZeroAllocs(t *testing.T) {
 	// Warm the buffer pool so the measured runs reuse pooled buffers.
 	explore.JSimilar(sys, s0, s1, j, opt)
 	explore.KSimilar(sys, s0, s1, k, opt)
-	if n := testing.AllocsPerRun(100, func() {
+	allocpin.Check(t, "JSimilar", 100, 0, func() {
 		explore.JSimilar(sys, s0, s1, j, opt)
-	}); n > 0 {
-		t.Errorf("JSimilar allocates %.1f allocs/op, want 0", n)
-	}
-	if n := testing.AllocsPerRun(100, func() {
+	})
+	allocpin.Check(t, "KSimilar", 100, 0, func() {
 		explore.KSimilar(sys, s0, s1, k, opt)
-	}); n > 0 {
-		t.Errorf("KSimilar allocates %.1f allocs/op, want 0", n)
-	}
+	})
 }
 
 // BenchmarkSimilarAllocs reports the per-comparison cost of the similarity

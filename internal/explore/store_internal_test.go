@@ -9,6 +9,7 @@ package explore
 import (
 	"testing"
 
+	"github.com/ioa-lab/boosting/internal/allocpin"
 	"github.com/ioa-lab/boosting/internal/protocols"
 	"github.com/ioa-lab/boosting/internal/service"
 	"github.com/ioa-lab/boosting/internal/system"
@@ -105,9 +106,11 @@ func TestHashFingerprintAllocs(t *testing.T) {
 			hs.Intern(string(buf), st, pred{})
 		}
 		hs.Fingerprint(0) // warm the buffer pool
-		if n := testing.AllocsPerRun(100, func() { hs.Fingerprint(0) }); n > 1 {
-			t.Errorf("wide=%v: Fingerprint allocates %.1f allocs/op, want ≤ 1 (the string)", wide, n)
+		label := "wide=false Fingerprint"
+		if wide {
+			label = "wide=true Fingerprint"
 		}
+		allocpin.Check(t, label, 100, 1, func() { hs.Fingerprint(0) })
 	}
 }
 

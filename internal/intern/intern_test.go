@@ -3,6 +3,8 @@ package intern
 import (
 	"strconv"
 	"testing"
+
+	"github.com/ioa-lab/boosting/internal/allocpin"
 )
 
 func TestInternAssignsDenseIDs(t *testing.T) {
@@ -65,12 +67,9 @@ func TestLookupBytesDoesNotAllocate(t *testing.T) {
 		tab.Intern("key-" + strconv.Itoa(i))
 	}
 	probe := []byte("key-512")
-	allocs := testing.AllocsPerRun(200, func() {
+	allocpin.Check(t, "LookupBytes", 200, 0, func() {
 		if _, ok := tab.LookupBytes(probe); !ok {
 			t.Fatal("probe missing")
 		}
 	})
-	if allocs != 0 {
-		t.Errorf("LookupBytes allocated %.1f times per run", allocs)
-	}
 }

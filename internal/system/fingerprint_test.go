@@ -4,6 +4,7 @@ import (
 	"strconv"
 	"testing"
 
+	"github.com/ioa-lab/boosting/internal/allocpin"
 	"github.com/ioa-lab/boosting/internal/codec"
 	"github.com/ioa-lab/boosting/internal/ioa"
 	"github.com/ioa-lab/boosting/internal/process"
@@ -130,12 +131,9 @@ func TestAppendFingerprintReusesBuffer(t *testing.T) {
 	st, _, _ = sys.Apply(st, ioa.ProcessTask(0))
 	buf := make([]byte, 0, 4096)
 	buf = sys.AppendFingerprint(buf, st) // warm up capacity
-	allocs := testing.AllocsPerRun(100, func() {
-		buf = sys.AppendFingerprint(buf[:0], st)
-	})
 	// The variable maps of this protocol are empty or tiny, so the whole
 	// encoding should be allocation-free once the buffer has capacity.
-	if allocs > 0 {
-		t.Errorf("AppendFingerprint allocated %.1f times per run", allocs)
-	}
+	allocpin.Check(t, "AppendFingerprint", 100, 0, func() {
+		buf = sys.AppendFingerprint(buf[:0], st)
+	})
 }

@@ -1,0 +1,256 @@
+package boosting_test
+
+// Façade-level tests of sharded exploration (WithShards): the shard-count
+// invariance suite — identical renumbered graphs and identical
+// refutation reports for every shard × store × worker × symmetry
+// combination — plus the golden counts and budget behaviour under the
+// sharded engine, and the exhaustive spill-backed frontier the CI spill
+// job re-verifies under GOMEMLIMIT.
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/ioa-lab/boosting"
+)
+
+// shardSweep is the shard-count axis of the invariance suite.
+var shardSweep = []int{1, 2, 8}
+
+// TestShardInvariance: every (shards, store, workers, ±symmetry)
+// combination produces the IDENTICAL renumbered graph — IDs, fingerprints,
+// edges, valences, roots — and the same classification, with the single
+// shard/single worker/dense build as reference.
+func TestShardInvariance(t *testing.T) {
+	for _, sym := range []bool{false, true} {
+		base := []boosting.Option{boosting.WithShards(1), boosting.WithWorkers(1)}
+		if sym {
+			base = append(base, boosting.WithSymmetry())
+		}
+		ref, err := boosting.New("forward", 3, 0, base...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ref.ClassifyInits()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, shards := range shardSweep {
+			for _, s := range stores {
+				for _, workers := range []int{1, 4} {
+					if testing.Short() && (workers > 1 || s.store == boosting.HashStore128) {
+						continue
+					}
+					opts := []boosting.Option{
+						boosting.WithShards(shards), boosting.WithWorkers(workers), boosting.WithStore(s.store),
+					}
+					if sym {
+						opts = append(opts, boosting.WithSymmetry())
+					}
+					chk, err := boosting.New("forward", 3, 0, opts...)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := chk.ClassifyInits()
+					if err != nil {
+						t.Fatalf("sym=%v shards=%d %s w=%d: %v", sym, shards, s.name, workers, err)
+					}
+					label := "shards"
+					assertGraphsIdentical(t, label, want.Graph, got.Graph)
+					if got.BivalentIndex != want.BivalentIndex {
+						t.Errorf("sym=%v shards=%d %s w=%d: bivalent index %d, want %d",
+							sym, shards, s.name, workers, got.BivalentIndex, want.BivalentIndex)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardedGoldenCounts: state and edge counts are graph facts, so the
+// sharded engine must reproduce the golden exploration table exactly.
+func TestShardedGoldenCounts(t *testing.T) {
+	golden := []struct {
+		protocol      string
+		n, f          int
+		states, edges int
+	}{
+		{"forward", 2, 0, 66, 186},
+		{"forward", 3, 0, 410, 1734},
+		{"registervote", 2, 0, 1416, 5574},
+		{"tob", 2, 0, 308, 1278},
+	}
+	for _, g := range golden {
+		if testing.Short() && g.states > 500 {
+			continue
+		}
+		chk, err := boosting.New(g.protocol, g.n, g.f, boosting.WithShards(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := chk.ClassifyInits()
+		if err != nil {
+			t.Fatalf("%s n=%d: %v", g.protocol, g.n, err)
+		}
+		if c.Graph.Size() != g.states || c.Graph.Edges() != g.edges {
+			t.Errorf("%s n=%d sharded: %d states / %d edges, want %d / %d",
+				g.protocol, g.n, c.Graph.Size(), c.Graph.Edges(), g.states, g.edges)
+		}
+	}
+}
+
+// TestShardedRefutationReports: the full refuter and the k-set refuter
+// produce byte-identical reports for every shard/worker combination — the
+// renumbered IDs, canonical witness paths and verdicts are all
+// deterministic — and the verdicts agree with the unsharded engines.
+func TestShardedRefutationReports(t *testing.T) {
+	t.Run("refute", func(t *testing.T) {
+		for _, tc := range []struct {
+			name string
+			n, f int
+		}{
+			{"forward", 2, 0},
+			{"registervote", 2, 0},
+		} {
+			serial, err := boosting.New(tc.name, tc.n, tc.f, boosting.WithWorkers(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			unsharded, err := serial.Refute(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want string
+			for _, shards := range shardSweep {
+				for _, workers := range []int{1, 4} {
+					chk, err := boosting.New(tc.name, tc.n, tc.f,
+						boosting.WithShards(shards), boosting.WithWorkers(workers))
+					if err != nil {
+						t.Fatal(err)
+					}
+					report, err := chk.Refute(1)
+					if err != nil {
+						t.Fatalf("%s shards=%d w=%d: %v", tc.name, shards, workers, err)
+					}
+					if report.Violated() != unsharded.Violated() {
+						t.Fatalf("%s shards=%d w=%d: violated=%v, unsharded says %v",
+							tc.name, shards, workers, report.Violated(), unsharded.Violated())
+					}
+					if want == "" {
+						want = report.String()
+					} else if got := report.String(); got != want {
+						t.Errorf("%s shards=%d w=%d: report differs:\n--- first ---\n%s--- this ---\n%s",
+							tc.name, shards, workers, want, got)
+					}
+				}
+			}
+		}
+	})
+	t.Run("refutekset", func(t *testing.T) {
+		for _, k := range []int{1, 2} {
+			serial, err := boosting.New("setboost", 2, 0, boosting.WithWorkers(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			unsharded, err := serial.RefuteKSet(k, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want string
+			for _, shards := range shardSweep {
+				if testing.Short() && shards == 2 {
+					continue
+				}
+				chk, err := boosting.New("setboost", 2, 0, boosting.WithShards(shards))
+				if err != nil {
+					t.Fatal(err)
+				}
+				report, err := chk.RefuteKSet(k, 3)
+				if err != nil {
+					t.Fatalf("k=%d shards=%d: %v", k, shards, err)
+				}
+				if report.Violated() != unsharded.Violated() {
+					t.Fatalf("k=%d shards=%d: violated=%v, unsharded says %v",
+						k, shards, report.Violated(), unsharded.Violated())
+				}
+				if want == "" {
+					want = report.String()
+				} else if got := report.String(); got != want {
+					t.Errorf("k=%d shards=%d: report differs:\n--- first ---\n%s--- this ---\n%s",
+						k, shards, want, got)
+				}
+			}
+		}
+	})
+}
+
+// TestShardedGoldenInfiniteFamiliesLimit: the detector-bearing families
+// overflow the budget at exactly the cap — the same typed *LimitError,
+// with the same pinned Explored count — on the sharded engine.
+func TestShardedGoldenInfiniteFamiliesLimit(t *testing.T) {
+	const budget = 3000
+	chk, err := boosting.New("floodset-p", 3, 0,
+		boosting.WithRounds(2), boosting.WithShards(4), boosting.WithMaxStates(budget))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = chk.Explore(map[int]string{0: "0", 1: "1", 2: "1"})
+	var le *boosting.LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("want *LimitError, got %v", err)
+	}
+	if !errors.Is(err, boosting.ErrStateExplosion) {
+		t.Error("LimitError does not match the sentinel")
+	}
+	if le.Limit != budget || le.Explored != budget {
+		t.Errorf("LimitError{Limit:%d, Explored:%d}, want %d/%d", le.Limit, le.Explored, budget, budget)
+	}
+}
+
+// TestSpillShardedExhaustiveForwardN6: the exhaustive forward n=6 frontier
+// (1764 states / 15084 edges under symmetry, E29/E30) rebuilt by the
+// sharded engine on the spill backend — per-shard spill files during
+// discovery, one renumbered spill-backed graph at the end — identical to
+// the dense sharded build for every shard count. The CI spill job runs
+// this under GOMEMLIMIT=64MiB.
+func TestSpillShardedExhaustiveForwardN6(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive n=6 build skipped in -short mode")
+	}
+	const wantStates, wantEdges = 1764, 15084
+	ref, err := boosting.New("forward", 6, 0,
+		boosting.WithShards(1), boosting.WithWorkers(1), boosting.WithSymmetry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.ClassifyInits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Graph.Size() != wantStates || want.Graph.Edges() != wantEdges {
+		t.Fatalf("sharded dense reference: %d states / %d edges, want %d / %d",
+			want.Graph.Size(), want.Graph.Edges(), wantStates, wantEdges)
+	}
+	for _, shards := range []int{2, 8} {
+		chk, err := boosting.New("forward", 6, 0,
+			boosting.WithShards(shards), boosting.WithSpillDir(t.TempDir()), boosting.WithSymmetry())
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := chk.ClassifyInits()
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		assertGraphsIdentical(t, "spill-sharded-n6", want.Graph, c.Graph)
+		stats, ok := boosting.GraphSpillStats(c.Graph)
+		if !ok {
+			t.Fatal("sharded spill graph reported no spill stats")
+		}
+		if stats.States != wantStates {
+			t.Errorf("shards=%d: spill stats count %d states, want %d", shards, stats.States, wantStates)
+		}
+		if err := boosting.CloseGraph(c.Graph); err != nil {
+			t.Errorf("shards=%d: close: %v", shards, err)
+		}
+	}
+}
