@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-allocs bench-symmetry bench-spill bench-adjacency bench-shards test-spill lint vet fmt-check fmt vuln apidiff-baseline apidiff
+.PHONY: all build test race bench bench-allocs bench-symmetry bench-spill bench-adjacency bench-shards test-spill test-server run-boostd lint vet fmt-check fmt vuln apidiff-baseline apidiff
 
 all: build lint test
 
@@ -79,6 +79,17 @@ bench-shards:
 test-spill:
 	GOMEMLIMIT=64MiB $(GO) test -count=1 -run 'TestStoreParity|TestGoldenExploration|TestGoldenInfiniteFamilies|TestRefutationReportParity|TestQuotient|TestSpill|TestShard' .
 	GOMEMLIMIT=64MiB $(GO) test -count=1 -run 'TestSpillStore|TestStoreBounds' ./internal/explore/
+
+# The checking-service suite: the boostd HTTP/SSE/cache end-to-end tests
+# (golden counts, single-flight dedup, isomorphic cache hits, cancel and
+# drain semantics) plus the shared flag block's lowering tests. -count=1
+# because the suite asserts cross-request counters, not pure functions.
+test-server:
+	$(GO) test -count=1 ./internal/server/ ./internal/cliflags/
+
+# Run the checking service locally (see README for the curl quickstart).
+run-boostd:
+	$(GO) run ./cmd/boostd
 
 lint: vet fmt-check
 

@@ -168,14 +168,30 @@ func New(name string, n, f int, opts ...Option) (*Checker, error) {
 	if err != nil {
 		return nil, err
 	}
-	if cfg.symmetry && spec.sym != nil {
-		canon, err := symmetry.New(sys, spec.sym(n, f))
+	// Resolve the family's canonicalizer eagerly whenever a symmetry spec is
+	// declared: WithSymmetry routes it into the exploration engines, and
+	// CanonicalFingerprint uses it either way, so renamed-isomorphic
+	// identities collide regardless of whether the quotient graph is
+	// requested. Resolution failures (group order beyond the cap at large n)
+	// only matter when the reduction was actually asked for.
+	var canon *symmetry.Canonicalizer
+	if spec.sym != nil {
+		canon, err = symmetry.New(sys, spec.sym(n, f))
 		if err != nil {
-			return nil, fmt.Errorf("boosting: %s symmetry: %w", name, err)
+			if cfg.symmetry {
+				return nil, fmt.Errorf("boosting: %s symmetry: %w", name, err)
+			}
+			canon = nil
 		}
-		cfg.canon = canon
 	}
-	return &Checker{sys: sys, cfg: cfg, skipGraph: spec.info.SkipsGraphAnalysis || cfg.skipGraph}, nil
+	chk := &Checker{sys: sys, cfg: cfg, skipGraph: spec.info.SkipsGraphAnalysis || cfg.skipGraph}
+	if canon != nil {
+		chk.canon = canon
+		if cfg.symmetry {
+			chk.cfg.canon = canon
+		}
+	}
+	return chk, nil
 }
 
 // NewFromSystem wraps an already-composed system in a Checker, for systems

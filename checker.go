@@ -1,6 +1,7 @@
 package boosting
 
 import (
+	"github.com/ioa-lab/boosting/internal/codec"
 	"github.com/ioa-lab/boosting/internal/explore"
 )
 
@@ -15,6 +16,13 @@ type Checker struct {
 	sys       *System
 	cfg       config
 	skipGraph bool
+	// canon is the family's symmetry canonicalizer, resolved eagerly when
+	// the registry declares a spec — independent of WithSymmetry, which
+	// separately routes it into the exploration engines via cfg.canon. It
+	// backs the canonical-identity methods, so renamed-isomorphic states
+	// map to one fingerprint even on unreduced checkers. nil for families
+	// without a spec and for NewFromSystem checkers.
+	canon explore.Canonicalizer
 }
 
 // System returns the composed system under analysis.
@@ -102,6 +110,80 @@ func (c *Checker) refuteOptions() explore.RefuteOptions {
 		MaxRounds:         c.cfg.maxRounds,
 		SkipGraphAnalysis: c.skipGraph,
 	}
+}
+
+// CanonicalFingerprint returns the symmetry-aware canonical identity of the
+// configured system: a structural encoding of its components — process
+// count, and per service (in sorted index order) the index, type name,
+// class, initial value, resilience, silence policy and endpoint count —
+// followed by the canonicalized fingerprints of the n+1 monotone
+// initialization roots. Two checkers over the same candidate collide even
+// when they were built with different engine options (workers, shards,
+// store backend, symmetry reduction), while distinct n, f, silence policy
+// or round parameters produce distinct identities: n changes the component
+// count, f the declared resilience, the policy the per-service policy
+// field, and the round parameter the round-register set.
+//
+// For families that declare a symmetry group the root states are
+// canonicalized modulo process renaming whether or not WithSymmetry is
+// configured, so renamed-but-isomorphic identities collide. This is the
+// building block of result caches keyed by candidate identity (the boostd
+// server's cache, incremental re-exploration): append the analysis
+// parameters that affect the verdict and the key is complete.
+func (c *Checker) CanonicalFingerprint() []byte {
+	dst := append([]byte(nil), "boosting-id-v1"...)
+	dst = append(dst, '[')
+	dst = codec.AppendInt(dst, len(c.sys.ProcessIDs()))
+	for _, k := range c.sys.ServiceIDs() {
+		sv := c.sys.Service(k)
+		dst = append(dst, '(')
+		dst = codec.AppendAtom(dst, sv.Index())
+		dst = codec.AppendAtom(dst, sv.Type().Name)
+		dst = codec.AppendInt(dst, int(sv.Type().Class))
+		dst = codec.AppendAtom(dst, sv.Type().Initial)
+		dst = codec.AppendInt(dst, sv.Resilience())
+		dst = codec.AppendInt(dst, int(sv.Policy()))
+		dst = codec.AppendInt(dst, len(sv.Endpoints()))
+		dst = append(dst, ')')
+	}
+	dst = append(dst, ']')
+	n := len(c.sys.ProcessIDs())
+	for i := 0; i <= n; i++ {
+		// Init only fails for unknown process ids; the monotone assignments
+		// range over the system's own, so the error path is unreachable.
+		st, err := explore.ApplyInputs(c.sys, explore.MonotoneAssignment(c.sys, i))
+		if err != nil {
+			dst = codec.AppendAtom(dst, err.Error())
+			continue
+		}
+		if c.canon != nil {
+			st = c.canon.Canonical(st)
+		}
+		dst = append(dst, '[')
+		dst = c.sys.AppendFingerprint(dst, st)
+		dst = append(dst, ']')
+	}
+	return dst
+}
+
+// CanonicalRootFingerprint returns the canonical fingerprint of the root
+// state reached by delivering the given input assignment to a fresh initial
+// state — the identity of one initialized run of the candidate. For
+// families with a declared symmetry group the root is canonicalized modulo
+// process renaming (independent of WithSymmetry), so input assignments that
+// differ only by a renaming of interchangeable processes — isomorphic
+// initialized systems — return identical fingerprints. Combine with
+// CanonicalFingerprint to key per-initialization results (the boostd
+// server's explore jobs) by candidate identity.
+func (c *Checker) CanonicalRootFingerprint(inputs map[int]string) ([]byte, error) {
+	root, err := explore.ApplyInputs(c.sys, inputs)
+	if err != nil {
+		return nil, err
+	}
+	if c.canon != nil {
+		root = c.canon.Canonical(root)
+	}
+	return c.sys.AppendFingerprint(nil, root), nil
 }
 
 // Run executes the system under the canonical fair round-robin schedule:

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"time"
 
 	"github.com/ioa-lab/boosting"
 )
@@ -39,6 +40,30 @@ func Register(fs *flag.FlagSet) *Common {
 	fs.BoolVar(&c.NoWitness, "nowitness", false, "drop witness predecessor links (counts and valences only; conflicts with witness-producing analyses)")
 	fs.BoolVar(&c.Symmetry, "symmetry", false, "canonicalize states modulo process renaming (quotient graph; symmetric families only)")
 	return c
+}
+
+// Server holds the boostd-specific flag values next to the shared engine
+// block: the engine flags become the server's *default* job options, so a
+// boostd started with -store spill -symmetry applies them to every job
+// whose JSON option block leaves those fields unset.
+type Server struct {
+	Addr  string
+	Pool  int
+	Cache int
+	Drain time.Duration
+	// Common is the shared engine block, registered alongside.
+	Common *Common
+}
+
+// RegisterServer installs the boostd flags (-addr, -pool, -cache, -drain)
+// plus the shared engine block on a flag set.
+func RegisterServer(fs *flag.FlagSet) *Server {
+	s := &Server{Common: Register(fs)}
+	fs.StringVar(&s.Addr, "addr", ":8080", "HTTP listen address")
+	fs.IntVar(&s.Pool, "pool", 0, "concurrently running checking jobs (0 = one per CPU; jobs default to the serial engine, so the pool is the parallelism)")
+	fs.IntVar(&s.Cache, "cache", 0, "result-cache capacity in entries (0 = default 1024)")
+	fs.DurationVar(&s.Drain, "drain", 10*time.Second, "graceful-shutdown deadline: in-flight jobs drain this long before their contexts are cancelled")
+	return s
 }
 
 // ParseStore resolves a -store flag value.

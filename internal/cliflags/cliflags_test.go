@@ -3,6 +3,7 @@ package cliflags
 import (
 	"flag"
 	"testing"
+	"time"
 
 	"github.com/ioa-lab/boosting"
 )
@@ -97,6 +98,37 @@ func TestOptionsShards(t *testing.T) {
 		t.Errorf("-shards 4: %d states / %d edges / bivalent %d, want %d / %d / %d",
 			got.Graph.Size(), got.Graph.Edges(), got.BivalentIndex,
 			want.Graph.Size(), want.Graph.Edges(), want.BivalentIndex)
+	}
+}
+
+// TestRegisterServer: the boostd flag block parses next to the shared
+// engine block, and the engine flags it carries still lower to façade
+// options (they become the server's default job options).
+func TestRegisterServer(t *testing.T) {
+	fs := flag.NewFlagSet("boostd", flag.ContinueOnError)
+	s := RegisterServer(fs)
+	args := []string{"-addr", ":9999", "-pool", "2", "-cache", "16", "-drain", "3s", "-store", "spill", "-symmetry"}
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	if s.Addr != ":9999" || s.Pool != 2 || s.Cache != 16 || s.Drain != 3*time.Second {
+		t.Errorf("server flags = %+v, want addr=:9999 pool=2 cache=16 drain=3s", s)
+	}
+	if s.Common == nil || s.Common.Store != "spill" || !s.Common.Symmetry {
+		t.Errorf("engine block not registered alongside: %+v", s.Common)
+	}
+	if _, err := s.Common.Options(); err != nil {
+		t.Errorf("engine block failed to lower: %v", err)
+	}
+
+	// Defaults without arguments.
+	fs = flag.NewFlagSet("boostd", flag.ContinueOnError)
+	s = RegisterServer(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if s.Addr != ":8080" || s.Pool != 0 || s.Cache != 0 || s.Drain != 10*time.Second {
+		t.Errorf("server flag defaults = %+v, want addr=:8080 pool=0 cache=0 drain=10s", s)
 	}
 }
 

@@ -1,0 +1,312 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/ioa-lab/boosting"
+)
+
+// errCancelled marks a job terminated by DELETE or server shutdown.
+var errCancelled = errors.New("job cancelled")
+
+// Config sizes the server.
+type Config struct {
+	// Pool is the number of concurrently running jobs (0 = one per CPU).
+	// Jobs default to the serial engine, so pool × serial builds is the
+	// CPU-fair saturation point; submissions asking for their own worker
+	// fan-out trade against pool width.
+	Pool int
+	// CacheSize bounds the result cache in entries (0 = 1024).
+	CacheSize int
+	// Defaults are the option values jobs inherit when their JSON option
+	// block leaves a field zero — boostd lowers its shared engine flag
+	// block (-store, -shards, -symmetry, …) into this.
+	Defaults Options
+}
+
+// Server is the checking service: an http.Handler over a job store, a
+// bounded worker pool and the canonical-fingerprint result cache. Create
+// with New, serve with any http.Server, stop with Shutdown.
+type Server struct {
+	cfg      Config
+	mux      *http.ServeMux
+	jobs     *jobStore
+	cache    *resultCache
+	queue    chan *Job
+	queueMu  sync.Mutex
+	closed   bool
+	draining atomic.Bool
+	wg       sync.WaitGroup
+	// explorations counts jobs that actually ran an analysis — the
+	// denominator that proves cache hits explore zero new states.
+	explorations atomic.Int64
+}
+
+// defaultCacheSize bounds the result cache when -cache is unset.
+const defaultCacheSize = 1024
+
+// queueCap bounds the submission queue; submissions beyond it are rejected
+// with 503 rather than blocking the HTTP handler.
+const queueCap = 1024
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	if cfg.Pool <= 0 {
+		cfg.Pool = runtime.NumCPU()
+	}
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = defaultCacheSize
+	}
+	s := &Server{
+		cfg:   cfg,
+		jobs:  newJobStore(),
+		cache: newResultCache(cfg.CacheSize),
+		queue: make(chan *Job, queueCap),
+	}
+	s.mux = s.routes()
+	s.wg.Add(cfg.Pool)
+	for i := 0; i < cfg.Pool; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// worker drains the queue until Shutdown closes it.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.run(j)
+	}
+}
+
+// enqueue hands a job to the pool. It reports false when the server is
+// draining or the queue is full.
+func (s *Server) enqueue(j *Job) bool {
+	s.queueMu.Lock()
+	defer s.queueMu.Unlock()
+	if s.closed {
+		return false
+	}
+	select {
+	case s.queue <- j:
+		return true
+	default:
+		return false
+	}
+}
+
+// submit validates a request, resolves it against the result cache and, on
+// a miss, queues a fresh job. The returned job is shared on hits and
+// single-flight joins.
+func (s *Server) submit(req Request) (*Job, CacheState, error) {
+	if s.draining.Load() {
+		return nil, "", errDraining
+	}
+	chk, err := req.validate(s.cfg.Defaults)
+	if err != nil {
+		return nil, "", err
+	}
+	key, err := req.cacheKey(chk)
+	if err != nil {
+		return nil, "", &badRequestError{err.Error()}
+	}
+	var fresh *Job
+	j, state := s.cache.submit(key, func() *Job {
+		fresh = s.jobs.add(req)
+		fresh.cacheKey = key
+		return fresh
+	})
+	if state == CacheMiss {
+		if !s.enqueue(fresh) {
+			fresh.finish(StatusCancelled, nil, errorPayload(fmt.Errorf("%w: server draining or queue full", errCancelled)))
+			s.cache.settle(key, StatusCancelled, nil)
+			return nil, "", errDraining
+		}
+	}
+	return j, state, nil
+}
+
+// errDraining maps to HTTP 503.
+var errDraining = errors.New("server is draining; not accepting jobs")
+
+// run executes one job on a pool worker: bridge progress into the job's
+// history, run the analysis under the job's context, close every graph the
+// analysis returned on every exit path, and settle the cache entry.
+func (s *Server) run(j *Job) {
+	if !j.setRunning() {
+		// Cancelled while queued: never explored, never cacheable.
+		s.cache.settle(j.cacheKey, StatusCancelled, nil)
+		return
+	}
+	if err := j.ctx.Err(); err != nil {
+		j.finish(StatusCancelled, nil, errorPayload(fmt.Errorf("%w before start", errCancelled)))
+		s.cache.settle(j.cacheKey, StatusCancelled, nil)
+		return
+	}
+	s.explorations.Add(1)
+	res, err := s.analyze(j)
+	var status JobStatus
+	var payload *ErrorPayload
+	switch {
+	case err == nil:
+		status = StatusDone
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		status = StatusCancelled
+		payload = errorPayload(fmt.Errorf("%w: %v", errCancelled, err))
+	default:
+		status = StatusFailed
+		payload = errorPayload(err)
+	}
+	j.finish(status, res, payload)
+	s.cache.settle(j.cacheKey, status, payload)
+}
+
+// analyze dispatches the job's analysis through a checker rebuilt with the
+// job's progress bridge and cancellation context layered on top of its
+// validated options.
+func (s *Server) analyze(j *Job) (*Result, error) {
+	opts, err := j.Req.Options.lower()
+	if err != nil {
+		return nil, err
+	}
+	opts = append(opts, boosting.WithProgress(j.appendProgress), boosting.WithContext(j.ctx))
+	chk, err := boosting.New(j.Req.Protocol, j.Req.N, j.Req.F, opts...)
+	if err != nil {
+		return nil, err
+	}
+	switch j.Req.Analysis {
+	case AnalysisExplore:
+		inputs, err := j.Req.inputMap()
+		if err != nil {
+			return nil, err
+		}
+		g, err := chk.Explore(inputs)
+		if err != nil {
+			return nil, err
+		}
+		defer closeGraph(g)
+		valences := make([]boosting.Valence, 0, len(g.Roots()))
+		for _, r := range g.Roots() {
+			valences = append(valences, g.Valence(r))
+		}
+		return &Result{
+			Analysis: j.Req.Analysis,
+			States:   g.Size(),
+			Edges:    g.Edges(),
+			Valences: valenceStrings(valences),
+		}, nil
+	case AnalysisClassify:
+		res, err := chk.ClassifyInits()
+		if err != nil {
+			return nil, err
+		}
+		defer closeGraph(res.Graph)
+		idx := res.BivalentIndex
+		return &Result{
+			Analysis:      j.Req.Analysis,
+			States:        res.Graph.Size(),
+			Edges:         res.Graph.Edges(),
+			Valences:      valenceStrings(res.Valences),
+			BivalentIndex: &idx,
+		}, nil
+	case AnalysisRefute, AnalysisRefuteKSet:
+		var report *boosting.Report
+		if j.Req.Analysis == AnalysisRefute {
+			report, err = chk.Refute(j.Req.Claimed)
+		} else {
+			report, err = chk.RefuteKSet(j.Req.K, j.Req.Claimed)
+		}
+		if err != nil {
+			return nil, err
+		}
+		res := &Result{Analysis: j.Req.Analysis, Text: report.String()}
+		claimed := report.Claimed
+		res.Claimed = &claimed
+		if j.Req.Analysis == AnalysisRefuteKSet {
+			k := j.Req.K
+			res.K = &k
+		}
+		violated := report.Violated()
+		res.Violated = &violated
+		for _, c := range report.Certificates {
+			c.Failed = sortedInts(c.Failed)
+			res.Certificates = append(res.Certificates, certJSON(c))
+		}
+		if report.Inits != nil {
+			defer closeGraph(report.Inits.Graph)
+			res.States = report.Inits.Graph.Size()
+			res.Edges = report.Inits.Graph.Edges()
+			res.Valences = valenceStrings(report.Inits.Valences)
+			idx := report.Inits.BivalentIndex
+			res.BivalentIndex = &idx
+		}
+		return res, nil
+	default:
+		return nil, fmt.Errorf("unknown analysis %q", j.Req.Analysis)
+	}
+}
+
+// closeGraph releases a graph's backend resources (spill descriptors),
+// tolerating nil.
+func closeGraph(g *boosting.Graph) {
+	if g != nil {
+		_ = boosting.CloseGraph(g)
+	}
+}
+
+// cancel cancels a job's context. Queued jobs terminate without running;
+// running jobs unwind at the engine's next cancellation check.
+func (s *Server) cancelJob(j *Job) {
+	j.cancel()
+	// A queued job has no worker to observe the context: finish it here.
+	// Running jobs are finished by their worker (finish is idempotent).
+	j.mu.Lock()
+	queued := j.status == StatusQueued
+	j.mu.Unlock()
+	if queued {
+		j.finish(StatusCancelled, nil, errorPayload(fmt.Errorf("%w while queued", errCancelled)))
+		s.cache.settle(j.cacheKey, StatusCancelled, nil)
+	}
+}
+
+// Explorations reports how many jobs actually ran an analysis (cache hits
+// and single-flight joins never increment it).
+func (s *Server) Explorations() int64 { return s.explorations.Load() }
+
+// CacheStats snapshots the result-cache counters.
+func (s *Server) CacheStats() CacheStats { return s.cache.stats() }
+
+// Shutdown gracefully stops the server: new submissions are rejected
+// immediately, queued and running jobs drain until ctx expires, then every
+// remaining job context is cancelled and the pool is awaited — spill-backed
+// graphs are closed by the job runner on every exit path, including this
+// one. Call after (or instead of) http.Server.Shutdown.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.queueMu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.queueMu.Unlock()
+
+	stopped := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			for _, j := range s.jobs.all() {
+				s.cancelJob(j)
+			}
+		case <-stopped:
+		}
+	}()
+	s.wg.Wait()
+	close(stopped)
+	return ctx.Err()
+}

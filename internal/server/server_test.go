@@ -1,0 +1,479 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/ioa-lab/boosting"
+	"github.com/ioa-lab/boosting/internal/cliflags"
+	"github.com/ioa-lab/boosting/internal/server"
+)
+
+// newTestServer builds a server plus an httptest front end and arranges
+// for both to stop at test end.
+func newTestServer(t *testing.T, cfg server.Config) (*server.Server, *httptest.Server) {
+	t.Helper()
+	srv := server.New(cfg)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	})
+	return srv, ts
+}
+
+// postJob submits a request body and decodes the acknowledgement.
+func postJob(t *testing.T, ts *httptest.Server, body string) (server.SubmitResponse, int) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ack server.SubmitResponse
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode == http.StatusAccepted || resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(raw, &ack); err != nil {
+			t.Fatalf("decode ack %q: %v", raw, err)
+		}
+	}
+	return ack, resp.StatusCode
+}
+
+// getJob fetches a job view.
+func getJob(t *testing.T, ts *httptest.Server, id string) server.JobView {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var view server.JobView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	return view
+}
+
+// waitTerminal polls a job until it reaches a terminal state.
+func waitTerminal(t *testing.T, ts *httptest.Server, id string) server.JobView {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		view := getJob(t, ts, id)
+		switch view.Status {
+		case server.StatusDone, server.StatusFailed, server.StatusCancelled:
+			return view
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s", id, view.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+const classifyForward3 = `{"protocol": "forward", "n": 3, "f": 0, "analysis": "classify"}`
+
+// TestSubmitValidation: malformed and contradictory submissions are
+// rejected at submit time with the right status, never queued.
+func TestSubmitValidation(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{Pool: 1})
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"malformed json", `{"protocol": `, http.StatusBadRequest},
+		{"unknown field", `{"protocol": "forward", "n": 3, "f": 0, "analysis": "classify", "frobnicate": 1}`, http.StatusBadRequest},
+		{"unknown protocol", `{"protocol": "paxos", "n": 3, "f": 0, "analysis": "classify"}`, http.StatusBadRequest},
+		{"unknown analysis", `{"protocol": "forward", "n": 3, "f": 0, "analysis": "prove"}`, http.StatusBadRequest},
+		{"bad n", `{"protocol": "forward", "n": 0, "f": 0, "analysis": "classify"}`, http.StatusBadRequest},
+		{"refute without claim", `{"protocol": "forward", "n": 3, "f": 0, "analysis": "refute"}`, http.StatusBadRequest},
+		{"refutekset without k", `{"protocol": "forward", "n": 3, "f": 0, "analysis": "refutekset", "claimed": 1}`, http.StatusBadRequest},
+		{"bad store", `{"protocol": "forward", "n": 3, "f": 0, "analysis": "classify", "options": {"store": "mmap"}}`, http.StatusBadRequest},
+		{"bad policy", `{"protocol": "forward", "n": 3, "f": 0, "analysis": "classify", "options": {"policy": "optimistic"}}`, http.StatusBadRequest},
+		{"bad input key", `{"protocol": "forward", "n": 3, "f": 0, "analysis": "explore", "inputs": {"p0": "1"}}`, http.StatusBadRequest},
+		{"unknown input process", `{"protocol": "forward", "n": 3, "f": 0, "analysis": "explore", "inputs": {"99": "1"}}`, http.StatusBadRequest},
+		{"nowitness x refute", `{"protocol": "forward", "n": 3, "f": 0, "analysis": "refute", "claimed": 1, "options": {"nowitness": true}}`, http.StatusUnprocessableEntity},
+	}
+	for _, c := range cases {
+		if _, code := postJob(t, ts, c.body); code != c.want {
+			t.Errorf("%s: status %d, want %d", c.name, code, c.want)
+		}
+	}
+	// The conflict is resolvable: nograph skips the witness-consuming phases.
+	ack, code := postJob(t, ts, `{"protocol": "forward", "n": 3, "f": 0, "analysis": "refute", "claimed": 1, "options": {"nowitness": true, "nograph": true}}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("nowitness+nograph refute: status %d, want 202", code)
+	}
+	if view := waitTerminal(t, ts, ack.ID); view.Status != server.StatusDone {
+		t.Errorf("nowitness+nograph refute: %s (%v)", view.Status, view.Error)
+	}
+}
+
+// TestClassifyGoldenAndCacheHit: a classify job reproduces the engine's
+// golden forward n=3 counts; resubmitting the identical request is served
+// from cache — same job id, hit counter up, zero new explorations.
+func TestClassifyGoldenAndCacheHit(t *testing.T) {
+	srv, ts := newTestServer(t, server.Config{Pool: 2})
+	ack, code := postJob(t, ts, classifyForward3)
+	if code != http.StatusAccepted || ack.Cached != server.CacheMiss {
+		t.Fatalf("first submission: status %d, cached %q; want 202 miss", code, ack.Cached)
+	}
+	view := waitTerminal(t, ts, ack.ID)
+	if view.Status != server.StatusDone || view.Result == nil {
+		t.Fatalf("job failed: %s (%v)", view.Status, view.Error)
+	}
+	if view.Result.States != 410 || view.Result.Edges != 1734 {
+		t.Errorf("forward n=3 classify: %d states / %d edges, want 410 / 1734",
+			view.Result.States, view.Result.Edges)
+	}
+	// Anchor the rest of the typed result against a direct façade run.
+	chk, err := boosting.New("forward", 3, 0, boosting.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := chk.ClassifyInits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Result.BivalentIndex == nil || *view.Result.BivalentIndex != ref.BivalentIndex {
+		t.Errorf("BivalentIndex = %v, want %d", view.Result.BivalentIndex, ref.BivalentIndex)
+	}
+	if len(view.Result.Valences) != len(ref.Valences) {
+		t.Errorf("classify returned %d valences, want %d", len(view.Result.Valences), len(ref.Valences))
+	}
+	for i, v := range ref.Valences {
+		if i < len(view.Result.Valences) && view.Result.Valences[i] != v.String() {
+			t.Errorf("valence[%d] = %q, want %q", i, view.Result.Valences[i], v)
+		}
+	}
+
+	ack2, code := postJob(t, ts, classifyForward3)
+	if code != http.StatusOK || ack2.Cached != server.CacheHit {
+		t.Fatalf("resubmission: status %d, cached %q; want 200 hit", code, ack2.Cached)
+	}
+	if ack2.ID != ack.ID {
+		t.Errorf("cache hit returned job %s, want the original %s", ack2.ID, ack.ID)
+	}
+	if got := srv.Explorations(); got != 1 {
+		t.Errorf("explorations = %d after a cache hit, want 1", got)
+	}
+	if stats := srv.CacheStats(); stats.Hits != 1 || stats.Misses != 1 {
+		t.Errorf("cache stats = %+v, want hits=1 misses=1", stats)
+	}
+
+	// A different engine configuration of the same check shares the entry:
+	// workers/shards/store never enter the cache key.
+	ack3, code := postJob(t, ts, `{"protocol": "forward", "n": 3, "f": 0, "analysis": "classify", "options": {"workers": 2, "shards": 4, "store": "hash64"}}`)
+	if code != http.StatusOK || ack3.Cached != server.CacheHit || ack3.ID != ack.ID {
+		t.Errorf("engine-variant resubmission: status %d, cached %q, id %s; want 200 hit %s",
+			code, ack3.Cached, ack3.ID, ack.ID)
+	}
+	// A verdict-affecting variation does not: maxStates enters the key.
+	ack4, _ := postJob(t, ts, `{"protocol": "forward", "n": 3, "f": 0, "analysis": "classify", "options": {"maxStates": 100000}}`)
+	if ack4.Cached != server.CacheMiss {
+		t.Errorf("maxStates variant: cached %q, want miss", ack4.Cached)
+	}
+}
+
+// TestSingleFlight: concurrent identical submissions share one job — one
+// exploration, one miss, everyone else joins or hits.
+func TestSingleFlight(t *testing.T) {
+	srv, ts := newTestServer(t, server.Config{Pool: 2})
+	const clients = 8
+	ids := make([]string, clients)
+	var wg sync.WaitGroup
+	wg.Add(clients)
+	for i := 0; i < clients; i++ {
+		go func(i int) {
+			defer wg.Done()
+			ack, code := postJob(t, ts, classifyForward3)
+			if code != http.StatusAccepted && code != http.StatusOK {
+				t.Errorf("client %d: status %d", i, code)
+				return
+			}
+			ids[i] = ack.ID
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < clients; i++ {
+		if ids[i] != ids[0] {
+			t.Fatalf("client %d got job %s, client 0 got %s — single-flight broken", i, ids[i], ids[0])
+		}
+	}
+	waitTerminal(t, ts, ids[0])
+	if got := srv.Explorations(); got != 1 {
+		t.Errorf("explorations = %d for %d identical submissions, want 1", got, clients)
+	}
+	if stats := srv.CacheStats(); stats.Misses != 1 {
+		t.Errorf("cache stats = %+v, want exactly one miss", stats)
+	}
+}
+
+// TestIsomorphicExploreHit is the acceptance scenario: a process-renamed
+// (isomorphic) variant of an already-explored initialization is served
+// from cache — the canonical root fingerprint collides, the hit counter
+// increments, and no new states are explored.
+func TestIsomorphicExploreHit(t *testing.T) {
+	srv, ts := newTestServer(t, server.Config{Pool: 1})
+	submit := func(inputs string) (server.SubmitResponse, int) {
+		return postJob(t, ts, fmt.Sprintf(
+			`{"protocol": "forward", "n": 3, "f": 0, "analysis": "explore", "inputs": %s, "options": {"symmetry": true}}`,
+			inputs))
+	}
+	ack, code := postJob(t, ts, `{"protocol": "forward", "n": 3, "f": 0, "analysis": "explore", "inputs": {"0": "1", "1": "0", "2": "0"}, "options": {"symmetry": true}}`)
+	if code != http.StatusAccepted || ack.Cached != server.CacheMiss {
+		t.Fatalf("first exploration: status %d, cached %q", code, ack.Cached)
+	}
+	first := waitTerminal(t, ts, ack.ID)
+	if first.Status != server.StatusDone || first.Result == nil {
+		t.Fatalf("first exploration failed: %s (%v)", first.Status, first.Error)
+	}
+
+	// The same one-hot assignment under two different process renamings.
+	for _, renamed := range []string{
+		`{"0": "0", "1": "1", "2": "0"}`,
+		`{"0": "0", "1": "0", "2": "1"}`,
+	} {
+		ack2, code := submit(renamed)
+		if code != http.StatusOK || ack2.Cached != server.CacheHit {
+			t.Errorf("renamed %s: status %d, cached %q; want 200 hit", renamed, code, ack2.Cached)
+			continue
+		}
+		if ack2.ID != ack.ID {
+			t.Errorf("renamed %s: job %s, want the original %s", renamed, ack2.ID, ack.ID)
+		}
+		got := getJob(t, ts, ack2.ID)
+		if got.Result == nil || got.Result.States != first.Result.States || got.Result.Edges != first.Result.Edges {
+			t.Errorf("renamed %s: result %+v differs from original %+v", renamed, got.Result, first.Result)
+		}
+	}
+	if got := srv.Explorations(); got != 1 {
+		t.Errorf("explorations = %d after isomorphic resubmissions, want 1 (zero new states)", got)
+	}
+	if stats := srv.CacheStats(); stats.Hits != 2 || stats.Misses != 1 {
+		t.Errorf("cache stats = %+v, want hits=2 misses=1", stats)
+	}
+
+	// A genuinely different assignment (two ones) is a miss.
+	ack3, _ := submit(`{"0": "1", "1": "1", "2": "0"}`)
+	if ack3.Cached != server.CacheMiss {
+		t.Errorf("two-hot assignment: cached %q, want miss", ack3.Cached)
+	}
+}
+
+// TestCancel: DELETE cancels a queued job immediately and a running job at
+// the engine's next cancellation check; cancelled entries leave the cache
+// so a resubmission retries.
+func TestCancel(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{Pool: 1})
+	// registervote n=3 is far beyond this test's patience: it pins the one
+	// pool worker for the whole test, making the next submission's queued
+	// state deterministic.
+	slow := `{"protocol": "registervote", "n": 3, "f": 0, "analysis": "classify"}`
+	slowAck, code := postJob(t, ts, slow)
+	if code != http.StatusAccepted {
+		t.Fatalf("slow job: status %d", code)
+	}
+	queuedAck, code := postJob(t, ts, classifyForward3)
+	if code != http.StatusAccepted || queuedAck.Cached != server.CacheMiss {
+		t.Fatalf("queued job: status %d, cached %q", code, queuedAck.Cached)
+	}
+
+	del := func(id string) {
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("DELETE %s: status %d", id, resp.StatusCode)
+		}
+	}
+	del(queuedAck.ID)
+	view := waitTerminal(t, ts, queuedAck.ID)
+	if view.Status != server.StatusCancelled || view.Error == nil || view.Error.Kind != "cancelled" {
+		t.Errorf("queued job after DELETE: %s (%v), want cancelled", view.Status, view.Error)
+	}
+
+	del(slowAck.ID)
+	view = waitTerminal(t, ts, slowAck.ID)
+	if view.Status != server.StatusCancelled || view.Error == nil || view.Error.Kind != "cancelled" {
+		t.Errorf("running job after DELETE: %s (%v), want cancelled", view.Status, view.Error)
+	}
+
+	// Cancelled runs are not cached: resubmission starts fresh.
+	ack, _ := postJob(t, ts, classifyForward3)
+	if ack.Cached != server.CacheMiss {
+		t.Errorf("resubmission after cancel: cached %q, want miss", ack.Cached)
+	}
+	if ack.ID == queuedAck.ID {
+		t.Error("resubmission after cancel reused the cancelled job")
+	}
+	if view := waitTerminal(t, ts, ack.ID); view.Status != server.StatusDone {
+		t.Errorf("retry after cancel: %s (%v)", view.Status, view.Error)
+	}
+}
+
+// TestLimitError: a state-budget overflow surfaces as a failed job with
+// the structured limit payload — and, being deterministic, is cached.
+func TestLimitError(t *testing.T) {
+	srv, ts := newTestServer(t, server.Config{Pool: 1})
+	body := `{"protocol": "floodset-p", "n": 3, "f": 0, "analysis": "explore", "inputs": {"0": "0", "1": "1", "2": "1"}, "options": {"rounds": 2, "maxStates": 3000}}`
+	ack, code := postJob(t, ts, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	view := waitTerminal(t, ts, ack.ID)
+	if view.Status != server.StatusFailed || view.Error == nil {
+		t.Fatalf("overflow job: %s (%v), want failed with payload", view.Status, view.Error)
+	}
+	if view.Error.Kind != "limit" || view.Error.Limit != 3000 || view.Error.Explored != 3000 {
+		t.Errorf("limit payload = %+v, want kind=limit limit=3000 explored=3000", view.Error)
+	}
+	ack2, code := postJob(t, ts, body)
+	if code != http.StatusOK || ack2.Cached != server.CacheHit || ack2.ID != ack.ID {
+		t.Errorf("overflow resubmission: status %d, cached %q, id %s; want 200 hit %s",
+			code, ack2.Cached, ack2.ID, ack.ID)
+	}
+	if got := srv.Explorations(); got != 1 {
+		t.Errorf("explorations = %d, want 1 (overflow verdicts are cached)", got)
+	}
+}
+
+// TestShutdownDrain: Shutdown stops accepting submissions immediately but
+// drains in-flight jobs to completion before returning.
+func TestShutdownDrain(t *testing.T) {
+	srv := server.New(server.Config{Pool: 1})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	ack, code := postJob(t, ts, classifyForward3)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		done <- srv.Shutdown(ctx)
+	}()
+
+	// Submissions during the drain are rejected with 503.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, code := postJob(t, ts, `{"protocol": "tob", "n": 2, "f": 0, "analysis": "classify"}`)
+		if code == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("submissions still accepted during drain")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := <-done; err != nil && err != context.DeadlineExceeded {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if view := getJob(t, ts, ack.ID); view.Status != server.StatusDone {
+		t.Errorf("in-flight job after drain: %s (%v), want done", view.Status, view.Error)
+	}
+}
+
+// TestProtocolsAndStats: the discovery endpoints answer.
+func TestProtocolsAndStats(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{Pool: 1})
+	resp, err := http.Get(ts.URL + "/v1/protocols")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(raw, []byte(`"forward"`)) {
+		t.Errorf("GET /v1/protocols: %d %s", resp.StatusCode, raw)
+	}
+	resp, err = http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(raw, []byte(`"explorations"`)) {
+		t.Errorf("GET /v1/stats: %d %s", resp.StatusCode, raw)
+	}
+	if _, code := postJob(t, ts, classifyForward3); code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+	resp, err = http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(raw, []byte(`"j1"`)) {
+		t.Errorf("GET /v1/jobs: %d %s", resp.StatusCode, raw)
+	}
+	if resp, err := http.Get(ts.URL + "/v1/jobs/j999"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET unknown job: %d, want 404", resp.StatusCode)
+		}
+	}
+}
+
+// TestDefaultsFromFlags: the boostd engine flag block lowers into the
+// default job option block field-for-field.
+func TestDefaultsFromFlags(t *testing.T) {
+	c := &cliflags.Common{
+		Workers: 2, Shards: 4, MaxStates: 500,
+		Store: "spill", SpillDir: "/tmp/x", NoWitness: true, Symmetry: true,
+	}
+	got := server.DefaultsFromFlags(c)
+	want := server.Options{
+		Workers: 2, Shards: 4, MaxStates: 500,
+		Store: "spill", SpillDir: "/tmp/x", NoWitness: true, Symmetry: true,
+	}
+	if got != want {
+		t.Errorf("DefaultsFromFlags = %+v, want %+v", got, want)
+	}
+}
+
+// TestServerDefaultsApply: a server started with default options applies
+// them to jobs whose option block leaves the fields unset — and the
+// verdict-neutral ones stay out of the cache key.
+func TestServerDefaultsApply(t *testing.T) {
+	srv, ts := newTestServer(t, server.Config{
+		Pool:     1,
+		Defaults: server.Options{Store: "hash64"},
+	})
+	ack, code := postJob(t, ts, classifyForward3)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	view := waitTerminal(t, ts, ack.ID)
+	if view.Status != server.StatusDone || view.Result == nil || view.Result.States != 410 {
+		t.Fatalf("defaulted job: %s (%v)", view.Status, view.Error)
+	}
+	// An explicit dense request is the same check: hit.
+	ack2, _ := postJob(t, ts, `{"protocol": "forward", "n": 3, "f": 0, "analysis": "classify", "options": {"store": "dense"}}`)
+	if ack2.Cached != server.CacheHit || ack2.ID != ack.ID {
+		t.Errorf("store-variant: cached %q id %s, want hit %s", ack2.Cached, ack2.ID, ack.ID)
+	}
+	if got := srv.Explorations(); got != 1 {
+		t.Errorf("explorations = %d, want 1", got)
+	}
+}

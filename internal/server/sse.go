@@ -1,0 +1,85 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"github.com/ioa-lab/boosting"
+)
+
+// progressJSON is the wire form of one per-level Progress report. The field
+// order and encoding are part of the API: the event stream for a build is
+// exactly the WithProgress callback sequence, rendered through this one
+// encoder (pinned byte-for-byte by the SSE golden test).
+type progressJSON struct {
+	Level    int `json:"level"`
+	States   int `json:"states"`
+	Edges    int `json:"edges"`
+	Frontier int `json:"frontier"`
+}
+
+// MarshalProgress renders one Progress report in the SSE wire encoding.
+func MarshalProgress(p boosting.Progress) []byte {
+	b, _ := json.Marshal(progressJSON{p.Level, p.States, p.Edges, p.Frontier})
+	return b
+}
+
+// handleEvents streams a job's per-level progress as Server-Sent Events,
+// then one terminal event named after the final status whose data is the
+// result (done) or the structured error (failed, cancelled).
+//
+// The stream replays from the job's append-only history: a late subscriber
+// — including one tailing a cache hit — receives the full sequence, and a
+// stalled client stalls only its own handler goroutine on the ResponseWriter;
+// the exploration appends to history and never touches client connections
+// (backpressure by replay, not by blocking the producer).
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookupJob(w, r)
+	if !ok {
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, map[string]*ErrorPayload{
+			"error": {Kind: "internal", Message: "response writer does not support streaming"},
+		})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	sent := 0
+	for {
+		items, status, result, jobErr, next := j.snapshot(sent)
+		for _, p := range items {
+			if _, err := fmt.Fprintf(w, "event: progress\ndata: %s\n\n", MarshalProgress(p)); err != nil {
+				return
+			}
+		}
+		sent += len(items)
+		if len(items) > 0 {
+			flusher.Flush()
+		}
+		if terminal(status) {
+			var data []byte
+			switch status {
+			case StatusDone:
+				data, _ = json.Marshal(result)
+			default:
+				data, _ = json.Marshal(jobErr)
+			}
+			_, _ = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", status, data)
+			flusher.Flush()
+			return
+		}
+		select {
+		case <-next:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
