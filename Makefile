@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-allocs bench-symmetry bench-spill bench-adjacency bench-shards test-spill test-server run-boostd lint vet fmt-check fmt vuln apidiff-baseline apidiff
+.PHONY: all build test race bench bench-allocs bench-symmetry bench-spill bench-adjacency bench-shards test-spill test-server run-boostd lint vet analyze fmt-check fmt vuln apidiff-baseline apidiff
 
 all: build lint test
 
@@ -91,10 +91,22 @@ test-server:
 run-boostd:
 	$(GO) run ./cmd/boostd
 
-lint: vet fmt-check
+lint: vet analyze fmt-check
 
 vet:
 	$(GO) vet ./...
+
+# The repo's own invariant suite (see DESIGN.md "Enforced invariants"):
+# five go/analysis analyzers — determinism, graphclose, storebounds,
+# typederr, ctxflow — built into a unitchecker binary and run through the
+# standard `go vet -vettool` driver, so findings carry file:line positions
+# and //lint:boostvet-ignore waivers are honoured.
+BOOSTVET = bin/boostvet
+
+analyze:
+	@mkdir -p bin
+	$(GO) build -o $(BOOSTVET) ./cmd/boostvet
+	$(GO) vet -vettool=$(BOOSTVET) ./...
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

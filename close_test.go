@@ -1,0 +1,114 @@
+package boosting_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/ioa-lab/boosting"
+)
+
+// spillFDs counts this process's open file descriptors that point into
+// dir. Linux-only (reads /proc/self/fd); callers skip elsewhere.
+func spillFDs(t *testing.T, dir string) int {
+	t.Helper()
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		t.Skipf("cannot enumerate descriptors: %v", err)
+	}
+	n := 0
+	for _, e := range ents {
+		target, err := os.Readlink(filepath.Join("/proc/self/fd", e.Name()))
+		if err != nil {
+			continue
+		}
+		if strings.HasPrefix(target, dir+string(filepath.Separator)) || target == dir {
+			n++
+		}
+	}
+	return n
+}
+
+// TestCloseNilTolerance pins the contract the graphclose analyzer's
+// canonical fix relies on: `defer x.Close()` placed right after the error
+// check must be safe when the producer failed and the handle is nil.
+func TestCloseNilTolerance(t *testing.T) {
+	if err := boosting.CloseGraph(nil); err != nil {
+		t.Errorf("CloseGraph(nil) = %v, want nil", err)
+	}
+	var c *boosting.InitClassification
+	if err := c.Close(); err != nil {
+		t.Errorf("(*InitClassification)(nil).Close() = %v, want nil", err)
+	}
+	var r *boosting.Report
+	if err := r.Close(); err != nil {
+		t.Errorf("(*Report)(nil).Close() = %v, want nil", err)
+	}
+	if err := (&boosting.Report{}).Close(); err != nil {
+		t.Errorf("empty Report Close() = %v, want nil", err)
+	}
+}
+
+// TestClassificationCloseReleasesDescriptors is the regression test for
+// the leak class the graphclose analyzer found in cmd/hookfind and
+// examples/impossibility: a spill-backed classification holds open
+// descriptors until Close, and Close releases every one of them.
+func TestClassificationCloseReleasesDescriptors(t *testing.T) {
+	if _, err := os.Stat("/proc/self/fd"); err != nil {
+		t.Skip("/proc/self/fd unavailable on this platform")
+	}
+	dir, err := filepath.EvalSymlinks(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	chk, err := boosting.New("forward", 3, 0,
+		boosting.WithWorkers(1), boosting.WithSpillDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := chk.ClassifyInits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := spillFDs(t, dir); got == 0 {
+		t.Fatal("spill build holds no descriptors under the spill dir; the test is vacuous")
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if got := spillFDs(t, dir); got != 0 {
+		t.Errorf("after Close, %d descriptors still open under %s", got, dir)
+	}
+}
+
+// TestReportCloseReleasesDescriptors covers the cmd/boostcheck and
+// cmd/experiments shape: the refutation report owns the classification's
+// graph, and Report.Close releases the spill descriptors through it.
+func TestReportCloseReleasesDescriptors(t *testing.T) {
+	if _, err := os.Stat("/proc/self/fd"); err != nil {
+		t.Skip("/proc/self/fd unavailable on this platform")
+	}
+	dir, err := filepath.EvalSymlinks(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	chk, err := boosting.New("forward", 3, 0,
+		boosting.WithWorkers(1), boosting.WithSpillDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := chk.Refute(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := spillFDs(t, dir); got == 0 {
+		t.Fatal("spill refutation holds no descriptors under the spill dir; the test is vacuous")
+	}
+	if err := report.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if got := spillFDs(t, dir); got != 0 {
+		t.Errorf("after Close, %d descriptors still open under %s", got, dir)
+	}
+}

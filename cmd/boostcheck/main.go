@@ -87,6 +87,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	defer report.Close()
 	fmt.Print(report.String())
 	if report.Violated() {
 		fmt.Println("\nverdict: boosting REFUTED — the claimed resilience is not achieved")

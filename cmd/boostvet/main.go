@@ -1,0 +1,27 @@
+// Command boostvet is the repo's invariant checker: the five
+// internal/analysis/boostvet passes (determinism, graphclose,
+// storebounds, typederr, ctxflow) packaged as a `go vet` tool.
+//
+// It speaks the unitchecker protocol, so the supported invocation is
+// through the go command, which supplies package facts and type
+// information per compilation unit:
+//
+//	go build -o bin/boostvet ./cmd/boostvet
+//	go vet -vettool=bin/boostvet ./...
+//
+// `make analyze` does exactly that, and `make lint` includes it.
+// Deliberate violations are silenced inline with
+// `//lint:boostvet-ignore <analyzer> — justification`; see
+// internal/analysis/boostvet and the DESIGN.md "Enforced invariants"
+// section for what each pass guards.
+package main
+
+import (
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"github.com/ioa-lab/boosting/internal/analysis/boostvet"
+)
+
+func main() {
+	unitchecker.Main(boostvet.Analyzers...)
+}

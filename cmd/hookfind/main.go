@@ -49,6 +49,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	defer inits.Close()
 	fmt.Printf("Lemma 4 — initialization valences (G(C) has %d vertices):\n%s\n", inits.Graph.Size(), inits)
 	if inits.BivalentIndex < 0 {
 		fmt.Println("no bivalent initialization: nothing to hook")

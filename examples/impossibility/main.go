@@ -43,6 +43,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	defer inits.Close()
 	fmt.Print(inits)
 	if inits.BivalentIndex < 0 {
 		return fmt.Errorf("no bivalent initialization")

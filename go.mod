@@ -1,3 +1,11 @@
 module github.com/ioa-lab/boosting
 
 go 1.24
+
+// Static-analysis suite (cmd/boostvet, internal/analysis) builds on
+// golang.org/x/tools/go/analysis. The container has no module proxy
+// access, so the required subset is vendored from the Go toolchain's
+// own cmd/vendor copy into third_party/ and pinned via this replace.
+require golang.org/x/tools v0.28.1
+
+replace golang.org/x/tools => ./third_party/golang.org/x/tools

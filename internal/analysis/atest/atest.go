@@ -1,0 +1,291 @@
+// Package atest is a minimal analysistest substitute for the boostvet
+// golden tests.
+//
+// The container builds against the Go toolchain's vendored
+// golang.org/x/tools subset (see third_party/), which ships the analysis
+// framework but not go/packages or go/analysis/analysistest — both assume
+// a module-aware loader and a network-reachable proxy. This harness does
+// the part those packages would do for us, offline:
+//
+//   - it parses each testdata package and type-checks it with the pure
+//     source importer (stdlib resolves from GOROOT source, no export
+//     data, no network);
+//   - packages are checked in the order given and may import one another,
+//     under arbitrary fabricated import paths — so a testdata package can
+//     impersonate github.com/ioa-lab/boosting/internal/explore and the
+//     analyzers' type- and path-matching works exactly as on the real
+//     tree;
+//   - the analyzer's Requires graph runs first (inspect, ctrlflow), with
+//     map-backed fact storage for passes that export facts;
+//   - diagnostics on the final package are compared against
+//     `// want "regexp"` comments, analysistest-style: every expectation
+//     must be matched on its line, every diagnostic must be expected.
+package atest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Package is one testdata package: the directory holding its .go files
+// and the import path to type-check it under. Later packages may import
+// earlier ones by that path.
+type Package struct {
+	Path string
+	Dir  string
+}
+
+// Run type-checks the packages in order, applies the analyzer (and its
+// requirements) to the last one, and compares the diagnostics against the
+// `// want` expectations in that package's files.
+func Run(t *testing.T, a *analysis.Analyzer, pkgs ...Package) {
+	t.Helper()
+	if len(pkgs) == 0 {
+		t.Fatal("atest.Run: no packages")
+	}
+
+	fset := token.NewFileSet()
+	checked := make(map[string]*types.Package)
+	imp := &chainImporter{
+		checked:  checked,
+		fallback: importer.ForCompiler(fset, "source", nil),
+	}
+
+	var files []*ast.File
+	var pkg *types.Package
+	var info *types.Info
+	for _, p := range pkgs {
+		var err error
+		files, info, pkg, err = checkPackage(fset, imp, p)
+		if err != nil {
+			t.Fatalf("atest.Run: type-checking %s (%s): %v", p.Path, p.Dir, err)
+		}
+		checked[p.Path] = pkg
+	}
+
+	var got []analysis.Diagnostic
+	results := make(map[*analysis.Analyzer]any)
+	facts := newFactStore()
+	target := pkgs[len(pkgs)-1]
+	var runPass func(a *analysis.Analyzer) error
+	runPass = func(a *analysis.Analyzer) error {
+		if _, done := results[a]; done {
+			return nil
+		}
+		resultOf := make(map[*analysis.Analyzer]any)
+		for _, req := range a.Requires {
+			if err := runPass(req); err != nil {
+				return err
+			}
+			resultOf[req] = results[req]
+		}
+		pass := &analysis.Pass{
+			Analyzer:   a,
+			Fset:       fset,
+			Files:      files,
+			Pkg:        pkg,
+			TypesInfo:  info,
+			TypesSizes: types.SizesFor("gc", runtime.GOARCH),
+			ResultOf:   resultOf,
+			Report: func(d analysis.Diagnostic) {
+				got = append(got, d)
+			},
+			ReadFile:          os.ReadFile,
+			ImportObjectFact:  facts.importObjectFact,
+			ExportObjectFact:  facts.exportObjectFact,
+			ImportPackageFact: facts.importPackageFact,
+			ExportPackageFact: func(analysis.Fact) {},
+			AllObjectFacts:    func() []analysis.ObjectFact { return nil },
+			AllPackageFacts:   func() []analysis.PackageFact { return nil },
+		}
+		res, err := a.Run(pass)
+		if err != nil {
+			return fmt.Errorf("analyzer %s on %s: %w", a.Name, target.Path, err)
+		}
+		results[a] = res
+		return nil
+	}
+	// Only the target analyzer's diagnostics count; requirement passes
+	// (inspect, ctrlflow) report nothing anyway.
+	if err := runPass(a); err != nil {
+		t.Fatal(err)
+	}
+
+	compare(t, fset, files, got)
+}
+
+// chainImporter resolves fabricated testdata paths from the already-
+// checked set and everything else (the stdlib) from GOROOT source.
+type chainImporter struct {
+	checked  map[string]*types.Package
+	fallback types.Importer
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	if p, ok := c.checked[path]; ok {
+		return p, nil
+	}
+	return c.fallback.Import(path)
+}
+
+func checkPackage(fset *token.FileSet, imp types.Importer, p Package) ([]*ast.File, *types.Info, *types.Package, error) {
+	entries, err := os.ReadDir(p.Dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(p.Dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil, nil, fmt.Errorf("no .go files in %s", p.Dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(p.Path, fset, files, info)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return files, info, pkg, nil
+}
+
+// factStore is the map-backed stand-in for the driver's fact
+// serialization. Facts flow only within one package's pass graph here,
+// which is all ctrlflow needs in these tests.
+type factStore struct {
+	objFacts map[factKey]analysis.Fact
+}
+
+type factKey struct {
+	obj types.Object
+	typ reflect.Type
+}
+
+func newFactStore() *factStore {
+	return &factStore{objFacts: make(map[factKey]analysis.Fact)}
+}
+
+func (s *factStore) exportObjectFact(obj types.Object, fact analysis.Fact) {
+	s.objFacts[factKey{obj, reflect.TypeOf(fact)}] = fact
+}
+
+func (s *factStore) importObjectFact(obj types.Object, fact analysis.Fact) bool {
+	stored, ok := s.objFacts[factKey{obj, reflect.TypeOf(fact)}]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(stored).Elem())
+	return true
+}
+
+func (s *factStore) importPackageFact(*types.Package, analysis.Fact) bool { return false }
+
+// expectation is one `// want "re"` comment.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+var wantRe = regexp.MustCompile("(?:\"((?:[^\"\\\\]|\\\\.)*)\")|(?:`([^`]*)`)")
+
+// parseWants extracts expectations from the files' comments. A comment
+// `// want "re1" "re2"` expects both regexps to match diagnostics on the
+// comment's own line.
+func parseWants(t *testing.T, fset *token.FileSet, files []*ast.File) []expectation {
+	t.Helper()
+	var wants []expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, m := range wantRe.FindAllStringSubmatch(rest, -1) {
+					raw := m[2]
+					if m[1] != "" {
+						unq, err := strconv.Unquote(`"` + m[1] + `"`)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %q: %v", pos, m[1], err)
+						}
+						raw = unq
+					}
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, raw, err)
+					}
+					wants = append(wants, expectation{pos.Filename, pos.Line, re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func compare(t *testing.T, fset *token.FileSet, files []*ast.File, got []analysis.Diagnostic) {
+	t.Helper()
+	wants := parseWants(t, fset, files)
+
+	matched := make([]bool, len(got))
+	for _, w := range wants {
+		found := false
+		for i, d := range got {
+			if matched[i] {
+				continue
+			}
+			pos := fset.Position(d.Pos)
+			if pos.Filename == w.file && pos.Line == w.line && w.re.MatchString(d.Message) {
+				matched[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: no diagnostic matching %q", filepath.Base(w.file), w.line, w.re)
+		}
+	}
+	var unexpected []string
+	for i, d := range got {
+		if !matched[i] {
+			pos := fset.Position(d.Pos)
+			unexpected = append(unexpected, fmt.Sprintf("%s:%d: unexpected diagnostic: %s", filepath.Base(pos.Filename), pos.Line, d.Message))
+		}
+	}
+	sort.Strings(unexpected)
+	for _, u := range unexpected {
+		t.Error(u)
+	}
+}

@@ -1,0 +1,51 @@
+package boostvet_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/ioa-lab/boosting/internal/analysis/atest"
+	"github.com/ioa-lab/boosting/internal/analysis/boostvet"
+)
+
+const mod = "github.com/ioa-lab/boosting"
+
+func td(elem string) string {
+	return filepath.Join("testdata", "src", elem)
+}
+
+func TestDeterminism(t *testing.T) {
+	atest.Run(t, boostvet.DeterminismAnalyzer,
+		atest.Package{Path: mod + "/internal/server", Dir: td("determinism")})
+}
+
+// A cmd/ package is outside the determinism scope: time.Now there is fine.
+func TestDeterminismOutOfScope(t *testing.T) {
+	atest.Run(t, boostvet.DeterminismAnalyzer,
+		atest.Package{Path: mod + "/cmd/oos", Dir: td("determinism_oos")})
+}
+
+// graphclose needs the producer/carrier types: the stub explore and façade
+// packages are checked first under their real import paths, then the
+// target package exercises the leak shapes against them.
+func TestGraphClose(t *testing.T) {
+	atest.Run(t, boostvet.GraphCloseAnalyzer,
+		atest.Package{Path: mod + "/internal/explore", Dir: td("explore")},
+		atest.Package{Path: mod, Dir: td("boosting")},
+		atest.Package{Path: mod + "/cmd/a", Dir: td("graphclose")})
+}
+
+func TestStoreBounds(t *testing.T) {
+	atest.Run(t, boostvet.StoreBoundsAnalyzer,
+		atest.Package{Path: mod + "/internal/storex", Dir: td("storebounds")})
+}
+
+func TestTypedErr(t *testing.T) {
+	atest.Run(t, boostvet.TypedErrAnalyzer,
+		atest.Package{Path: mod + "/cmd/t", Dir: td("typederr")})
+}
+
+func TestCtxFlow(t *testing.T) {
+	atest.Run(t, boostvet.CtxFlowAnalyzer,
+		atest.Package{Path: mod + "/internal/server", Dir: td("ctxflow")})
+}

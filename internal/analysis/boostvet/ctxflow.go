@@ -1,0 +1,124 @@
+package boostvet
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// CtxFlowAnalyzer guards cancellation: in internal/{explore,server} — the
+// packages whose loops run for minutes on large frontiers and whose jobs
+// the boostd pool must be able to abandon — a function that accepts a
+// context.Context must actually let it interrupt the work. Concretely:
+//
+//   - calls must not manufacture a fresh context.Background()/TODO()
+//     while a caller's ctx is in scope (that detaches the callee from
+//     cancellation); in functions without a ctx parameter a root context
+//     is still flagged — a deliberate detachment (a job that must outlive
+//     its submitting request) carries an ignore directive saying so.
+//     Test files are exempt: tests own their root contexts;
+//   - every unbounded loop (`for { ... }` / `for cond { ... }`) in the
+//     function must either mention the context — forwarding it to a
+//     callee, polling ctx.Err(), or selecting on ctx.Done() — or be
+//     provably short some other way. Counted loops (`for i := ...`) and
+//     range loops are bounded by their data and are exempt.
+//
+// The check is intentionally a mention-check, not a dataflow proof: the
+// engine's convention (`ctxErr(ctx)` once per level or per item) makes
+// any genuine poll or forward syntactically visible in the loop.
+var CtxFlowAnalyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "check that context.Context parameters in internal/{explore,server} are threaded into loop-bearing " +
+		"callees or polled inside unbounded loops",
+	Run: runCtxFlow,
+}
+
+var ctxFlowScope = map[string]bool{
+	"internal/explore": true,
+	"internal/server":  true,
+}
+
+func runCtxFlow(pass *analysis.Pass) (any, error) {
+	rel, inModule := pkgRel(pass.Pkg)
+	if !inModule || !ctxFlowScope[rel] {
+		return nil, nil
+	}
+	ig := newIgnorer(pass)
+
+	for _, file := range pass.Files {
+		if isTestFile(pass, file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				return true
+			}
+			checkCtxFlow(pass, ig, fn.Body, ctxParam(pass, fn))
+			return false
+		})
+	}
+	return nil, nil
+}
+
+// ctxParam returns the object of the first context.Context parameter.
+func ctxParam(pass *analysis.Pass, fn *ast.FuncDecl) types.Object {
+	if fn.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fn.Type.Params.List {
+		t := pass.TypesInfo.TypeOf(field.Type)
+		if !isContextType(t) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name != "_" {
+				return pass.TypesInfo.Defs[name]
+			}
+		}
+	}
+	return nil
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+func checkCtxFlow(pass *analysis.Pass, ig *ignorer, body *ast.BlockStmt, ctxObj types.Object) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			fn := funcOf(pass, n)
+			if isPkgFunc(fn, "context", "Background") || isPkgFunc(fn, "context", "TODO") {
+				if ctxObj != nil {
+					ig.report(pass, "ctxflow", n.Pos(),
+						"context.%s() while the caller's ctx is in scope detaches this call chain from cancellation: thread ctx instead", fn.Name())
+				} else {
+					ig.report(pass, "ctxflow", n.Pos(),
+						"context.%s() manufactures a root context in the exploration/serving layer: accept a caller ctx, or document the deliberate detachment with an ignore directive", fn.Name())
+				}
+			}
+		case *ast.ForStmt:
+			if ctxObj == nil {
+				return true
+			}
+			// Counted loops (`for i := 0; i < n; i++`) terminate with
+			// their bound; only condition-less and condition-only loops
+			// can spin for the life of a large exploration.
+			if n.Init != nil || n.Post != nil {
+				return true
+			}
+			if !usesObject(pass.TypesInfo, n, ctxObj) {
+				ig.report(pass, "ctxflow", n.Pos(),
+					"unbounded loop never consults ctx: poll ctx.Err()/select on ctx.Done() or forward ctx to the callee doing the work")
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,66 @@
+// Positive, suppressed and negative cases for the ctxflow analyzer.
+// Type-checked as github.com/ioa-lab/boosting/internal/server, which is
+// inside the cancellation scope.
+package server
+
+import "context"
+
+func work() {}
+
+func step(ctx context.Context) {}
+
+func detached(ctx context.Context) {
+	step(context.Background()) // want `detaches this call chain from cancellation`
+}
+
+func rootCtx() {
+	ctx := context.Background() // want `manufactures a root context`
+	step(ctx)
+}
+
+// The job-outlives-its-request shape: deliberate detachment, documented.
+func rootCtxWaived() {
+	ctx := context.Background() //lint:boostvet-ignore ctxflow — job lifetime is owned by the server
+	step(ctx)
+}
+
+func spin(ctx context.Context, ch chan int) {
+	for { // want `unbounded loop never consults ctx`
+		select {
+		case <-ch:
+		}
+	}
+}
+
+func polls(ctx context.Context, ch chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ch:
+		}
+	}
+}
+
+func forwards(ctx context.Context, n int) {
+	for {
+		step(ctx)
+		if n == 0 {
+			return
+		}
+		n--
+	}
+}
+
+// Counted and range loops are bounded by their data.
+func counted(ctx context.Context, n int) {
+	for i := 0; i < n; i++ {
+		work()
+	}
+}
+
+func ranges(ctx context.Context, xs []int) {
+	for range xs {
+		work()
+	}
+}

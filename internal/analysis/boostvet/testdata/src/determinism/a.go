@@ -1,0 +1,54 @@
+// Positive, suppressed and negative cases for the determinism analyzer.
+// Type-checked as github.com/ioa-lab/boosting/internal/server, which is
+// inside the deterministic-exploration scope.
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+func wallClock() int64 {
+	return time.Now().Unix() // want `time.Now in the deterministic-exploration scope`
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time.Since in the deterministic-exploration scope`
+}
+
+func globalRand() int {
+	return rand.Int() // want `math/rand.Int in the deterministic-exploration scope`
+}
+
+func seededButUndocumented(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // want `math/rand.New in the deterministic` `math/rand.NewSource in the deterministic`
+}
+
+// The sanctioned construction site carries a documented waiver; methods on
+// the resulting *rand.Rand are not flagged (the hazard is the source).
+func seededDocumented(seed int64) int {
+	rng := rand.New(rand.NewSource(seed)) //lint:boostvet-ignore determinism — explicitly seeded replay path
+	return rng.Intn(10)
+}
+
+func mapOrderEmission(w *strings.Builder, m map[string]int) {
+	for k, v := range m { // want `map iteration feeds fmt.Fprintf`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// Collect-then-sort is the sanctioned pattern: append is not a sink, and
+// the emitting loop ranges over a sorted slice, not the map.
+func sortedEmission(w *strings.Builder, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}

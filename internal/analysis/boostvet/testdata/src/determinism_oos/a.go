@@ -1,0 +1,8 @@
+// Negative scope case: cmd/ packages are outside the deterministic-
+// exploration scope, so wall-clock reads here are fine (the CLIs print
+// timings on purpose).
+package oos
+
+import "time"
+
+func now() int64 { return time.Now().Unix() }

@@ -1,0 +1,73 @@
+// Positive, suppressed and negative cases for the typederr analyzer.
+package t
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrMalformed = errors.New("malformed record")
+
+type LimitError struct{ Limit int }
+
+func (e *LimitError) Error() string { return fmt.Sprintf("state limit %d exceeded", e.Limit) }
+
+func stringCompare(err error) bool {
+	return err.Error() == "explore: state limit exceeded" // want `comparing err.Error`
+}
+
+func stringCompareFlipped(err error) bool {
+	return "explore: state limit exceeded" != err.Error() // want `comparing err.Error`
+}
+
+func sentinelCompare(err error) bool {
+	return err == ErrMalformed // want `direct comparison against sentinel ErrMalformed`
+}
+
+func assertion(err error) int {
+	if le, ok := err.(*LimitError); ok { // want `type assertion on .*LimitError loses wrapped errors`
+		return le.Limit
+	}
+	return 0
+}
+
+func typeSwitch(err error) int {
+	switch e := err.(type) {
+	case *LimitError: // want `type-switch case on .*LimitError loses wrapped errors`
+		return e.Limit
+	default:
+		return 0
+	}
+}
+
+func flattenWrap(err error) error {
+	return fmt.Errorf("hook search: %v", err) // want `fmt.Errorf formats an error without %w`
+}
+
+// The codec layer compares identity on purpose at one site; the waiver
+// documents that the sentinel is never wrapped there.
+func waived(err error) bool {
+	//lint:boostvet-ignore typederr — identity comparison on the unwrapped decode path
+	return err == ErrMalformed
+}
+
+// The sanctioned forms.
+func sentinelIs(err error) bool {
+	return errors.Is(err, ErrMalformed)
+}
+
+func errorsAs(err error) int {
+	var le *LimitError
+	if errors.As(err, &le) {
+		return le.Limit
+	}
+	return 0
+}
+
+func properWrap(err error) error {
+	return fmt.Errorf("hook search: %w", err)
+}
+
+func nilCheck(err error) bool {
+	return err == nil
+}

@@ -1,0 +1,184 @@
+package boostvet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// TypedErrAnalyzer guards the typed-error discipline at the façade:
+// *LimitError, *ConflictError, codec.ErrMalformed and friends survive the
+// trip to callers only if every intermediate layer wraps with %w and every
+// check goes through errors.Is/errors.As. A single string comparison or a
+// bare %v in the chain silently breaks `errors.As(err, &limit)` for every
+// caller downstream.
+//
+// Module-wide (the callers in cmd/ and examples/ are exactly where the
+// discipline decays), it flags:
+//
+//   - err.Error() compared against a string literal;
+//   - ==/!= against a package-level error sentinel (use errors.Is);
+//   - a type assertion or type-switch case on a concrete module error
+//     type (use errors.As);
+//   - fmt.Errorf with an error argument but no %w verb in the format.
+//
+// Test files are exempt: golden-message assertions legitimately compare
+// rendered strings.
+var TypedErrAnalyzer = &analysis.Analyzer{
+	Name: "typederr",
+	Doc: "check that typed/sentinel errors are wrapped with %w and checked via errors.Is/errors.As, " +
+		"never string-compared or type-asserted",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runTypedErr,
+}
+
+func runTypedErr(pass *analysis.Pass) (any, error) {
+	if _, inModule := pkgRel(pass.Pkg); !inModule {
+		return nil, nil
+	}
+	ig := newIgnorer(pass)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	errorType := types.Universe.Lookup("error").Type()
+	errorIface := errorType.Underlying().(*types.Interface)
+	isErr := func(t types.Type) bool {
+		return t != nil && types.Implements(t, errorIface)
+	}
+
+	ins.WithStack([]ast.Node{
+		(*ast.BinaryExpr)(nil),
+		(*ast.TypeAssertExpr)(nil),
+		(*ast.TypeSwitchStmt)(nil),
+		(*ast.CallExpr)(nil),
+	}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push || isTestFile(pass, stack[0].(*ast.File)) {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if n.Op != token.EQL && n.Op != token.NEQ {
+				return true
+			}
+			checkErrComparison(pass, ig, n, isErr)
+		case *ast.TypeAssertExpr:
+			if n.Type == nil { // the `x.(type)` of a type switch; handled below
+				return true
+			}
+			if !isErr(pass.TypesInfo.TypeOf(n.X)) {
+				return true
+			}
+			if t := pass.TypesInfo.TypeOf(n.Type); isConcreteModuleError(t, isErr) {
+				ig.report(pass, "typederr", n.Pos(),
+					"type assertion on %s loses wrapped errors: use errors.As", types.TypeString(t, nil))
+			}
+		case *ast.TypeSwitchStmt:
+			checkErrTypeSwitch(pass, ig, n, isErr)
+		case *ast.CallExpr:
+			checkErrorfWrap(pass, ig, n, isErr)
+		}
+		return true
+	})
+	return nil, nil
+}
+
+func checkErrComparison(pass *analysis.Pass, ig *ignorer, n *ast.BinaryExpr, isErr func(types.Type) bool) {
+	// err.Error() == "..." in either orientation.
+	for _, pair := range [2][2]ast.Expr{{n.X, n.Y}, {n.Y, n.X}} {
+		if call, ok := ast.Unparen(pair[0]).(*ast.CallExpr); ok {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Error" && isErr(pass.TypesInfo.TypeOf(sel.X)) {
+				if lit, ok := ast.Unparen(pair[1]).(*ast.BasicLit); ok && lit.Kind == token.STRING {
+					ig.report(pass, "typederr", n.Pos(),
+						"comparing err.Error() against a string breaks on wrapping: use errors.Is against the sentinel")
+					return
+				}
+			}
+		}
+	}
+	// err == ErrSentinel where the sentinel is a module package-level var.
+	if !isErr(pass.TypesInfo.TypeOf(n.X)) || !isErr(pass.TypesInfo.TypeOf(n.Y)) {
+		return
+	}
+	for _, side := range []ast.Expr{n.X, n.Y} {
+		var obj types.Object
+		switch e := ast.Unparen(side).(type) {
+		case *ast.Ident:
+			obj = pass.TypesInfo.Uses[e]
+		case *ast.SelectorExpr:
+			obj = pass.TypesInfo.Uses[e.Sel]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok || v.Pkg() == nil || !inModulePkg(v.Pkg()) {
+			continue
+		}
+		// Package-level sentinel: parent scope is the package scope.
+		if v.Parent() == v.Pkg().Scope() {
+			ig.report(pass, "typederr", n.Pos(),
+				"direct comparison against sentinel %s misses wrapped errors: use errors.Is(err, %s)", v.Name(), v.Name())
+			return
+		}
+	}
+}
+
+func checkErrTypeSwitch(pass *analysis.Pass, ig *ignorer, n *ast.TypeSwitchStmt, isErr func(types.Type) bool) {
+	// Subject: `switch x := err.(type)` or `switch err.(type)`.
+	var subject ast.Expr
+	switch s := n.Assign.(type) {
+	case *ast.ExprStmt:
+		subject = s.X.(*ast.TypeAssertExpr).X
+	case *ast.AssignStmt:
+		subject = s.Rhs[0].(*ast.TypeAssertExpr).X
+	}
+	if subject == nil || !isErr(pass.TypesInfo.TypeOf(subject)) {
+		return
+	}
+	for _, clause := range n.Body.List {
+		for _, texpr := range clause.(*ast.CaseClause).List {
+			if t := pass.TypesInfo.TypeOf(texpr); isConcreteModuleError(t, isErr) {
+				ig.report(pass, "typederr", texpr.Pos(),
+					"type-switch case on %s loses wrapped errors: use errors.As", types.TypeString(t, nil))
+			}
+		}
+	}
+}
+
+// isConcreteModuleError reports whether t is a concrete (non-interface)
+// error type declared in this module — the shapes errors.As exists for.
+func isConcreteModuleError(t types.Type, isErr func(types.Type) bool) bool {
+	if t == nil || !isErr(t) {
+		return false
+	}
+	if _, iface := t.Underlying().(*types.Interface); iface {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	return ok && named.Obj().Pkg() != nil && inModulePkg(named.Obj().Pkg())
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that format an error value
+// without a %w verb: the cause is flattened to text and errors.Is/As stop
+// seeing it.
+func checkErrorfWrap(pass *analysis.Pass, ig *ignorer, call *ast.CallExpr, isErr func(types.Type) bool) {
+	fn := funcOf(pass, call)
+	if !isPkgFunc(fn, "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING || strings.Contains(lit.Value, "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		if isErr(pass.TypesInfo.TypeOf(arg)) {
+			ig.report(pass, "typederr", call.Pos(),
+				"fmt.Errorf formats an error without %%w: the cause is flattened and errors.Is/errors.As stop matching — wrap it")
+			return
+		}
+	}
+}

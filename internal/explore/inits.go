@@ -23,6 +23,16 @@ type InitClassification struct {
 	Graph *Graph
 }
 
+// Close releases the classification's graph (the spill backend holds two
+// file descriptors per open graph). Nil-tolerant on the receiver and the
+// graph, so `defer c.Close()` is safe straight after the error check.
+func (c *InitClassification) Close() error {
+	if c == nil {
+		return nil
+	}
+	return CloseGraphStore(c.Graph)
+}
+
 // MonotoneAssignment returns the input assignment of α_i: the first i
 // processes (in id order) receive "1", the rest "0".
 func MonotoneAssignment(sys *system.System, i int) map[int]string {

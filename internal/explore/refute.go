@@ -78,6 +78,17 @@ type Report struct {
 // Violated reports whether any certificate was found.
 func (r *Report) Violated() bool { return len(r.Certificates) > 0 }
 
+// Close releases the graph behind the report's initialization analysis
+// (nil-tolerant throughout: a safety-sweep refutation carries no graph).
+// Spill-backed refutations hold two file descriptors until closed, so
+// callers that churn through candidates should `defer report.Close()`.
+func (r *Report) Close() error {
+	if r == nil {
+		return nil
+	}
+	return r.Inits.Close()
+}
+
 // Primary returns the first (most informative) certificate.
 func (r *Report) Primary() *Certificate {
 	if len(r.Certificates) == 0 {

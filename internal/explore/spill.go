@@ -235,6 +235,10 @@ func (s *spillStore) State(id StateID) (system.State, bool) {
 	}
 	st, err := s.dec(s.Fingerprint(id))
 	if err != nil {
+		// The bounds guard above already answered out-of-range; failing
+		// to decode bytes the store itself wrote is unrecoverable
+		// corruption, kept as a panic by design.
+		//lint:boostvet-ignore storebounds — corruption of self-written spill bytes, not a bounds miss
 		panic(fmt.Sprintf("explore: spill store: decode state %d: %v", id, err))
 	}
 	return st, true
@@ -273,9 +277,13 @@ func (s *spillStore) Close() error {
 
 // CloseGraphStore deterministically releases any external resources held by
 // a graph's storage backend — today, the spill backend's two file
-// descriptors. A no-op (nil) for the in-memory backends. The graph must not
-// be used afterwards.
+// descriptors. A no-op (nil) for the in-memory backends and for a nil
+// graph, so error-path cleanup can be an unconditional defer. The graph
+// must not be used afterwards.
 func CloseGraphStore(g *Graph) error {
+	if g == nil {
+		return nil
+	}
 	if s, ok := g.store.(*spillStore); ok {
 		return s.Close()
 	}

@@ -140,6 +140,7 @@ func (a *spillEdges) EdgesFrom(id StateID) iter.Seq[Edge] {
 			}
 			buf = buf[:n]
 			if _, err := a.efile.ReadAt(buf, off); err != nil {
+				//lint:boostvet-ignore storebounds — failed pread of self-written bytes is corruption, not a bounds miss
 				panic(fmt.Sprintf("explore: spill store: read edge block of state %d: %v", id, err))
 			}
 			a.edgeReads.Add(1)
@@ -151,6 +152,7 @@ func (a *spillEdges) EdgesFrom(id StateID) iter.Seq[Edge] {
 		}
 		count, k := binary.Uvarint(block)
 		if k <= 0 {
+			//lint:boostvet-ignore storebounds — undecodable self-written block is corruption, not a bounds miss
 			panic(fmt.Sprintf("explore: spill store: corrupt edge block of state %d", id))
 		}
 		block = block[k:]
@@ -160,6 +162,7 @@ func (a *spillEdges) EdgesFrom(id StateID) iter.Seq[Edge] {
 			ai, k2 := binary.Uvarint(block[k1:])
 			d, k3 := binary.Varint(block[k1+k2:])
 			if k1 <= 0 || k2 <= 0 || k3 <= 0 {
+				//lint:boostvet-ignore storebounds — undecodable self-written block is corruption, not a bounds miss
 				panic(fmt.Sprintf("explore: spill store: corrupt edge block of state %d", id))
 			}
 			block = block[k1+k2+k3:]

@@ -54,7 +54,11 @@ type Job struct {
 }
 
 func newJob(id string, req Request) *Job {
-	ctx, cancel := context.WithCancel(context.Background())
+	// Deliberately detached from the submitting request's context: a job
+	// outlives the HTTP POST that created it and is cancelled through its
+	// own handle (DELETE /v1/jobs/{id}, server drain), never by the
+	// submitter hanging up.
+	ctx, cancel := context.WithCancel(context.Background()) //lint:boostvet-ignore ctxflow — job lifetime is owned by the server, not the submitting request
 	return &Job{
 		ID:      id,
 		Req:     req,
