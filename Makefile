@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-allocs bench-symmetry bench-spill bench-adjacency bench-shards test-spill test-server run-boostd lint vet analyze fmt-check fmt vuln apidiff-baseline apidiff
+.PHONY: all build test race bench bench-allocs bench-symmetry bench-spill bench-adjacency bench-shards bench-incremental test-spill test-server run-boostd lint vet analyze fmt-check fmt vuln apidiff-baseline apidiff
 
 all: build lint test
 
@@ -28,13 +28,14 @@ bench:
 # fingerprint file, incl. the exhaustive forward n=5 build), the E29
 # spilled adjacency (edge file + witness-free builds) and the E30
 # sharded engine (partitioned interning + renumber pass vs the legacy
-# engines), with -benchmem.
+# engines) and the E31 incremental recheck (durable reopen + dirty-region
+# recheck vs full rebuild of a policy variant), with -benchmem.
 # B/op and allocs/op are stable at low iteration counts, so a short
 # fixed benchtime keeps this cheap enough to run per-PR; CI uploads the
 # output as an artifact (bench-allocs.txt) to make allocation
 # regressions visible.
 bench-allocs:
-	@$(GO) test -bench 'BenchmarkBuildGraphWorkers|BenchmarkRefuteWorkers|BenchmarkRunBatchWorkers|BenchmarkFingerprint|BenchmarkStoreBackends|BenchmarkSymmetry$$|BenchmarkSpillStore|BenchmarkSpillAdjacency|BenchmarkSharded' \
+	@$(GO) test -bench 'BenchmarkBuildGraphWorkers|BenchmarkRefuteWorkers|BenchmarkRunBatchWorkers|BenchmarkFingerprint|BenchmarkStoreBackends|BenchmarkSymmetry$$|BenchmarkSpillStore|BenchmarkSpillAdjacency|BenchmarkSharded|BenchmarkIncremental' \
 		-benchmem -benchtime=2x -run '^$$' . > bench-allocs.txt; \
 		status=$$?; cat bench-allocs.txt; exit $$status
 
@@ -64,6 +65,15 @@ bench-adjacency:
 bench-shards:
 	$(GO) test -bench 'BenchmarkSharded' -benchmem -benchtime=2x -run '^$$' .
 
+# The E31 row on its own: the incremental path on the exhaustive forward
+# n=5 graph — commit the adversarial build durably, then answer the
+# benign-policy variant by full rebuild vs durable reopen + dirty-region
+# recheck. The "explored" metric is the states each leg actually
+# re-expanded: 14754 for the rebuild, 0 for the recheck (the benign
+# variant's failure-free graph is provably unchanged).
+bench-incremental:
+	$(GO) test -bench 'BenchmarkIncremental' -benchmem -benchtime=2x -run '^$$' .
+
 # The spill-store slice of the parity suites under a low memory ceiling:
 # graph identity (IDs, edges, valences, reports) of the disk-backed store
 # against dense, serial and parallel, reduced and unreduced, with the Go
@@ -75,10 +85,13 @@ bench-shards:
 # cache would replay passes that never ran under the ceiling.
 # TestShard adds the shard-count invariance suite (and TestSpill now
 # also matches the sharded exhaustive n=6 rebuild), so the sharded
-# engine's spill legs run under the ceiling too.
+# engine's spill legs run under the ceiling too. TestDurable and
+# TestRecheck add the durable graph store: commit, reopen-parity and
+# dirty-region recheck all run under the same ceiling, proving the
+# reattached spill store stays disk-backed.
 test-spill:
-	GOMEMLIMIT=64MiB $(GO) test -count=1 -run 'TestStoreParity|TestGoldenExploration|TestGoldenInfiniteFamilies|TestRefutationReportParity|TestQuotient|TestSpill|TestShard' .
-	GOMEMLIMIT=64MiB $(GO) test -count=1 -run 'TestSpillStore|TestStoreBounds' ./internal/explore/
+	GOMEMLIMIT=64MiB $(GO) test -count=1 -run 'TestStoreParity|TestGoldenExploration|TestGoldenInfiniteFamilies|TestRefutationReportParity|TestQuotient|TestSpill|TestShard|TestDurable|TestWithGraphDir' .
+	GOMEMLIMIT=64MiB $(GO) test -count=1 -run 'TestSpillStore|TestStoreBounds|TestDurable|TestRecheck' ./internal/explore/
 
 # The checking-service suite: the boostd HTTP/SSE/cache end-to-end tests
 # (golden counts, single-flight dedup, isomorphic cache hits, cancel and

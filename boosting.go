@@ -164,6 +164,9 @@ func New(name string, n, f int, opts ...Option) (*Checker, error) {
 	for _, opt := range opts {
 		opt(&cfg)
 	}
+	if err := cfg.validateDurable(); err != nil {
+		return nil, err
+	}
 	sys, err := spec.build(n, f, &cfg)
 	if err != nil {
 		return nil, err

@@ -31,19 +31,82 @@ func (c *Checker) System() *System { return c.sys }
 // Explore builds (a finite fragment of) G(C) from the initialization given
 // by inputs: the failure-free closure of the initialized state under all
 // applicable tasks, with valences computed. Honors the Checker's workers,
-// state budget, store backend, progress and context options.
+// state budget, store backend, progress and context options. On a durable
+// checker (WithGraphDir) the graph is committed to — or, when the
+// directory already holds this exact build, reopened from — the graph
+// directory.
 func (c *Checker) Explore(inputs map[int]string) (*Graph, error) {
+	if err := c.cfg.validateDurable(); err != nil {
+		return nil, err
+	}
 	root, err := explore.ApplyInputs(c.sys, inputs)
 	if err != nil {
 		return nil, err
 	}
-	return explore.BuildGraph(c.sys, []State{root}, c.cfg.buildOptions())
+	opt := c.cfg.buildOptions()
+	if opt.GraphDir != "" {
+		// The full identity of this build: the candidate identity plus the
+		// canonicalized root — Explore's root set is the one degree of
+		// freedom CanonicalFingerprint's monotone roots do not pin.
+		rootFp, err := c.CanonicalRootFingerprint(inputs)
+		if err != nil {
+			return nil, err
+		}
+		opt.GraphID = append(c.CanonicalFingerprint(), rootFp...)
+	}
+	return explore.BuildOrReopenGraph(c.sys, []State{root}, opt)
 }
 
 // ClassifyInits performs the Lemma 4 sweep: build G(C) from all n+1
-// monotone initializations and classify each root by valence.
+// monotone initializations and classify each root by valence. On a
+// durable checker (WithGraphDir) the shared graph is committed to — or
+// reopened from — the graph directory; CanonicalFingerprint, which
+// already pins the monotone roots, is its recorded identity.
 func (c *Checker) ClassifyInits() (*InitClassification, error) {
-	return explore.ClassifyInits(c.sys, c.cfg.buildOptions())
+	if err := c.cfg.validateDurable(); err != nil {
+		return nil, err
+	}
+	opt := c.cfg.buildOptions()
+	if opt.GraphDir != "" {
+		opt.GraphID = c.CanonicalFingerprint()
+	}
+	return explore.ClassifyInits(c.sys, opt)
+}
+
+// OpenGraph reattaches a committed durable graph directory — one written
+// by a WithGraphDir build — as a read-only graph, without exploring a
+// state. The Checker's system must be shape-compatible with the system
+// the graph was built from (same processes and service structure; the
+// programs, resilience and silence policy may differ — those are what
+// Recheck revalidates). Validation failures are typed *ManifestError
+// values. Close the graph with CloseGraph.
+func (c *Checker) OpenGraph(dir string) (*Graph, error) {
+	return explore.OpenGraph(c.sys, dir, explore.OpenOptions{})
+}
+
+// Recheck revalidates this Checker's candidate against a previously built
+// graph — typically one reopened via OpenGraph from a durable directory
+// committed by an earlier, slightly different candidate. Only the dirty
+// region (base states whose enabled-action sets changed) and the fresh
+// frontier growing out of it are re-explored; everything else is reused.
+// The result carries the spliced graph, the monotone roots' valences
+// (the Lemma 4 sweep on the modified candidate) and the dirty/fresh
+// accounting. Close the result, not prev — it owns prev's store.
+func (c *Checker) Recheck(prev *Graph) (*RecheckResult, error) {
+	n := len(c.sys.ProcessIDs())
+	roots := make([]State, 0, n+1)
+	for i := 0; i <= n; i++ {
+		st, err := explore.ApplyInputs(c.sys, explore.MonotoneAssignment(c.sys, i))
+		if err != nil {
+			return nil, err
+		}
+		roots = append(roots, st)
+	}
+	opt := c.cfg.buildOptions()
+	// A recheck never commits: it layers an in-memory delta over the
+	// (possibly durable) base graph.
+	opt.GraphDir = ""
+	return explore.Recheck(c.sys, prev, roots, opt)
 }
 
 // FindHook runs the Fig. 3 round-robin construction from a bivalent vertex
@@ -75,6 +138,9 @@ func (c *Checker) Refute(claimed int) (*Report, error) {
 	if err := c.witnessConflict("Refute"); err != nil {
 		return nil, err
 	}
+	if err := c.durableConflict("Refute"); err != nil {
+		return nil, err
+	}
 	return explore.Refute(c.sys, claimed, c.refuteOptions())
 }
 
@@ -85,7 +151,28 @@ func (c *Checker) RefuteKSet(k, claimed int) (*Report, error) {
 	if err := c.witnessConflict("RefuteKSet"); err != nil {
 		return nil, err
 	}
+	if err := c.durableConflict("RefuteKSet"); err != nil {
+		return nil, err
+	}
 	return explore.RefuteKSet(c.sys, k, claimed, c.refuteOptions())
+}
+
+// durableConflict rejects the refuters on a durable checker: a graph
+// directory holds exactly one committed graph, and a refutation builds
+// several (the classification sweep plus scenario graphs). Durable
+// storage composes with Explore and ClassifyInits, which build one.
+func (c *Checker) durableConflict(method string) error {
+	if c.cfg.graphDir == "" {
+		return nil
+	}
+	if err := c.cfg.validateDurable(); err != nil {
+		return err
+	}
+	return &ConflictError{
+		Option: "WithGraphDir(" + c.cfg.graphDir + ")",
+		With:   method,
+		Reason: "a durable graph directory holds exactly one committed graph; refutations build several — use ClassifyInits or Explore with durable storage",
+	}
 }
 
 // witnessConflict rejects witness-producing refutations on a Checker

@@ -10,6 +10,7 @@ type (
 	Graph              = explore.Graph
 	InitClassification = explore.InitClassification
 	Report             = explore.Report
+	RecheckResult      = explore.RecheckResult
 	StateID            = explore.StateID
 )
 
@@ -36,3 +37,7 @@ func (c *Checker) Refute(claim int) (*Report, error) {
 	}
 	return &Report{Claimed: claim, Inits: inits}, nil
 }
+
+func (c *Checker) OpenGraph(dir string) (*Graph, error) { return explore.OpenGraph(dir) }
+
+func (c *Checker) Recheck(prev *Graph) (*RecheckResult, error) { return explore.Recheck(prev) }

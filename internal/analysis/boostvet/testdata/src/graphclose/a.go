@@ -129,6 +129,61 @@ func stash(h *holder) error {
 	return nil
 }
 
+// A reopened durable graph holds the same descriptors as a fresh build:
+// dropping the handle at a return leaks exactly like the build shapes.
+func leakReopen() error {
+	chk, err := boosting.NewChecker()
+	if err != nil {
+		return err
+	}
+	g, err := chk.OpenGraph("graphs/forward")
+	if err != nil {
+		return err
+	}
+	fmt.Println(g.Size())
+	return nil // want `graph from OpenGraph is not closed on this path`
+}
+
+// A recheck result owns the reopened base graph through its exported
+// Graph field; falling off the end without Close leaks the base store.
+func leakRecheck() error {
+	chk, err := boosting.NewChecker()
+	if err != nil {
+		return err
+	}
+	prev, err := chk.OpenGraph("graphs/forward")
+	if err != nil {
+		return err
+	}
+	res, err := chk.Recheck(prev)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.ReachableStates)
+	return nil // want `graph from Recheck is not closed on this path`
+}
+
+// The canonical incremental idiom: Recheck takes ownership of the
+// reopened base on success, so one deferred Close on the result covers
+// both handles on every subsequent exit.
+func recheckClose() error {
+	chk, err := boosting.NewChecker()
+	if err != nil {
+		return err
+	}
+	prev, err := chk.OpenGraph("graphs/forward")
+	if err != nil {
+		return err
+	}
+	res, err := chk.Recheck(prev)
+	if err != nil {
+		return err
+	}
+	defer res.Close()
+	fmt.Println(res.Dirty, res.Fresh)
+	return nil
+}
+
 // Process exits end paths: descriptors do not outlive the process.
 func exits() {
 	chk, err := boosting.NewChecker()

@@ -21,6 +21,7 @@ type Common struct {
 	MaxStates int
 	Store     string
 	SpillDir  string
+	GraphDir  string
 	NoWitness bool
 	Symmetry  bool
 }
@@ -37,6 +38,10 @@ func Register(fs *flag.FlagSet) *Common {
 	// -spilldir can reject every explicit conflicting backend.
 	fs.StringVar(&c.Store, "store", "", "state store backend: dense | hash64 | hash128 | spill (default dense)")
 	fs.StringVar(&c.SpillDir, "spilldir", "", "directory for spill files (implies -store spill; default: OS temp dir)")
+	// Same empty-sentinel discipline as -store/-spilldir: "" means "not
+	// requested", so the conflict matrix in Options can name exactly the
+	// flags the user actually set.
+	fs.StringVar(&c.GraphDir, "graphdir", "", "durable graph directory: commit the built graph for later reopening and incremental recheck (implies -store spill; conflicts with -spilldir and -shards)")
 	fs.BoolVar(&c.NoWitness, "nowitness", false, "drop witness predecessor links (counts and valences only; conflicts with witness-producing analyses)")
 	fs.BoolVar(&c.Symmetry, "symmetry", false, "canonicalize states modulo process renaming (quotient graph; symmetric families only)")
 	return c
@@ -97,13 +102,30 @@ func (c *Common) Options() ([]boosting.Option, error) {
 		}
 		store = boosting.SpillStore
 	}
+	if c.GraphDir != "" {
+		// Mirror the façade's WithGraphDir conflict matrix at the flag
+		// layer, so errors name the flags the user typed rather than the
+		// options they lower to.
+		if c.SpillDir != "" {
+			return nil, fmt.Errorf("-graphdir conflicts with -spilldir (the durable graph owns its directory; ephemeral spill files go elsewhere automatically)")
+		}
+		if c.Store != "" && store != boosting.SpillStore {
+			return nil, fmt.Errorf("-graphdir requires -store spill (got -store %s)", c.Store)
+		}
+		if c.Shards > 0 {
+			return nil, fmt.Errorf("-graphdir conflicts with -shards (the sharded engine renumbers into a dense store, which is not durable)")
+		}
+		store = boosting.SpillStore
+	}
 	opts := []boosting.Option{
 		boosting.WithWorkers(c.Workers),
 		boosting.WithShards(c.Shards),
 		boosting.WithMaxStates(c.MaxStates),
 		boosting.WithStore(store),
 	}
-	if store == boosting.SpillStore {
+	if c.GraphDir != "" {
+		opts = append(opts, boosting.WithGraphDir(c.GraphDir))
+	} else if store == boosting.SpillStore {
 		opts = append(opts, boosting.WithSpillDir(c.SpillDir))
 	}
 	if c.NoWitness {

@@ -2,6 +2,7 @@ package cliflags
 
 import (
 	"flag"
+	"strings"
 	"testing"
 	"time"
 
@@ -154,5 +155,97 @@ func TestOptionsSpillDirConflict(t *testing.T) {
 	}
 	if _, err := c.Options(); err != nil {
 		t.Errorf("Options rejected -store spill with -spilldir: %v", err)
+	}
+}
+
+// TestOptionsGraphDirConflicts: the -graphdir conflict matrix. Every
+// combination the durable store cannot honor errors at the flag layer
+// with a message naming both flags; the valid combinations lower to a
+// WithGraphDir build that actually commits a reopenable graph.
+func TestOptionsGraphDirConflicts(t *testing.T) {
+	conflicts := []struct {
+		name  string
+		args  []string
+		wants []string // substrings the error must carry (both flag names)
+	}{
+		{
+			name:  "spilldir",
+			args:  []string{"-graphdir", t.TempDir(), "-spilldir", t.TempDir()},
+			wants: []string{"-graphdir", "-spilldir"},
+		},
+		{
+			name:  "explicit dense store",
+			args:  []string{"-graphdir", t.TempDir(), "-store", "dense"},
+			wants: []string{"-graphdir", "-store"},
+		},
+		{
+			name:  "explicit hash64 store",
+			args:  []string{"-graphdir", t.TempDir(), "-store", "hash64"},
+			wants: []string{"-graphdir", "-store"},
+		},
+		{
+			name:  "explicit hash128 store",
+			args:  []string{"-graphdir", t.TempDir(), "-store", "hash128"},
+			wants: []string{"-graphdir", "-store"},
+		},
+		{
+			name:  "shards",
+			args:  []string{"-graphdir", t.TempDir(), "-shards", "2"},
+			wants: []string{"-graphdir", "-shards"},
+		},
+	}
+	for _, tc := range conflicts {
+		t.Run(tc.name, func(t *testing.T) {
+			fs := flag.NewFlagSet("test", flag.ContinueOnError)
+			c := Register(fs)
+			if err := fs.Parse(tc.args); err != nil {
+				t.Fatal(err)
+			}
+			_, err := c.Options()
+			if err == nil {
+				t.Fatalf("Options accepted %v", tc.args)
+			}
+			for _, want := range tc.wants {
+				if !strings.Contains(err.Error(), want) {
+					t.Errorf("error %q does not name %s", err, want)
+				}
+			}
+		})
+	}
+
+	// Valid combinations: bare -graphdir (implies -store spill) and the
+	// explicit -store spill -graphdir pair both commit a durable graph.
+	for _, args := range [][]string{
+		{"-graphdir", ""}, // placeholder, replaced per iteration below
+		{"-store", "spill", "-graphdir", ""},
+	} {
+		dir := t.TempDir()
+		args[len(args)-1] = dir
+		fs := flag.NewFlagSet("test", flag.ContinueOnError)
+		c := Register(fs)
+		if err := fs.Parse(args); err != nil {
+			t.Fatal(err)
+		}
+		opts, err := c.Options()
+		if err != nil {
+			t.Fatalf("Options rejected %v: %v", args, err)
+		}
+		chk, err := boosting.New("forward", 2, 0, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := chk.ClassifyInits()
+		if err != nil {
+			t.Fatalf("args %v: %v", args, err)
+		}
+		if _, ok := boosting.GraphManifest(res.Graph); !ok {
+			t.Errorf("args %v: build committed no durable manifest", args)
+		}
+		if err := res.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if !boosting.HasGraph(dir) {
+			t.Errorf("args %v: no manifest in %s after the build", args, dir)
+		}
 	}
 }

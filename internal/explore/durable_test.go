@@ -1,0 +1,276 @@
+package explore_test
+
+// Durable graph store acceptance suite: a graph built with
+// BuildOptions.GraphDir and reopened with OpenGraph must be per-ID and
+// per-edge IDENTICAL to the freshly built graph — same StateIDs,
+// fingerprints, edges, valences, roots and witness links — across
+// ±symmetry and ±witnesses; every way a committed directory can be
+// damaged or mismatched must surface as a typed *ManifestError.
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/ioa-lab/boosting/internal/explore"
+	"github.com/ioa-lab/boosting/internal/service"
+	"github.com/ioa-lab/boosting/internal/system"
+)
+
+// monotoneRoots builds the α_0 … α_n monotone input roots ClassifyInits
+// explores from.
+func monotoneRoots(t testing.TB, sys *system.System) []system.State {
+	t.Helper()
+	n := len(sys.ProcessIDs())
+	roots := make([]system.State, 0, n+1)
+	for i := 0; i <= n; i++ {
+		st, err := explore.ApplyInputs(sys, explore.MonotoneAssignment(sys, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		roots = append(roots, st)
+	}
+	return roots
+}
+
+// requireIdentical asserts got is the same graph as ref, per ID and per
+// edge: sizes, roots, fingerprints, successor sequences and valences.
+func requireIdentical(t *testing.T, ref, got *explore.Graph, witnesses bool) {
+	t.Helper()
+	if got.Size() != ref.Size() || got.Edges() != ref.Edges() {
+		t.Fatalf("size/edges: got %d/%d, want %d/%d", got.Size(), got.Edges(), ref.Size(), ref.Edges())
+	}
+	refRoots, gotRoots := ref.Roots(), got.Roots()
+	if len(refRoots) != len(gotRoots) {
+		t.Fatalf("roots: got %v, want %v", gotRoots, refRoots)
+	}
+	for i := range refRoots {
+		if refRoots[i] != gotRoots[i] {
+			t.Fatalf("root %d: got %d, want %d", i, gotRoots[i], refRoots[i])
+		}
+	}
+	for id := 0; id < ref.Size(); id++ {
+		sid := explore.StateID(id)
+		if rf, gf := ref.Fingerprint(sid), got.Fingerprint(sid); rf != gf {
+			t.Fatalf("state %d: fingerprint %q != %q", id, gf, rf)
+		}
+		re, ge := ref.Succs(sid), got.Succs(sid)
+		if len(re) != len(ge) {
+			t.Fatalf("state %d: %d succs, want %d", id, len(ge), len(re))
+		}
+		for j := range re {
+			if re[j] != ge[j] {
+				t.Fatalf("state %d edge %d: got %+v, want %+v", id, j, ge[j], re[j])
+			}
+		}
+		if rv, gv := ref.Valence(sid), got.Valence(sid); rv != gv {
+			t.Fatalf("state %d: valence %v, want %v", id, gv, rv)
+		}
+		if witnesses {
+			rp, gp := ref.WitnessPath(sid), got.WitnessPath(sid)
+			if len(rp) != len(gp) {
+				t.Fatalf("state %d: witness path length %d, want %d", id, len(gp), len(rp))
+			}
+			for j := range rp {
+				if rp[j] != gp[j] {
+					t.Fatalf("state %d witness edge %d: got %+v, want %+v", id, j, gp[j], rp[j])
+				}
+			}
+		}
+	}
+}
+
+// TestDurableReopenParity is the tentpole acceptance test of the durable
+// store: for ±symmetry × ±witnesses, the durable spill build equals the
+// dense reference build, and the graph reopened from the committed
+// directory equals both — without exploring a state.
+func TestDurableReopenParity(t *testing.T) {
+	sys := mustForward(t, 3, 1, service.Adversarial)
+	roots := monotoneRoots(t, sys)
+	for _, canon := range []explore.Canonicalizer{nil, forwardCanon(t, sys, 3)} {
+		for _, noWit := range []bool{false, true} {
+			label := "plain"
+			if canon != nil {
+				label = "symmetry"
+			}
+			if noWit {
+				label += "-nowitness"
+			}
+			t.Run(label, func(t *testing.T) {
+				ref, err := explore.BuildGraph(sys, roots, explore.BuildOptions{
+					Workers: 1, Symmetry: canon, NoWitnesses: noWit})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer explore.CloseGraphStore(ref)
+
+				dir := t.TempDir()
+				id := []byte("test-graph-id-" + label)
+				built, err := explore.BuildGraph(sys, roots, explore.BuildOptions{
+					Workers: 1, Store: explore.StoreSpill, Symmetry: canon,
+					NoWitnesses: noWit, GraphDir: dir, GraphID: id})
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireIdentical(t, ref, built, !noWit)
+				if err := explore.CloseGraphStore(built); err != nil {
+					t.Fatal(err)
+				}
+
+				reopened, err := explore.OpenGraph(sys, dir, explore.OpenOptions{GraphID: id})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer explore.CloseGraphStore(reopened)
+				requireIdentical(t, ref, reopened, !noWit)
+
+				m, ok := explore.GraphManifest(reopened)
+				if !ok {
+					t.Fatal("reopened graph has no manifest")
+				}
+				if m.States != ref.Size() || m.Edges != ref.Edges() || m.Witnesses == noWit {
+					t.Errorf("manifest %+v disagrees with graph %d/%d", m, ref.Size(), ref.Edges())
+				}
+			})
+		}
+	}
+}
+
+// TestDurableParallelBuildCommits checks the worker-pool engine commits
+// the same durable directory as the serial engine: reopening a parallel
+// durable build equals the serial reference.
+func TestDurableParallelBuildCommits(t *testing.T) {
+	sys := mustForward(t, 3, 1, service.Adversarial)
+	roots := monotoneRoots(t, sys)
+	ref, err := explore.BuildGraph(sys, roots, explore.BuildOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer explore.CloseGraphStore(ref)
+	dir := t.TempDir()
+	built, err := explore.BuildGraph(sys, roots, explore.BuildOptions{
+		Workers: 4, Store: explore.StoreSpill, GraphDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := explore.CloseGraphStore(built); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := explore.OpenGraph(sys, dir, explore.OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer explore.CloseGraphStore(reopened)
+	requireIdentical(t, ref, reopened, true)
+}
+
+// TestDurableOpenErrors drives OpenGraph through the open-time failure
+// table: identity mismatches and damaged data files are all typed
+// *ManifestError values.
+func TestDurableOpenErrors(t *testing.T) {
+	sys := mustForward(t, 2, 1, service.Adversarial)
+	roots := monotoneRoots(t, sys)
+	build := func(t *testing.T, opt explore.BuildOptions) string {
+		t.Helper()
+		dir := t.TempDir()
+		opt.Store = explore.StoreSpill
+		opt.Workers = 1
+		opt.GraphDir = dir
+		opt.GraphID = []byte("id-1")
+		g, err := explore.BuildGraph(sys, roots, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := explore.CloseGraphStore(g); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+	cases := []struct {
+		name string
+		opt  explore.BuildOptions
+		open func(t *testing.T, dir string) error
+	}{
+		{
+			name: "graph identity mismatch",
+			open: func(t *testing.T, dir string) error {
+				_, err := explore.OpenGraph(sys, dir, explore.OpenOptions{GraphID: []byte("id-2")})
+				return err
+			},
+		},
+		{
+			name: "shape mismatch",
+			open: func(t *testing.T, dir string) error {
+				other := mustForward(t, 3, 1, service.Adversarial)
+				_, err := explore.OpenGraph(other, dir, explore.OpenOptions{})
+				return err
+			},
+		},
+		{
+			name: "witnesses required but absent",
+			opt:  explore.BuildOptions{NoWitnesses: true},
+			open: func(t *testing.T, dir string) error {
+				_, err := explore.OpenGraph(sys, dir, explore.OpenOptions{RequireWitnesses: true})
+				return err
+			},
+		},
+		{
+			name: "truncated fingerprint file",
+			open: func(t *testing.T, dir string) error {
+				truncateTail(t, filepath.Join(dir, "fingerprints.dat"))
+				_, err := explore.OpenGraph(sys, dir, explore.OpenOptions{})
+				return err
+			},
+		},
+		{
+			name: "truncated edge file",
+			open: func(t *testing.T, dir string) error {
+				truncateTail(t, filepath.Join(dir, "edges.dat"))
+				_, err := explore.OpenGraph(sys, dir, explore.OpenOptions{})
+				return err
+			},
+		},
+		{
+			name: "corrupted index",
+			open: func(t *testing.T, dir string) error {
+				flipByte(t, filepath.Join(dir, "index.dat"))
+				_, err := explore.OpenGraph(sys, dir, explore.OpenOptions{})
+				return err
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := build(t, tc.opt)
+			err := tc.open(t, dir)
+			var merr *explore.ManifestError
+			if !errors.As(err, &merr) {
+				t.Fatalf("want *ManifestError, got %T: %v", err, err)
+			}
+		})
+	}
+}
+
+func truncateTail(t *testing.T, path string) {
+	t.Helper()
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func flipByte(t *testing.T, path string) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o666); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -105,6 +105,15 @@ type Graph struct {
 	// of re-reading every state — on the spill backend that would be a full
 	// extra pread + decode pass over the spill file after exploration.
 	ownMasks []uint8
+	// manifest and graphDir are set on durable graphs only: a build with
+	// GraphDir records them at commit, OpenGraph at reattach. See
+	// GraphManifest / GraphDirOf.
+	manifest *Manifest
+	graphDir string
+	// keepOwn makes the valence fixpoint retain ownMasks instead of
+	// freeing them: durable graphs persist the fixpoint seeds so
+	// incremental recheck can prove "own decisions unchanged" cheaply.
+	keepOwn bool
 }
 
 // Progress is one streaming exploration report, emitted after each BFS
@@ -158,6 +167,19 @@ type BuildOptions struct {
 	// SpillDir is where StoreSpill creates its spill file ("" = the OS temp
 	// directory). Ignored by the in-memory backends.
 	SpillDir string
+	// GraphDir, when non-empty, makes the build durable: it forces
+	// StoreSpill semantics on the spill files, creates them as named files
+	// under this directory, and commits an index plus a versioned,
+	// checksummed manifest after the valence fixpoint. A committed
+	// directory reopens via OpenGraph without exploring a state. Requires
+	// Store == StoreSpill and conflicts with the sharded engine (whose
+	// per-shard stores are renumbered, not persisted).
+	GraphDir string
+	// GraphID is the caller-supplied full identity recorded in a durable
+	// build's manifest (the façade passes the candidate's canonical
+	// fingerprint plus the root set). Optional; only read when GraphDir is
+	// set.
+	GraphID []byte
 	// Symmetry, when non-nil, canonicalizes every state — roots and
 	// discovered successors — before the fingerprint/intern step at the
 	// StateStore boundary, so the engines build the quotient graph modulo
@@ -188,11 +210,29 @@ func ctxErr(ctx context.Context) error {
 }
 
 func newGraph(sys *system.System, opt BuildOptions) (*Graph, error) {
-	store, err := newStore(opt.Store, sys, opt.SpillDir, !opt.NoWitnesses)
+	store, err := newStore(opt.Store, sys, opt.SpillDir, opt.GraphDir, !opt.NoWitnesses)
 	if err != nil {
 		return nil, err
 	}
-	return &Graph{sys: sys, store: store}, nil
+	return &Graph{sys: sys, store: store, keepOwn: opt.GraphDir != ""}, nil
+}
+
+// validateDurable rejects build-option combinations the durable mode
+// cannot honor: the manifest describes the spill backend's file pair, so
+// GraphDir requires StoreSpill, and the sharded engine's per-shard stores
+// are renumbered into a fresh final store, which the commit protocol does
+// not cover.
+func validateDurable(opt BuildOptions) error {
+	if opt.GraphDir == "" {
+		return nil
+	}
+	if opt.Store != StoreSpill {
+		return fmt.Errorf("explore: GraphDir requires the spill store (got %v)", opt.Store)
+	}
+	if effectiveShards(opt.Shards) > 0 {
+		return fmt.Errorf("explore: GraphDir conflicts with the sharded engine")
+	}
+	return nil
 }
 
 // canonical resolves the optional symmetry reduction: the identity when no
@@ -237,6 +277,9 @@ func BuildGraph(sys *system.System, roots []system.State, opt BuildOptions) (g *
 	// Spill-file write failures (disk full) surface here as ordinary build
 	// errors; see recoverSpillWrite.
 	defer recoverSpillWrite(&g, &err)
+	if err := validateDurable(opt); err != nil {
+		return nil, err
+	}
 	maxStates := opt.MaxStates
 	if maxStates <= 0 {
 		maxStates = defaultMaxStates
@@ -316,6 +359,9 @@ func BuildGraph(sys *system.System, roots []system.State, opt BuildOptions) (g *
 		return nil, err
 	}
 	g.computeMasks()
+	if err := commitDurable(g, opt); err != nil {
+		return nil, err
+	}
 	return g, nil
 }
 
@@ -323,11 +369,15 @@ func BuildGraph(sys *system.System, roots []system.State, opt BuildOptions) (g *
 // mask(s) = decided(s) ∪ ⋃_{s→t} mask(t).
 func (g *Graph) computeMasks() {
 	// Seed with each state's own decisions, recorded at intern time. The
-	// recording is only needed for this seeding, so release it after.
+	// recording is only needed for this seeding, so release it after —
+	// except on durable builds, which persist the seeds for incremental
+	// recheck (see keepOwn).
 	n := g.store.Len()
 	g.masks = make([]uint8, n)
 	copy(g.masks, g.ownMasks)
-	g.ownMasks = nil
+	if !g.keepOwn {
+		g.ownMasks = nil
+	}
 	// Chaotic iteration to fixpoint; the least fixpoint is unique, so the
 	// sweep order only affects how many rounds it takes. Masks flow
 	// backwards along edges and BFS edges point mostly at equal-or-larger

@@ -84,7 +84,7 @@ func ClassifyInits(sys *system.System, opt BuildOptions) (*InitClassification, e
 		out.Assignments = append(out.Assignments, inputs)
 		roots = append(roots, st)
 	}
-	g, err := BuildGraph(sys, roots, opt)
+	g, err := BuildOrReopenGraph(sys, roots, opt)
 	if err != nil {
 		return nil, err
 	}

@@ -221,6 +221,9 @@ func buildGraphParallel(sys *system.System, roots []system.State, maxStates, wor
 		return nil, err
 	}
 	g.computeMasksParallel(workers)
+	if err = commitDurable(g, opt); err != nil {
+		return nil, err
+	}
 	return g, nil
 }
 
@@ -234,11 +237,15 @@ func (g *Graph) computeMasksParallel(workers int) {
 	n := g.store.Len()
 	masks := make([]uint32, n)
 	// Seed with each state's own decisions, recorded at intern time. The
-	// recording is only needed for this seeding, so release it after.
+	// recording is only needed for this seeding, so release it after —
+	// except on durable builds, which persist the seeds for incremental
+	// recheck (see keepOwn).
 	for i, m := range g.ownMasks {
 		masks[i] = uint32(m)
 	}
-	g.ownMasks = nil
+	if !g.keepOwn {
+		g.ownMasks = nil
+	}
 	for {
 		var changed atomic.Bool
 		parallelFor(workers, n, func(i int) {

@@ -1,0 +1,244 @@
+package explore_test
+
+// Incremental recheck acceptance suite: revalidating an unchanged
+// candidate against its own durable graph must be free (no dirty region,
+// no fresh states, base valences reused), and revalidating a genuinely
+// modified program must agree — per fingerprint, per edge, per valence —
+// with a from-scratch build of the modified candidate while exploring
+// only the delta.
+
+import (
+	"testing"
+
+	"github.com/ioa-lab/boosting/internal/explore"
+	"github.com/ioa-lab/boosting/internal/process"
+	"github.com/ioa-lab/boosting/internal/seqtype"
+	"github.com/ioa-lab/boosting/internal/service"
+	"github.com/ioa-lab/boosting/internal/servicetype"
+	"github.com/ioa-lab/boosting/internal/system"
+)
+
+// stubbornForward is a shape-identical variant of protocols.Forward with
+// different dynamics: it forwards its input like Forward but ignores the
+// service's answer and always decides "0" — breaking validity, and with
+// it the transition relation and valences of a strict subset of the base
+// graph's vertices. Exactly the kind of candidate delta incremental
+// recheck exists for: same state encoding, different program.
+type stubbornForward struct {
+	svc string
+}
+
+func (stubbornForward) Start(int) map[string]string { return nil }
+
+func (p stubbornForward) HandleInit(ctx *process.Context, v string) {
+	ctx.Invoke(p.svc, seqtype.Init(v))
+}
+
+func (p stubbornForward) HandleResponse(ctx *process.Context, svc, resp string) {
+	if svc != p.svc {
+		return
+	}
+	if _, ok := seqtype.DecideValue(resp); ok {
+		ctx.Decide("0")
+	}
+}
+
+// buildForwardVariant assembles the forward candidate's shape — n
+// processes, one f-resilient binary consensus object, one register —
+// around an arbitrary program, so tests can produce shape-compatible
+// systems with modified dynamics.
+func buildForwardVariant(t testing.TB, n, f int, prog func(i int) process.Program) *system.System {
+	t.Helper()
+	procs := make([]*process.Process, n)
+	eps := make([]int, n)
+	for i := 0; i < n; i++ {
+		procs[i] = process.New(i, prog(i))
+		eps[i] = i
+	}
+	obj, err := service.New(service.Config{
+		Index:      "k0",
+		Type:       servicetype.FromSequential(seqtype.BinaryConsensus()),
+		Endpoints:  eps,
+		Resilience: f,
+		Policy:     service.Adversarial,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := service.NewRegister("r0", []string{"", "0", "1"}, "", eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := system.New(procs, []*service.Service{obj, reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// buildDurable builds the forward base graph into a fresh durable
+// directory and reopens it.
+func buildDurable(t *testing.T, sys *system.System, roots []system.State) (*explore.Graph, string) {
+	t.Helper()
+	dir := t.TempDir()
+	g, err := explore.BuildGraph(sys, roots, explore.BuildOptions{
+		Workers: 1, Store: explore.StoreSpill, GraphDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := explore.CloseGraphStore(g); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := explore.OpenGraph(sys, dir, explore.OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reopened, dir
+}
+
+// TestRecheckIdentity rechecks an unchanged candidate against its own
+// reopened graph: empty dirty region, zero fresh states, counts and
+// valences carried over from the base.
+func TestRecheckIdentity(t *testing.T) {
+	sys := mustForward(t, 3, 1, service.Adversarial)
+	roots := monotoneRoots(t, sys)
+	base, _ := buildDurable(t, sys, roots)
+
+	res, err := explore.Recheck(sys, base, roots, explore.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+	if res.Dirty != 0 || res.Fresh != 0 {
+		t.Fatalf("identity recheck: dirty=%d fresh=%d, want 0/0", res.Dirty, res.Fresh)
+	}
+	if res.ReachableStates != base.Size() || res.ReachableEdges != base.Edges() {
+		t.Fatalf("reachable %d/%d, want %d/%d",
+			res.ReachableStates, res.ReachableEdges, base.Size(), base.Edges())
+	}
+	ref, err := explore.ClassifyInits(sys, explore.BuildOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	if len(res.Valences) != len(ref.Valences) {
+		t.Fatalf("valences %v, want %v", res.Valences, ref.Valences)
+	}
+	for i := range ref.Valences {
+		if res.Valences[i] != ref.Valences[i] {
+			t.Errorf("root %d: valence %v, want %v", i, res.Valences[i], ref.Valences[i])
+		}
+	}
+	if res.BivalentIndex != ref.BivalentIndex {
+		t.Errorf("bivalent index %d, want %d", res.BivalentIndex, ref.BivalentIndex)
+	}
+}
+
+// TestRecheckProgramDelta is the dirty-region acceptance test: recheck
+// the stubbornForward variant against the unmodified forward base graph
+// and require exact agreement — per fingerprint, per successor edge, per
+// valence — with a from-scratch build of the variant, while exploring
+// strictly fewer fresh states than the full build.
+func TestRecheckProgramDelta(t *testing.T) {
+	const n, f = 3, 1
+	sys := mustForward(t, n, f, service.Adversarial)
+	roots := monotoneRoots(t, sys)
+	base, _ := buildDurable(t, sys, roots)
+
+	variant := buildForwardVariant(t, n, f, func(int) process.Program {
+		return stubbornForward{svc: "k0"}
+	})
+	varRoots := monotoneRoots(t, variant)
+
+	res, err := explore.Recheck(variant, base, varRoots, explore.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+	if res.Dirty == 0 {
+		t.Fatal("program delta produced an empty dirty region")
+	}
+
+	ref, err := explore.BuildGraph(variant, varRoots, explore.BuildOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer explore.CloseGraphStore(ref)
+
+	if res.Fresh >= ref.Size() {
+		t.Errorf("recheck explored %d fresh states, full build explores %d — no incremental win",
+			res.Fresh, ref.Size())
+	}
+	if res.ReachableStates != ref.Size() || res.ReachableEdges != ref.Edges() {
+		t.Fatalf("reachable %d/%d, want %d/%d",
+			res.ReachableStates, res.ReachableEdges, ref.Size(), ref.Edges())
+	}
+
+	// Per-vertex agreement, keyed by fingerprint (the spliced ID space is
+	// the base's, not the fresh build's): every reference vertex must
+	// exist in the rechecked graph with the identical successor sequence
+	// (targets compared by fingerprint) and identical valence.
+	g := res.Graph
+	for id := 0; id < ref.Size(); id++ {
+		rid := explore.StateID(id)
+		fp := ref.Fingerprint(rid)
+		gid, ok := g.Lookup(fp)
+		if !ok {
+			t.Fatalf("reference state %d missing from rechecked graph", id)
+		}
+		re, ge := ref.Succs(rid), g.Succs(gid)
+		if len(re) != len(ge) {
+			t.Fatalf("state %d: %d succs, want %d", id, len(ge), len(re))
+		}
+		for j := range re {
+			if re[j].Task != ge[j].Task || re[j].Action != ge[j].Action {
+				t.Fatalf("state %d edge %d: got %+v, want %+v", id, j, ge[j], re[j])
+			}
+			if ref.Fingerprint(re[j].To) != g.Fingerprint(ge[j].To) {
+				t.Fatalf("state %d edge %d: target fingerprint mismatch", id, j)
+			}
+		}
+		if rv, gv := ref.Valence(rid), g.Valence(gid); rv != gv {
+			t.Fatalf("state %d: valence %v, want %v", id, gv, rv)
+		}
+	}
+
+	// Root verdicts match the from-scratch classification.
+	for i := range ref.Roots() {
+		if want, got := ref.Valence(ref.Roots()[i]), res.Valences[i]; want != got {
+			t.Errorf("root %d: valence %v, want %v", i, got, want)
+		}
+	}
+}
+
+// TestRecheckBaseUnreachableRetained pins the layering contract: base
+// vertices that become unreachable under the modified candidate stay
+// addressable in the rechecked graph (sound, vacuous valences), and the
+// reachable counts — not Graph.Size — are what a fresh build reports.
+func TestRecheckBaseUnreachableRetained(t *testing.T) {
+	const n, f = 2, 1
+	sys := mustForward(t, n, f, service.Adversarial)
+	roots := monotoneRoots(t, sys)
+	base, _ := buildDurable(t, sys, roots)
+	baseN := base.Size()
+
+	variant := buildForwardVariant(t, n, f, func(int) process.Program {
+		return stubbornForward{svc: "k0"}
+	})
+	res, err := explore.Recheck(variant, base, monotoneRoots(t, variant), explore.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+	if res.BaseStates != baseN {
+		t.Errorf("BaseStates = %d, want %d", res.BaseStates, baseN)
+	}
+	if res.Graph.Size() != baseN+res.Fresh {
+		t.Errorf("Size = %d, want base %d + fresh %d", res.Graph.Size(), baseN, res.Fresh)
+	}
+	for id := 0; id < baseN; id++ {
+		if fp := res.Graph.Fingerprint(explore.StateID(id)); fp == "" {
+			t.Fatalf("base state %d unaddressable after recheck", id)
+		}
+	}
+}

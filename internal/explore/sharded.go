@@ -176,7 +176,10 @@ func newShardedBuild(sys *system.System, nshards int, opt BuildOptions) (*sharde
 	b := &shardedBuild{sys: sys, bits: shardBitsFor(nshards)}
 	maxLocal := uint64(intern.NoState) >> b.bits
 	for i := 0; i < nshards; i++ {
-		store, err := newStore(opt.Store, sys, opt.SpillDir, false)
+		// Shard stores are always ephemeral — the durable mode covers only
+		// the final renumbered store, and GraphDir is rejected before the
+		// sharded engine is selected (see validateDurable).
+		store, err := newStore(opt.Store, sys, opt.SpillDir, "", false)
 		if err != nil {
 			b.close()
 			return nil, err

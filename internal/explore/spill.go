@@ -46,10 +46,14 @@ const spillBatch = 1024
 // Reads of rotated vertices use pread (os.File.ReadAt), which is safe from
 // any number of goroutines while the store is frozen.
 //
-// The spill files are created in spillDir (or the OS temp directory) and
-// unlinked immediately, so the kernel reclaims them when the descriptors
-// close — at the latest when the store is garbage collected (the os
-// package attaches a close finalizer) — and nothing leaks even on a crash.
+// The file set lives behind the graphFiles abstraction: in ephemeral
+// mode (the default) the files are created in spillDir and unlinked
+// immediately, so the kernel reclaims them when the descriptors close —
+// at the latest when the store is garbage collected (the os package
+// attaches a close finalizer) — and nothing leaks even on a crash. In
+// durable mode (BuildOptions.GraphDir) the same files are created under
+// a named directory and kept; commitDurable adds the index and manifest
+// after the build, and OpenGraph reattaches the store read-only.
 type spillStore struct {
 	spillEdges
 	predTable
@@ -66,9 +70,14 @@ type spillStore struct {
 	offs    []int64  // spill-file offset of each vertex's fingerprint
 	lens    []uint32 // fingerprint length in bytes
 
-	file *os.File
-	w    *bufio.Writer
-	wOff int64 // next append offset
+	files *graphFiles
+	file  *os.File // files.fp, the hot-path handle
+	w     *bufio.Writer
+	wOff  int64 // next append offset
+
+	// readonly marks a store reattached by OpenGraph: the graph is
+	// complete, so Intern and SetSuccs must never be called.
+	readonly bool
 
 	// Pending window: vertices pendingBase … Len()−1 are still resident.
 	// pendingFps/pendingStates are indexed by id − pendingBase.
@@ -82,37 +91,30 @@ type spillStore struct {
 	bufs       sync.Pool
 }
 
-func newSpillStore(sys *system.System, dir string, witnesses bool) (*spillStore, error) {
-	if dir == "" {
-		dir = os.TempDir()
+func newSpillStore(sys *system.System, spillDir, graphDir string, witnesses bool) (*spillStore, error) {
+	var files *graphFiles
+	var err error
+	if graphDir != "" {
+		files, err = newDurableGraphFiles(graphDir)
+	} else {
+		files, err = newEphemeralGraphFiles(spillDir)
 	}
-	f, err := os.CreateTemp(dir, "boosting-spill-*.fp")
 	if err != nil {
-		return nil, fmt.Errorf("explore: create spill file: %w", err)
+		return nil, err
 	}
-	// Unlink immediately: the open descriptor keeps the data alive, and the
-	// kernel reclaims the space as soon as it closes. (Best-effort — on
-	// filesystems that refuse to unlink open files the temp file simply
-	// persists until external cleanup.)
-	_ = os.Remove(f.Name())
-	ef, err := os.CreateTemp(dir, "boosting-spill-*.edges")
-	if err != nil {
-		_ = f.Close()
-		return nil, fmt.Errorf("explore: create edge spill file: %w", err)
-	}
-	_ = os.Remove(ef.Name())
 	s := &spillStore{
 		enc:       sys.AppendFingerprint,
 		dec:       sys.ParseFingerprint,
 		hash:      fpHash,
 		buckets:   make(map[uint64][]StateID, 1024),
 		predTable: predTable{keep: witnesses},
-		file:      f,
-		w:         bufio.NewWriterSize(f, 64<<10),
+		files:     files,
+		file:      files.fp,
+		w:         bufio.NewWriterSize(files.fp, 64<<10),
 		batch:     spillBatch,
 		bufs:      sync.Pool{New: func() any { b := make([]byte, 0, 256); return &b }},
 	}
-	s.spillEdges.init(ef, s)
+	s.spillEdges.init(files.edges, s)
 	s.matchB = s.matches
 	return s, nil
 }
@@ -186,6 +188,9 @@ func (s *spillStore) Lookup(fp []byte) (StateID, bool) {
 }
 
 func (s *spillStore) Intern(fp string, st system.State, p pred) (StateID, bool) {
+	if s.readonly {
+		panic("explore: spill store: Intern on a reopened read-only graph")
+	}
 	key := stringBytes(fp)
 	h1, h2 := s.hash(key)
 	if id, ok := lookupBucket(s.buckets, s.hash2, key, h1, h2, s.matchB, &s.collisions); ok {
@@ -266,13 +271,9 @@ func (s *spillStore) Fingerprint(id StateID) string {
 // deterministic release matters to callers that churn through many
 // spill-backed graphs: the store's whole point is a tiny heap footprint, so
 // the GC may otherwise let descriptors pile up against the process's fd
-// limit.
+// limit. Durable data files stay on disk; only the descriptors close.
 func (s *spillStore) Close() error {
-	err := s.file.Close()
-	if eerr := s.spillEdges.close(); err == nil {
-		err = eerr
-	}
-	return err
+	return s.files.close()
 }
 
 // CloseGraphStore deterministically releases any external resources held by
@@ -284,8 +285,15 @@ func CloseGraphStore(g *Graph) error {
 	if g == nil {
 		return nil
 	}
-	if s, ok := g.store.(*spillStore); ok {
+	switch s := g.store.(type) {
+	case *spillStore:
 		return s.Close()
+	case *recheckStore:
+		// A recheck graph layers an in-memory delta over the base graph's
+		// store; closing it releases the base's backend resources.
+		if base, ok := s.base.(*spillStore); ok {
+			return base.Close()
+		}
 	}
 	return nil
 }

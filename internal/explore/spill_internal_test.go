@@ -26,7 +26,7 @@ func allBackends(t *testing.T) []struct {
 	if err != nil {
 		t.Fatal(err)
 	}
-	spill, err := newSpillStore(sys, t.TempDir(), true)
+	spill, err := newSpillStore(sys, t.TempDir(), "", true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +131,7 @@ func TestSpillStoreRotation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sp, err := newSpillStore(sys, t.TempDir(), true)
+	sp, err := newSpillStore(sys, t.TempDir(), "", true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +203,7 @@ func TestSpillAdjacencyRotation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sp, err := newSpillStore(sys, t.TempDir(), true)
+	sp, err := newSpillStore(sys, t.TempDir(), "", true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -291,7 +291,7 @@ func TestSpillStoreCollisionAudit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sp, err := newSpillStore(sys, t.TempDir(), true)
+	sp, err := newSpillStore(sys, t.TempDir(), "", true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -329,7 +329,7 @@ func TestSpillWriteFailureSurfacesAsError(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sp, err := newSpillStore(sys, t.TempDir(), true)
+	sp, err := newSpillStore(sys, t.TempDir(), "", true)
 	if err != nil {
 		t.Fatal(err)
 	}

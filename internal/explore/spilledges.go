@@ -45,6 +45,11 @@ type spillEdges struct {
 	elens      []uint32 // block length in bytes
 	pending    []byte   // encoded blocks since the last seal
 	flushedOff int64    // bytes durably written to the edge file
+	// seals records every level barrier — cumulative vertex count and
+	// edge-file offset at each SealLevel. One small entry per BFS level;
+	// persisted by the durable mode so a reopened graph keeps its level
+	// structure.
+	seals []sealMark
 
 	// Dictionaries: tasks and actions are comparable structs drawn from a
 	// small fixed set, so blocks store dense indices instead of strings.
@@ -103,18 +108,26 @@ func (a *spillEdges) SetSuccs(id StateID, edges []Edge) {
 	a.elens = append(a.elens, uint32(len(a.pending)-start))
 }
 
-// SealLevel writes the pending blocks to the edge file and empties the
-// buffer. Called at level barriers while the engine holds the store
-// exclusively, so no EdgesFrom reader observes the hand-off.
+// sealMark is one recorded level barrier: how many vertices existed and
+// how far the edge file reached when the level sealed.
+type sealMark struct {
+	states  int
+	edgeOff int64
+}
+
+// SealLevel writes the pending blocks to the edge file, empties the
+// buffer and records the barrier. Called at level barriers while the
+// engine holds the store exclusively, so no EdgesFrom reader observes
+// the hand-off.
 func (a *spillEdges) SealLevel() {
-	if len(a.pending) == 0 {
-		return
+	if len(a.pending) > 0 {
+		if _, err := a.efile.WriteAt(a.pending, a.flushedOff); err != nil {
+			panic(spillWriteError{fmt.Errorf("explore: spill store: seal edge blocks: %w", err), a.owner})
+		}
+		a.flushedOff += int64(len(a.pending))
+		a.pending = a.pending[:0]
 	}
-	if _, err := a.efile.WriteAt(a.pending, a.flushedOff); err != nil {
-		panic(spillWriteError{fmt.Errorf("explore: spill store: seal edge blocks: %w", err), a.owner})
-	}
-	a.flushedOff += int64(len(a.pending))
-	a.pending = a.pending[:0]
+	a.seals = append(a.seals, sealMark{states: a.owner.Len(), edgeOff: a.flushedOff})
 }
 
 // EdgesFrom streams a vertex's successor block, decoding it from the

@@ -156,17 +156,19 @@ func stringBytes(s string) []byte {
 // states (via the system's canonical fingerprint appender) when verifying
 // candidate matches; the spill backend additionally decodes states back out
 // of their spilled fingerprints, and spillDir overrides where its spill
-// files are created ("" = the OS temp directory). witnesses toggles the
-// BFS-tree predecessor links: stores built without them record nothing in
-// Intern and report pred{} from Pred.
-func newStore(kind StoreKind, sys *system.System, spillDir string, witnesses bool) (StateStore, error) {
+// files are created ("" = the OS temp directory). graphDir, when non-empty,
+// puts the spill backend in durable mode: the files are created under that
+// named directory instead of as unlinked temp files (see graphfiles.go).
+// witnesses toggles the BFS-tree predecessor links: stores built without
+// them record nothing in Intern and report pred{} from Pred.
+func newStore(kind StoreKind, sys *system.System, spillDir, graphDir string, witnesses bool) (StateStore, error) {
 	switch kind {
 	case StoreHash64:
 		return newHashStore(sys.AppendFingerprint, false, witnesses), nil
 	case StoreHash128:
 		return newHashStore(sys.AppendFingerprint, true, witnesses), nil
 	case StoreSpill:
-		return newSpillStore(sys, spillDir, witnesses)
+		return newSpillStore(sys, spillDir, graphDir, witnesses)
 	default:
 		return newDenseStore(witnesses), nil
 	}

@@ -126,7 +126,7 @@ func TestStoreWithoutWitnesses(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	spill, err := newSpillStore(sys, t.TempDir(), false)
+	spill, err := newSpillStore(sys, t.TempDir(), "", false)
 	if err != nil {
 		t.Fatal(err)
 	}

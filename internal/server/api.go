@@ -339,6 +339,12 @@ type Result struct {
 	Valences []string `json:"valences,omitempty"`
 	// BivalentIndex is classify's first bivalent initialization, or -1.
 	BivalentIndex *int `json:"bivalentIndex,omitempty"`
+	// Explored, for durable-tier classify jobs, is the number of states
+	// whose successor sets this job actually computed: the full state
+	// count for a fresh committed build, the dirty-plus-fresh region for
+	// a delta recheck (0 when the variant's graph was provably
+	// unchanged). Absent outside the durable tier.
+	Explored *int `json:"explored,omitempty"`
 	// Refutation fields.
 	Claimed      *int          `json:"claimed,omitempty"`
 	K            *int          `json:"k,omitempty"`

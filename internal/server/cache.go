@@ -18,6 +18,10 @@ const (
 	// CacheInflight: an identical exploration is already queued or running —
 	// the submission joins it (single-flight dedup).
 	CacheInflight CacheState = "inflight"
+	// CacheDelta: no exact entry, but a committed durable graph differing
+	// only in silence policy — the job reopens it and rechecks the dirty
+	// region instead of rebuilding (see Config.GraphRoot).
+	CacheDelta CacheState = "delta"
 )
 
 // CacheStats is the observability face of the result cache.
@@ -27,8 +31,13 @@ type CacheStats struct {
 	// InflightHits counts submissions deduplicated onto a queued or running
 	// identical job.
 	InflightHits int64 `json:"inflightHits"`
-	// Misses counts submissions that started a fresh exploration.
+	// Misses counts submissions that started a fresh exploration
+	// (delta-tier submissions are counted here AND in DeltaHits: they
+	// missed the exact cache but avoided a full rebuild).
 	Misses int64 `json:"misses"`
+	// DeltaHits counts submissions served by reopening a policy-variant's
+	// committed graph and rechecking only the dirty region.
+	DeltaHits int64 `json:"deltaHits"`
 	// Inflight is the number of entries whose job has not finished yet.
 	Inflight int `json:"inflight"`
 	// Entries is the current entry count (bounded by the -cache flag).

@@ -40,6 +40,14 @@ type Job struct {
 	// cacheKey is the result-cache key this job computes for; set once at
 	// submission, before the job is visible to any other goroutine.
 	cacheKey string
+	// Delta-tier routing, set next to cacheKey under the same visibility
+	// rule: graphDir is where a durable classify build commits its graph;
+	// deltaKey its policy-blind index key; deltaDir, when non-empty, a
+	// committed policy-variant graph to reopen and recheck incrementally
+	// instead of building from scratch.
+	graphDir string
+	deltaKey string
+	deltaDir string
 
 	mu       sync.Mutex
 	status   JobStatus

@@ -28,6 +28,12 @@ type Config struct {
 	// block leaves a field zero — boostd lowers its shared engine flag
 	// block (-store, -shards, -symmetry, …) into this.
 	Defaults Options
+	// GraphRoot, when set, enables the delta-match cache tier: classify
+	// jobs commit their graphs durably under this directory, and an
+	// exact-key miss whose candidate differs from a committed graph only
+	// in silence policy reopens that graph and rechecks the dirty region
+	// instead of rebuilding. "" disables the tier.
+	GraphRoot string
 }
 
 // Server is the checking service: an http.Handler over a job store, a
@@ -46,6 +52,10 @@ type Server struct {
 	// explorations counts jobs that actually ran an analysis — the
 	// denominator that proves cache hits explore zero new states.
 	explorations atomic.Int64
+	// graphs is the delta tier's index of committed durable graphs;
+	// deltaHits counts submissions it served incrementally.
+	graphs    *graphIndex
+	deltaHits atomic.Int64
 }
 
 // defaultCacheSize bounds the result cache when -cache is unset.
@@ -64,10 +74,11 @@ func New(cfg Config) *Server {
 		cfg.CacheSize = defaultCacheSize
 	}
 	s := &Server{
-		cfg:   cfg,
-		jobs:  newJobStore(),
-		cache: newResultCache(cfg.CacheSize),
-		queue: make(chan *Job, queueCap),
+		cfg:    cfg,
+		jobs:   newJobStore(),
+		cache:  newResultCache(cfg.CacheSize),
+		queue:  make(chan *Job, queueCap),
+		graphs: newGraphIndex(graphIndexCap),
 	}
 	s.mux = s.routes()
 	s.wg.Add(cfg.Pool)
@@ -120,9 +131,24 @@ func (s *Server) submit(req Request) (*Job, CacheState, error) {
 	j, state := s.cache.submit(key, func() *Job {
 		fresh = s.jobs.add(req)
 		fresh.cacheKey = key
+		if s.deltaEligible(&req) {
+			// Durable tier: the job commits (or reopens) its graph under
+			// the root, and a committed policy-variant — same delta key,
+			// different exact key — is rechecked incrementally. All fields
+			// are set here, before the job is visible to any worker.
+			fresh.graphDir = s.graphDirFor(key)
+			fresh.deltaKey = req.deltaKey()
+			if e, ok := s.graphs.lookup(fresh.deltaKey); ok && e.exactKey != key {
+				fresh.deltaDir = e.dir
+			}
+		}
 		return fresh
 	})
-	if state == CacheMiss {
+	if state == CacheMiss && fresh != nil && fresh.deltaDir != "" {
+		state = CacheDelta
+		s.deltaHits.Add(1)
+	}
+	if state == CacheMiss || state == CacheDelta {
 		if !s.enqueue(fresh) {
 			fresh.finish(StatusCancelled, nil, errorPayload(fmt.Errorf("%w: server draining or queue full", errCancelled)))
 			s.cache.settle(key, StatusCancelled, nil)
@@ -202,19 +228,54 @@ func (s *Server) analyze(j *Job) (*Result, error) {
 			Valences: valenceStrings(valences),
 		}, nil
 	case AnalysisClassify:
+		if j.deltaDir != "" {
+			res, rerr := s.recheckClassify(j, chk)
+			if rerr == nil {
+				return res, nil
+			}
+			if j.ctx.Err() != nil {
+				return nil, rerr
+			}
+			// The committed variant failed to reopen or recheck: fall
+			// back to a full build (recheckClassify already dropped a
+			// damaged index entry).
+		}
+		if j.graphDir != "" {
+			// Durable tier: commit this build under the graph root so
+			// future policy variants of the same candidate recheck
+			// incrementally. The store override mirrors WithGraphDir's
+			// spill requirement; eligibility already excluded explicit
+			// conflicting backends.
+			durable, derr := boosting.New(j.Req.Protocol, j.Req.N, j.Req.F,
+				append(opts, boosting.WithStore(boosting.SpillStore), boosting.WithGraphDir(j.graphDir))...)
+			if derr == nil {
+				chk = durable
+			}
+		}
 		res, err := chk.ClassifyInits()
 		if err != nil {
 			return nil, err
 		}
 		defer closeGraph(res.Graph)
 		idx := res.BivalentIndex
-		return &Result{
+		out := &Result{
 			Analysis:      j.Req.Analysis,
 			States:        res.Graph.Size(),
 			Edges:         res.Graph.Edges(),
 			Valences:      valenceStrings(res.Valences),
 			BivalentIndex: &idx,
-		}, nil
+		}
+		if _, ok := boosting.GraphManifest(res.Graph); ok && j.graphDir != "" {
+			explored := res.Graph.Size()
+			out.Explored = &explored
+			s.graphs.put(graphEntry{
+				deltaKey: j.deltaKey,
+				exactKey: j.cacheKey,
+				dir:      j.graphDir,
+				states:   res.Graph.Size(),
+			})
+		}
+		return out, nil
 	case AnalysisRefute, AnalysisRefuteKSet:
 		var report *boosting.Report
 		if j.Req.Analysis == AnalysisRefute {
@@ -252,6 +313,40 @@ func (s *Server) analyze(j *Job) (*Result, error) {
 	}
 }
 
+// recheckClassify serves a classify job from the delta tier: reopen the
+// policy-variant's committed graph and re-derive only the dirty region —
+// vertices whose enabled-action sets changed under the new candidate —
+// plus whatever fresh states they reach. Any failure is reported to the
+// caller, which falls back to a full build; a directory that cannot even
+// reopen is dropped from the index so the root stays clean.
+func (s *Server) recheckClassify(j *Job, chk *boosting.Checker) (*Result, error) {
+	prev, err := chk.OpenGraph(j.deltaDir)
+	if err != nil {
+		s.graphs.drop(j.deltaKey, j.deltaDir)
+		return nil, err
+	}
+	res, err := chk.Recheck(prev)
+	if err != nil {
+		closeGraph(prev)
+		return nil, err
+	}
+	defer res.Close()
+	idx := res.BivalentIndex
+	// Explored counts the states whose successor sets were actually
+	// recomputed — the dirty base vertices plus the fresh splice — the
+	// number the full-rebuild comparison in /v1/stats consumers care
+	// about.
+	explored := res.Dirty + res.Fresh
+	return &Result{
+		Analysis:      j.Req.Analysis,
+		States:        res.ReachableStates,
+		Edges:         res.ReachableEdges,
+		Valences:      valenceStrings(res.Valences),
+		BivalentIndex: &idx,
+		Explored:      &explored,
+	}, nil
+}
+
 // closeGraph releases a graph's backend resources (spill descriptors),
 // tolerating nil.
 func closeGraph(g *boosting.Graph) {
@@ -279,8 +374,13 @@ func (s *Server) cancelJob(j *Job) {
 // and single-flight joins never increment it).
 func (s *Server) Explorations() int64 { return s.explorations.Load() }
 
-// CacheStats snapshots the result-cache counters.
-func (s *Server) CacheStats() CacheStats { return s.cache.stats() }
+// CacheStats snapshots the result-cache counters, folding in the delta
+// tier's hit count.
+func (s *Server) CacheStats() CacheStats {
+	st := s.cache.stats()
+	st.DeltaHits = s.deltaHits.Load()
+	return st
+}
 
 // Shutdown gracefully stops the server: new submissions are rejected
 // immediately, queued and running jobs drain until ctx expires, then every

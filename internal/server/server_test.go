@@ -8,6 +8,8 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -475,5 +477,154 @@ func TestServerDefaultsApply(t *testing.T) {
 	}
 	if got := srv.Explorations(); got != 1 {
 		t.Errorf("explorations = %d, want 1", got)
+	}
+}
+
+// TestDeltaCacheTier is the delta-match acceptance scenario: a classify
+// job on a GraphRoot server commits its graph durably; the benign-policy
+// variant of the same candidate — an exact-key miss — is acknowledged as
+// a "delta" submission, served by reopening the committed graph and
+// rechecking the dirty region (empty here: silence never fires in the
+// failure-free graph, so the benign variant is provably unchanged), and
+// reports the full verdict having re-expanded zero states.
+func TestDeltaCacheTier(t *testing.T) {
+	srv, ts := newTestServer(t, server.Config{Pool: 1, GraphRoot: t.TempDir()})
+	ack, code := postJob(t, ts, classifyForward3)
+	if code != http.StatusAccepted || ack.Cached != server.CacheMiss {
+		t.Fatalf("first submission: status %d, cached %q; want 202 miss", code, ack.Cached)
+	}
+	full := waitTerminal(t, ts, ack.ID)
+	if full.Status != server.StatusDone || full.Result == nil {
+		t.Fatalf("full build failed: %s (%v)", full.Status, full.Error)
+	}
+	if full.Result.Explored == nil || *full.Result.Explored != full.Result.States {
+		t.Errorf("full durable build Explored = %v, want %d", full.Result.Explored, full.Result.States)
+	}
+
+	benign := `{"protocol": "forward", "n": 3, "f": 0, "analysis": "classify", "options": {"policy": "benign"}}`
+	ack2, code := postJob(t, ts, benign)
+	if code != http.StatusAccepted || ack2.Cached != server.CacheDelta {
+		t.Fatalf("benign variant: status %d, cached %q; want 202 delta", code, ack2.Cached)
+	}
+	if ack2.ID == ack.ID {
+		t.Fatal("delta submission reused the original job")
+	}
+	view := waitTerminal(t, ts, ack2.ID)
+	if view.Status != server.StatusDone || view.Result == nil {
+		t.Fatalf("delta job failed: %s (%v)", view.Status, view.Error)
+	}
+	if view.Result.States != full.Result.States || view.Result.Edges != full.Result.Edges {
+		t.Errorf("delta verdict %d/%d, want %d/%d",
+			view.Result.States, view.Result.Edges, full.Result.States, full.Result.Edges)
+	}
+	if view.Result.BivalentIndex == nil || full.Result.BivalentIndex == nil ||
+		*view.Result.BivalentIndex != *full.Result.BivalentIndex {
+		t.Errorf("delta BivalentIndex = %v, want %v", view.Result.BivalentIndex, full.Result.BivalentIndex)
+	}
+	if len(view.Result.Valences) != len(full.Result.Valences) {
+		t.Fatalf("delta returned %d valences, want %d", len(view.Result.Valences), len(full.Result.Valences))
+	}
+	for i := range full.Result.Valences {
+		if view.Result.Valences[i] != full.Result.Valences[i] {
+			t.Errorf("valence[%d] = %q, want %q", i, view.Result.Valences[i], full.Result.Valences[i])
+		}
+	}
+	if view.Result.Explored == nil || *view.Result.Explored != 0 {
+		t.Errorf("benign delta Explored = %v, want 0 (provably unchanged graph)", view.Result.Explored)
+	}
+	if stats := srv.CacheStats(); stats.DeltaHits != 1 || stats.Misses != 2 {
+		t.Errorf("cache stats = %+v, want deltaHits=1 misses=2", stats)
+	}
+	// The stats endpoint surfaces the tier.
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !bytes.Contains(raw, []byte(`"deltaHits": 1`)) {
+		t.Errorf("GET /v1/stats does not report the delta hit: %s", raw)
+	}
+
+	// Resubmitting the benign variant is now an exact hit.
+	ack3, code := postJob(t, ts, benign)
+	if code != http.StatusOK || ack3.Cached != server.CacheHit || ack3.ID != ack2.ID {
+		t.Errorf("benign resubmission: status %d, cached %q, id %s; want 200 hit %s",
+			code, ack3.Cached, ack3.ID, ack2.ID)
+	}
+}
+
+// TestDeltaIneligible: submissions the durable tier cannot serve — no
+// GraphRoot, an explicit non-spill store, a caller-owned spill dir — stay
+// plain misses with no Explored accounting.
+func TestDeltaIneligible(t *testing.T) {
+	// No GraphRoot: the tier is off entirely.
+	_, ts := newTestServer(t, server.Config{Pool: 1})
+	ack, _ := postJob(t, ts, classifyForward3)
+	view := waitTerminal(t, ts, ack.ID)
+	if view.Result == nil || view.Result.Explored != nil {
+		t.Errorf("tier-off classify has Explored = %v, want absent", view.Result)
+	}
+	ack2, _ := postJob(t, ts, `{"protocol": "forward", "n": 3, "f": 0, "analysis": "classify", "options": {"policy": "benign"}}`)
+	if ack2.Cached != server.CacheMiss {
+		t.Errorf("tier-off benign variant: cached %q, want miss", ack2.Cached)
+	}
+	waitTerminal(t, ts, ack2.ID)
+
+	// GraphRoot set, but the job pins a conflicting backend.
+	_, ts2 := newTestServer(t, server.Config{Pool: 1, GraphRoot: t.TempDir()})
+	ack3, _ := postJob(t, ts2, `{"protocol": "forward", "n": 2, "f": 0, "analysis": "classify", "options": {"store": "dense"}}`)
+	view3 := waitTerminal(t, ts2, ack3.ID)
+	if view3.Result == nil || view3.Result.Explored != nil {
+		t.Errorf("dense-store classify has Explored = %v, want absent", view3.Result)
+	}
+	ack4, _ := postJob(t, ts2, `{"protocol": "forward", "n": 2, "f": 0, "analysis": "classify", "options": {"store": "dense", "policy": "benign"}}`)
+	if ack4.Cached != server.CacheMiss {
+		t.Errorf("dense-store benign variant: cached %q, want miss", ack4.Cached)
+	}
+	waitTerminal(t, ts2, ack4.ID)
+}
+
+// TestDeltaDamagedGraphRecovery: when the committed directory behind a
+// delta match has been damaged, the job falls back to a full build — the
+// verdict is unaffected, and the damaged entry is replaced by the fresh
+// commit.
+func TestDeltaDamagedGraphRecovery(t *testing.T) {
+	root := t.TempDir()
+	srv, ts := newTestServer(t, server.Config{Pool: 1, GraphRoot: root})
+	ack, _ := postJob(t, ts, classifyForward3)
+	full := waitTerminal(t, ts, ack.ID)
+	if full.Status != server.StatusDone {
+		t.Fatalf("full build failed: %s (%v)", full.Status, full.Error)
+	}
+	// Damage the committed graph: remove every manifest under the root.
+	matches, err := filepath.Glob(filepath.Join(root, "*", "manifest.json"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("committed manifests under root = %v (%v), want exactly 1", matches, err)
+	}
+	if err := os.Remove(matches[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	benign := `{"protocol": "forward", "n": 3, "f": 0, "analysis": "classify", "options": {"policy": "benign"}}`
+	ack2, _ := postJob(t, ts, benign)
+	if ack2.Cached != server.CacheDelta {
+		t.Fatalf("benign variant: cached %q, want delta (the index entry is still live)", ack2.Cached)
+	}
+	view := waitTerminal(t, ts, ack2.ID)
+	if view.Status != server.StatusDone || view.Result == nil {
+		t.Fatalf("fallback job failed: %s (%v)", view.Status, view.Error)
+	}
+	if view.Result.States != full.Result.States || view.Result.Edges != full.Result.Edges {
+		t.Errorf("fallback verdict %d/%d, want %d/%d",
+			view.Result.States, view.Result.Edges, full.Result.States, full.Result.Edges)
+	}
+	// The fallback rebuilt in full (and durably: Explored equals the
+	// full state count, not a dirty region).
+	if view.Result.Explored == nil || *view.Result.Explored != full.Result.States {
+		t.Errorf("fallback Explored = %v, want %d", view.Result.Explored, full.Result.States)
+	}
+	if stats := srv.CacheStats(); stats.DeltaHits != 1 {
+		t.Errorf("cache stats = %+v, want deltaHits=1 (the probe matched before the damage surfaced)", stats)
 	}
 }

@@ -14,7 +14,9 @@ type config struct {
 	shards      int
 	maxStates   int
 	store       Store
+	storeSet    bool
 	spillDir    string
+	graphDir    string
 	noWitnesses bool
 	progress    ProgressFunc
 	ctx         context.Context
@@ -87,7 +89,12 @@ func WithMaxStates(n int) Option { return func(c *config) { c.maxStates = max(n,
 // WithStore selects the storage backend for graph builds: DenseStore
 // (default), HashStore64, HashStore128 or SpillStore. See the Store
 // constants for what each keeps resident.
-func WithStore(s Store) Option { return func(c *config) { c.store = s } }
+func WithStore(s Store) Option {
+	return func(c *config) {
+		c.store = s
+		c.storeSet = true
+	}
+}
 
 // WithSpillDir selects the SpillStore backend and places its spill files in
 // dir ("" keeps the OS temp directory). The spill store keeps only 16 hash
@@ -102,6 +109,65 @@ func WithSpillDir(dir string) Option {
 		c.store = SpillStore
 		c.spillDir = dir
 	}
+}
+
+// WithGraphDir makes every graph the Checker builds durable: the spill
+// backend's file set — canonical fingerprints, edge blocks, index,
+// valence masks, roots — is committed under dir behind a versioned,
+// checksummed manifest instead of living in unlinked temp files. A
+// directory holding a committed graph whose identity matches the
+// requested build exactly (candidate, roots, symmetry, witnesses) is
+// reopened without exploring a state; anything else — empty directory,
+// different candidate, damaged files — is rebuilt in place. Reopen the
+// directory later with Checker.OpenGraph (any same-shape candidate) and
+// revalidate a modified candidate against it with Checker.Recheck.
+//
+// WithGraphDir selects the SpillStore backend; it conflicts with
+// WithSpillDir (a durable graph owns its directory's file set), with an
+// explicit non-spill WithStore, and with WithShards (shard-local stores
+// cannot commit one durable file set). Conflicts surface as a typed
+// *ConflictError from New, or from the first graph-building method on a
+// NewFromSystem checker. One directory holds exactly one graph, so
+// Refute — which builds several — rejects the combination too.
+func WithGraphDir(dir string) Option {
+	return func(c *config) {
+		c.graphDir = dir
+		if dir != "" && !c.storeSet {
+			c.store = SpillStore
+		}
+	}
+}
+
+// validateDurable rejects option combinations the durable graph store
+// cannot honor. Called from New, and again from the graph-building
+// methods so NewFromSystem checkers (whose constructor cannot return an
+// error) fail eagerly and typed.
+func (c *config) validateDurable() error {
+	if c.graphDir == "" {
+		return nil
+	}
+	if c.spillDir != "" {
+		return &ConflictError{
+			Option: "WithGraphDir(" + c.graphDir + ")",
+			With:   "WithSpillDir(" + c.spillDir + ")",
+			Reason: "a durable graph owns its directory's file set; the same build cannot also spill into a second directory",
+		}
+	}
+	if c.store != SpillStore {
+		return &ConflictError{
+			Option: "WithGraphDir(" + c.graphDir + ")",
+			With:   "WithStore",
+			Reason: "durable graphs are written and reopened by the spill backend",
+		}
+	}
+	if c.shards > 0 {
+		return &ConflictError{
+			Option: "WithGraphDir(" + c.graphDir + ")",
+			With:   "WithShards",
+			Reason: "the sharded engine builds into shard-local stores and renumbers afterwards; it cannot commit one durable file set",
+		}
+	}
+	return nil
 }
 
 // WithoutWitnesses drops the per-vertex BFS-tree predecessor links from
@@ -171,6 +237,7 @@ func (c *config) buildOptions() explore.BuildOptions {
 		MaxStates:   c.maxStates,
 		Store:       c.store,
 		SpillDir:    c.spillDir,
+		GraphDir:    c.graphDir,
 		NoWitnesses: c.noWitnesses,
 		Symmetry:    c.canon,
 		Progress:    c.progress,
